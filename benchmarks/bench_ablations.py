@@ -1,0 +1,174 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+1. prune guard: always-prune vs cost-model-guarded prune (guarded must not
+   be slower when N <= k, where two passes are wasted work).
+2. memoization: repeated prints of an unmodified frame (the paper's
+   "non-committal operations" insight) with and without wflow.
+3. scheduler: time-to-first-action under cost-based vs FIFO ordering.
+4. sample cap: runtime vs recall trade-off across cached-sample caps.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import run_report, emit, scaled
+from repro import Clause, config
+from repro.bench import condition, format_table, recall_at_k
+from repro.core.actions import CorrelationAction, OccurrenceAction
+from repro.core.optimizer.sampling import rank_candidates
+from repro.core.optimizer.scheduler import schedule_actions
+from repro.data import make_airbnb, make_communities
+
+
+# ----------------------------------------------------------------------
+# 1. prune guard
+# ----------------------------------------------------------------------
+def test_ablation_prune_guard(benchmark):
+    """When candidates <= k, the guard must skip the wasteful two passes."""
+    frame = make_airbnb(scaled(30_000))
+    config.sampling_start = 1_000
+    config.sampling_cap = 3_000
+    config.top_k = 15
+    action = CorrelationAction()
+    cands = action.candidates(frame)
+    assert len(cands) <= config.top_k  # Airbnb has few quantitative pairs
+
+    config.early_pruning = True  # guard makes this a no-op
+
+    def guarded():
+        return rank_candidates(action.candidates(frame), frame)
+
+    result = benchmark.pedantic(guarded, rounds=2, iterations=1)
+    assert len(result) == len(cands)
+
+
+def test_ablation_prune_guard_report(benchmark):
+    def _report():
+        frame = make_communities(scaled(8_000), n_cols=34)
+        config.sampling_start = 1_000
+        config.sampling_cap = 1_000
+        config.top_k = 15
+        action = CorrelationAction()
+
+        config.early_pruning = False
+        start = time.perf_counter()
+        rank_candidates(action.candidates(frame), frame)
+        t_exact = time.perf_counter() - start
+
+        config.early_pruning = True
+        frame._sample_cache = None
+        start = time.perf_counter()
+        rank_candidates(action.candidates(frame), frame)
+        t_pruned = time.perf_counter() - start
+
+        emit(format_table(
+            ["variant", "seconds"],
+            [["exact (no prune)", f"{t_exact:.3f}"], ["guarded prune", f"{t_pruned:.3f}"]],
+            title="Ablation — prune on a wide frame (N >> k)",
+        ))
+
+    run_report(benchmark, _report)
+
+# ----------------------------------------------------------------------
+# 2. memoization (wflow)
+# ----------------------------------------------------------------------
+def test_ablation_memoization_report(benchmark):
+    def _report():
+        frame = make_airbnb(scaled(10_000))
+        reprints = 5
+
+        with condition("wflow"):
+            repr(frame)  # cold
+            start = time.perf_counter()
+            for _ in range(reprints):
+                repr(frame)
+            t_memo = time.perf_counter() - start
+
+        with condition("no-opt"):
+            frame._expire()
+            repr(frame)
+            start = time.perf_counter()
+            for _ in range(reprints):
+                frame._expire()  # naive: nothing is ever fresh
+                repr(frame)
+            t_naive = time.perf_counter() - start
+
+        emit(format_table(
+            ["variant", f"{reprints} reprints [s]"],
+            [["wflow (memoized)", f"{t_memo:.4f}"], ["no-opt (recompute)", f"{t_naive:.4f}"]],
+            title="Ablation — repeated prints of an unmodified dataframe",
+        ))
+        assert t_memo < t_naive
+
+    run_report(benchmark, _report)
+
+def test_ablation_memoized_reprint_kernel(benchmark):
+    frame = make_airbnb(scaled(10_000))
+    with condition("wflow"):
+        repr(frame)
+        benchmark(lambda: repr(frame))
+
+
+# ----------------------------------------------------------------------
+# 3. scheduler: time-to-first-action
+# ----------------------------------------------------------------------
+def test_ablation_scheduler_report(benchmark):
+    def _report():
+        frame = make_communities(scaled(4_000), n_cols=50)
+        meta = frame.metadata
+        actions = [a for a in
+                   (CorrelationAction(), OccurrenceAction())
+                   if a.applies_to(frame)]
+
+        def time_to_first(cost_based: bool) -> float:
+            config.cost_based_scheduling = cost_based
+            ordered = schedule_actions(actions, meta)
+            start = time.perf_counter()
+            ordered[0].generate(frame)
+            return time.perf_counter() - start
+
+        t_fifo = time_to_first(False)      # FIFO: Correlation (laggard) first
+        t_cost = time_to_first(True)       # cost-based: Occurrence first
+        emit(format_table(
+            ["policy", "time to first action [s]"],
+            [["FIFO", f"{t_fifo:.3f}"], ["cost-based", f"{t_cost:.3f}"]],
+            title="Ablation — async scheduling policy",
+        ))
+        assert t_cost <= t_fifo
+
+    run_report(benchmark, _report)
+
+# ----------------------------------------------------------------------
+# 4. sample cap sweep
+# ----------------------------------------------------------------------
+def test_ablation_sample_cap_report(benchmark):
+    def _report():
+        frame = make_communities(scaled(8_000), n_cols=34)
+        config.top_k = 15
+        action = CorrelationAction()
+
+        config.early_pruning = False
+        exact = [v.spec.signature()
+                 for v in rank_candidates(action.candidates(frame), frame)]
+
+        rows = []
+        for cap in (250, 1_000, 4_000):
+            config.early_pruning = True
+            config.sampling_start = cap - 1
+            config.sampling_cap = cap
+            frame._sample_cache = None
+            start = time.perf_counter()
+            ranked = rank_candidates(action.candidates(frame), frame)
+            elapsed = time.perf_counter() - start
+            sigs = [v.spec.signature() for v in ranked]
+            rows.append([cap, f"{elapsed:.3f}", f"{recall_at_k(sigs, exact, 15):.2f}"])
+        emit(format_table(
+            ["sample cap [rows]", "seconds", "Recall@15"],
+            rows,
+            title="Ablation — cached-sample cap vs recall (paper picks 30k)",
+        ))
+
+    run_report(benchmark, _report)

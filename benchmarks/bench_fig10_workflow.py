@@ -1,0 +1,69 @@
+"""Figure 10: average notebook-cell runtime vs dataframe size x condition.
+
+Reproduces the five-curve sweep (no-opt / wflow / wflow+prune / all-opt /
+pandas) on both workloads.  Expected shape: no-opt is orders of magnitude
+above the rest and grows with size; the optimized conditions cluster near
+the pandas baseline (the paper reports up to 11x / 345x overall speedups
+of all-opt over no-opt).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_report, AIRBNB_ROWS, COMMUNITIES_ROWS, emit
+from repro.bench import (
+    CONDITIONS,
+    build_airbnb_notebook,
+    build_communities_notebook,
+    format_table,
+)
+
+
+def _sweep(builder, sizes):
+    table = {}
+    for n in sizes:
+        nb = builder(n)
+        for cond in CONDITIONS:
+            result = nb.run(cond)
+            table[(n, cond)] = result.average_cell_runtime()
+    return table
+
+
+def test_fig10_airbnb_allopt_kernel(benchmark):
+    nb = build_airbnb_notebook(AIRBNB_ROWS[0])
+    benchmark.pedantic(lambda: nb.run("all-opt"), rounds=1, iterations=1)
+
+
+def test_fig10_report(benchmark):
+    def _report():
+        rows = []
+        speedups = {}
+        for label, builder, sizes in (
+            ("Airbnb", build_airbnb_notebook, AIRBNB_ROWS),
+            ("Communities", build_communities_notebook, COMMUNITIES_ROWS),
+        ):
+            table = _sweep(builder, sizes)
+            for n in sizes:
+                rows.append(
+                    [label, n]
+                    + [f"{table[(n, c)]:.4f}" for c in CONDITIONS]
+                )
+            largest = sizes[-1]
+            speedups[label] = table[(largest, "no-opt")] / max(
+                table[(largest, "all-opt")], 1e-9
+            )
+        emit(format_table(
+            ["dataset", "rows"] + list(CONDITIONS),
+            rows,
+            title="Figure 10 — average cell runtime [s] by condition",
+        ))
+        emit(
+            "all-opt speedup over no-opt at the largest size: "
+            + ", ".join(f"{k}: {v:.1f}x" for k, v in speedups.items())
+        )
+        # Shape: the optimizations must deliver a large speedup over no-opt.
+        assert speedups["Airbnb"] > 3
+        assert speedups["Communities"] > 3
+
+    run_report(benchmark, _report)

@@ -1,0 +1,72 @@
+"""Figure 11: time for a single dataframe print vs size x condition.
+
+Measures exactly one ``repr(df)`` per condition and size (fresh frame,
+metadata cold).  Expected shape: pandas is near-constant and tiny; the
+optimized Lux conditions stay within a small constant of it (the paper's
+"<= 2 s overhead" envelope at laptop scale); no-opt equals wflow here
+because only a single print happens (footnote 5 of the paper).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import run_report, AIRBNB_ROWS, COMMUNITIES_ROWS, emit
+from repro.bench import CONDITIONS, condition, format_table
+from repro.data import make_airbnb, make_communities
+
+
+def _time_single_print(make, n, cond) -> float:
+    with condition(cond):
+        frame = make(n)
+        start = time.perf_counter()
+        repr(frame)
+        return time.perf_counter() - start
+
+
+def test_fig11_print_kernel(benchmark):
+    frame = make_airbnb(AIRBNB_ROWS[0])
+    repr(frame)  # warm metadata + recommendations (memoized print)
+    benchmark(lambda: repr(frame))
+
+
+def test_fig11_report(benchmark):
+    def _report():
+        rows = []
+        for label, make, sizes in (
+            ("Airbnb", make_airbnb, AIRBNB_ROWS),
+            ("Communities", make_communities, COMMUNITIES_ROWS),
+        ):
+            for n in sizes:
+                timings = {
+                    cond: _time_single_print(make, n, cond) for cond in CONDITIONS
+                }
+                rows.append([label, n] + [f"{timings[c]:.4f}" for c in CONDITIONS])
+        emit(format_table(
+            ["dataset", "rows"] + list(CONDITIONS),
+            rows,
+            title="Figure 11 — single print-df runtime [s] by condition",
+        ))
+        # Shape: overhead of the fully optimized print stays bounded, and the
+        # pandas print is the cheapest.
+        for row in rows:
+            base = float(row[-1])
+            all_opt = float(row[-2])
+            assert base <= all_opt
+
+    run_report(benchmark, _report)
+
+def test_fig11_memoized_reprint_is_fast(benchmark):
+    def _report():
+        # Second print of an unmodified frame must hit the wflow memo.
+        with condition("all-opt"):
+            frame = make_airbnb(AIRBNB_ROWS[-1])
+            repr(frame)
+            start = time.perf_counter()
+            repr(frame)
+            reprint = time.perf_counter() - start
+        assert reprint < 0.2
+
+    run_report(benchmark, _report)

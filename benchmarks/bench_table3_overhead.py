@@ -1,0 +1,75 @@
+"""Table 3: per-cell-type overhead of Lux on top of pandas.
+
+Runs both notebooks under all-opt and pandas and reports the overhead
+(all-opt minus pandas) for print-df, print-series, and non-Lux cells.
+Paper shape: print-df dominates; print-series is ~10-30x smaller; non-Lux
+cells incur (near) zero overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_report, emit, scaled
+from repro.bench import build_airbnb_notebook, build_communities_notebook, format_table
+
+AIRBNB_N = scaled(16_000)
+COMM_N = scaled(1_000)
+
+
+def _overheads(builder, n_rows):
+    nb = builder(n_rows)
+    all_opt = nb.run("all-opt")
+    pandas = nb.run("pandas")
+    return nb, all_opt, pandas
+
+
+def test_table3_airbnb(benchmark):
+    nb = build_airbnb_notebook(AIRBNB_N)
+    result = benchmark.pedantic(
+        lambda: nb.run("all-opt"), rounds=1, iterations=1
+    )
+    assert result.count("print_df") == 14
+
+
+def test_table3_report(benchmark):
+    def _report():
+        rows = []
+        for label, builder, n in (
+            ("Airbnb", build_airbnb_notebook, AIRBNB_N),
+            ("Communities", build_communities_notebook, COMM_N),
+        ):
+            nb, all_opt, pandas = _overheads(builder, n)
+            counts = nb.counts()
+            for kind, pretty in (
+                ("print_df", "Print df"),
+                ("print_series", "Print Series"),
+                ("code", "Non-Lux"),
+            ):
+                overhead = all_opt.total(kind) - pandas.total(kind)
+                rows.append(
+                    [
+                        label,
+                        pretty,
+                        counts[kind],
+                        f"{max(overhead, 0.0):.3f} s",
+                        f"{pandas.total(kind):.3f} s",
+                    ]
+                )
+        emit(format_table(
+            ["dataset", "cell type", "N", "overhead (all-opt − pandas)", "pandas"],
+            rows,
+            title=(
+                f"Table 3 — overhead by cell type "
+                f"(Airbnb {AIRBNB_N} rows, Communities {COMM_N} rows)"
+            ),
+        ))
+        # Shape assertions: print-df overhead dominates, non-Lux ~ 0.
+        nb, all_opt, pandas = _overheads(build_airbnb_notebook, scaled(4_000))
+        df_over = all_opt.total("print_df") - pandas.total("print_df")
+        series_over = all_opt.total("print_series") - pandas.total("print_series")
+        code_over = all_opt.total("code") - pandas.total("code")
+        assert df_over > series_over
+        assert code_over < 0.5 * df_over + 0.1
+
+    run_report(benchmark, _report)

@@ -1,0 +1,52 @@
+"""Shared benchmark configuration.
+
+Benchmark sizes default to laptop-friendly scales; set ``REPRO_BENCH_SCALE``
+(e.g. 4 or 10) to multiply row counts toward the paper's full sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import config
+
+#: Multiplier applied to every row-count ladder below.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(n: int) -> int:
+    return max(int(n * SCALE), 10)
+
+
+#: Row ladders for the Fig. 10/11 sweeps (paper: 10k..10M / 100..100k).
+AIRBNB_ROWS = [scaled(1_000), scaled(4_000), scaled(16_000)]
+COMMUNITIES_ROWS = [scaled(100), scaled(400), scaled(1_600)]
+
+
+@pytest.fixture(autouse=True)
+def _config_isolation():
+    snapshot = config.snapshot()
+    yield
+    config.restore(snapshot)
+
+
+#: All report blocks are appended here so they survive pytest's capture;
+#: the final bench run concatenates this file into bench_output.txt.
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results", "reports.txt")
+
+
+def emit(text: str) -> None:
+    """Record a report block: stderr (visible with -s) plus a results file."""
+    import sys
+
+    sys.stderr.write("\n" + text + "\n")
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n\n")
+
+
+def run_report(benchmark, fn):
+    """Execute a figure/table report exactly once, visible to --benchmark-only."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""Custom actions — extending the recommendation registry with UDFs (§7.2).
+
+Implements the two custom actions the paper's field-study participants
+asked for (§10.2):
+
+- P3's "Influence": the top dataframe columns with the most influence over
+  a chosen predictive variable;
+- P2's "Even Split": categorical bar charts that look *even* (near-equal
+  class likelihoods), i.e. the inverse of the default unevenness ranking.
+
+Run:  python examples/custom_actions.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro import Vis, VisList, register_action, remove_action
+from repro.data import make_airbnb
+
+
+TARGET = "price"
+
+
+def influence_action(ldf: repro.LuxDataFrame) -> VisList:
+    """Columns most predictive of TARGET, ranked by |correlation|."""
+    visualizations = []
+    for attr in ldf.metadata.measures:
+        if attr == TARGET:
+            continue
+        vis = Vis([attr, TARGET], ldf)
+        vis.compute_score()  # |Pearson r| for measure pairs
+        visualizations.append(vis)
+    vl = VisList(visualizations=visualizations, source=ldf)
+    return vl.top_k(10)
+
+
+def even_split_action(ldf: repro.LuxDataFrame) -> VisList:
+    """Categorical attributes whose class frequencies are nearly equal."""
+    visualizations = []
+    for attr in ldf.metadata.columns_of_type("nominal"):
+        if ldf.metadata[attr].cardinality > repro.config.max_cardinality_for_axis:
+            continue  # not representable as a bar chart
+        vis = Vis([attr], ldf)
+        # Invert the default unevenness score: even bars rank first.
+        vis.compute_score()
+        vis.score = 1.0 - (vis.score or 0.0)
+        visualizations.append(vis)
+    vl = VisList(visualizations=visualizations, source=ldf)
+    vl._visualizations.sort(key=lambda v: -(v.score or 0))
+    return vl
+
+
+def main() -> None:
+    df = make_airbnb(10_000)
+
+    register_action(
+        "Influence",
+        influence_action,
+        condition=lambda ldf: TARGET in ldf.columns,
+        description=f"Columns with the most influence over {TARGET!r}.",
+    )
+    register_action(
+        "Even Split",
+        even_split_action,
+        condition=lambda ldf: bool(ldf.metadata.columns_of_type("nominal")),
+        description="Categorical attributes with near-equal class balance.",
+    )
+    try:
+        recs = df.recommendations
+        print("Actions now include the custom ones:", recs.keys())
+
+        print("\n== Influence over price ==")
+        for vis in recs["Influence"]:
+            print(f"  {vis!r}")
+        print()
+        print(recs["Influence"][0].to_ascii())
+
+        print("\n== Most even categorical splits ==")
+        for vis in recs["Even Split"]:
+            print(f"  {vis!r}")
+        print()
+        print(recs["Even Split"][0].to_ascii())
+    finally:
+        remove_action("Influence")
+        remove_action("Even Split")
+
+
+if __name__ == "__main__":
+    main()

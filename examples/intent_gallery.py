@@ -1,0 +1,102 @@
+"""Intent language gallery — the paper's queries Q1-Q7 (§5.2), runnable.
+
+Each block shows the paper's query, the one-line repro equivalent, and the
+resulting visualization(s), demonstrating how far a partial intent goes
+compared to imperative chart code (Figure 6).
+
+Run:  python examples/intent_gallery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro import Clause, Vis, VisList
+from repro.data import MiniFaker
+
+
+def make_employees(n: int = 600) -> repro.LuxDataFrame:
+    """An HR-style table matching the attribute names used in §5.2."""
+    faker = MiniFaker(4)
+    rng = faker.rng
+    return repro.LuxDataFrame(
+        {
+            "Age": np.round(rng.normal(38, 9, n), 0),
+            "Education": rng.choice(
+                ["High School", "Bachelors", "Masters", "Doctorate"], n
+            ).tolist(),
+            "EducationField": rng.choice(
+                ["Life Sciences", "Medical", "Marketing", "Technical"], n
+            ).tolist(),
+            "Department": rng.choice(["Sales", "R&D", "HR"], n, p=[0.4, 0.5, 0.1]).tolist(),
+            "Attrition": rng.choice(["Yes", "No"], n, p=[0.16, 0.84]).tolist(),
+            "MonthlyIncome": np.round(rng.lognormal(8.6, 0.5, n), 0),
+            "HourlyRate": np.round(rng.uniform(30, 100, n), 0),
+            "DailyRate": np.round(rng.uniform(100, 1500, n), 0),
+            "MonthlyRate": np.round(rng.uniform(2000, 27000, n), 0),
+            "Country": rng.choice(["USA", "Japan", "Germany", "Brazil"], n).tolist(),
+        }
+    )
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    df = make_employees()
+
+    # Q1 — set columns of interest on the dataframe itself.
+    banner('Q1  df.intent = ["Age", "Education"]')
+    df.intent = [
+        Clause(attribute="Age"),
+        Clause(attribute="Education"),
+    ]
+    # ... equivalently: df.intent = ["Age", "Education"]
+    print("Actions steered by the intent:", df.recommendations.keys())
+
+    # Q2 — compose an axis with a filter.
+    banner('Q2  df.intent = ["Age", "Department=Sales"]')
+    df.intent = ["Age", "Department=Sales"]
+    current = df.recommendations["Current Vis"][0]
+    print(current.to_ascii())
+
+    # Q3 — construct a visualization directly.
+    banner('Q3  Vis(["Age", "Education"], df)')
+    vis = Vis(["Age", "Education"], df)
+    print(vis.to_ascii())
+
+    # Q4 — override the default aggregation with numpy.var.
+    banner('Q4  Vis([Clause("MonthlyIncome", aggregation=numpy.var), "Attrition"], df)')
+    vis = Vis([Clause("MonthlyIncome", aggregation=np.var), "Attrition"], df)
+    print(vis.to_ascii())
+
+    # Q5 — a VisList over a union of rate attributes.
+    banner('Q5  VisList(["EducationField", rates], df)')
+    rates = ["HourlyRate", "DailyRate", "MonthlyRate"]
+    vl = VisList(["EducationField", rates], df)
+    for v in vl:
+        print(f"  {v!r}")
+
+    # Q6 — wildcard: browse all quantitative pairs.
+    banner('Q6  VisList([Clause("?", data_type="quantitative")] * 2, df)')
+    any_q = Clause("?", data_type="quantitative")
+    vl = VisList([any_q, any_q], df)
+    print(f"{len(vl)} scatterplots generated; top 3 by correlation:")
+    for v in list(vl.sort())[:3]:
+        print(f"  {v!r}")
+
+    # Q7 — filter wildcard: Age distribution per country.
+    banner('Q7  VisList(["Age", "Country=?"], df)')
+    vl = VisList(["Age", "Country=?"], df)
+    for v in vl:
+        print(f"  {v!r}")
+    print()
+    print(vl[0].to_ascii())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: always-on visualization recommendations in five minutes.
+
+Mirrors the first contact a user has with Lux: load a CSV, print the
+dataframe, browse recommendations, set an intent, and export a chart.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import repro
+from repro.data import make_hpi
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Load data.  ``repro.read_csv`` returns a LuxDataFrame — a drop-in
+    #    dataframe that additionally tracks intent, metadata, and history.
+    # ------------------------------------------------------------------
+    csv_path = os.path.join(tempfile.gettempdir(), "hpi.csv")
+    make_hpi().to_csv(csv_path)
+    df = repro.read_csv(csv_path)
+    print(f"Loaded {df.shape[0]} rows x {df.shape[1]} columns")
+    print("Inferred semantic types:", df.data_types, "\n")
+
+    # ------------------------------------------------------------------
+    # 2. "Print" the dataframe.  In a notebook this renders the widget;
+    #    here the repr carries the always-on recommendation summary.
+    # ------------------------------------------------------------------
+    print(df)
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Browse a recommendation tab (Figure 1 of the paper).
+    # ------------------------------------------------------------------
+    recs = df.recommendations
+    print("Actions:", recs.keys())
+    top_correlation = recs["Correlation"][0]
+    print("\nTop correlation recommendation:")
+    print(top_correlation.to_ascii())
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. Steer with an intent (Figure 2): one line, no chart code.
+    # ------------------------------------------------------------------
+    df.intent = ["AvrgLifeExpectancy", "Inequality"]
+    recs = df.recommendations
+    print("With intent set, actions become:", recs.keys())
+    print("\nCurrent visualization:")
+    print(recs["Current Vis"][0].to_ascii())
+    print()
+
+    # ------------------------------------------------------------------
+    # 5. Export: pull a chart out of the widget as code you can tweak.
+    # ------------------------------------------------------------------
+    vis = df.export("Current Vis", 0)
+    print("Exported Altair code:\n")
+    print(vis.to_altair_code())
+
+    # ------------------------------------------------------------------
+    # 6. Save the full interactive widget for sharing.
+    # ------------------------------------------------------------------
+    out = os.path.join(tempfile.gettempdir(), "lux_widget.html")
+    df.save_as_html(out)
+    print(f"\nInteractive widget written to {out}")
+
+
+if __name__ == "__main__":
+    main()

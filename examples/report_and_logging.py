@@ -1,0 +1,76 @@
+"""Downstream reports and usage logging (§10.3 / §10.1 infrastructure).
+
+- ``df.to_report()`` writes a static, self-contained HTML report of every
+  recommendation — the sharing workflow the paper added after per-chart
+  code export "quickly became unsustainable";
+- ``repro.usage_log`` is the lux-logger analogue: it records prints,
+  intent changes, and exports, and can compute the think-time statistics
+  the paper's async design is based on (§8.2's 2.8 s median).
+
+Run:  python examples/report_and_logging.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import repro
+from repro import usage_log
+from repro.data import make_airbnb, make_hpi
+from repro.vis.report import render_report
+
+
+def main() -> None:
+    usage_log.enable()
+
+    # Explore two datasets the way an analyst would.
+    hpi = make_hpi()
+    airbnb = make_airbnb(8_000)
+
+    repr(hpi)                                   # print #1
+    hpi.intent = ["AvrgLifeExpectancy", "Inequality"]
+    repr(hpi)                                   # print #2
+    time.sleep(0.05)                            # "think time"
+    repr(airbnb)                                # print #3
+    hpi.export("Current Vis", 0)
+
+    # ------------------------------------------------------------------
+    # Usage log: what happened this session?
+    # ------------------------------------------------------------------
+    log = usage_log.get_log()
+    summary = log.summary()
+    print("== Session usage summary (lux-logger analogue) ==")
+    print("event counts:", summary["counts"])
+    print(f"median think time between prints: "
+          f"{summary['median_think_time']:.3f} s over {summary['n_gaps']} gaps")
+
+    jsonl = os.path.join(tempfile.gettempdir(), "lux_usage.jsonl")
+    log.to_jsonl(jsonl)
+    print(f"raw event log written to {jsonl}")
+
+    # ------------------------------------------------------------------
+    # One-shot multi-frame report for stakeholders without Python.
+    # ------------------------------------------------------------------
+    html = render_report(
+        {"Happy Planet Index": hpi, "Airbnb listings": airbnb},
+        title="Exploration report — world development & listings",
+        charts_per_action=3,
+    )
+    out = os.path.join(tempfile.gettempdir(), "lux_report.html")
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(f"\nstatic HTML report written to {out} "
+          f"({len(html) // 1024} KiB, self-contained)")
+
+    # Single-frame shorthand:
+    single = os.path.join(tempfile.gettempdir(), "hpi_report.html")
+    hpi.to_report(single, title="HPI overview")
+    print(f"single-frame report written to {single}")
+
+    usage_log.disable()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Structure- and history-based recommendations (§6) — the paper's novel
+dataframe-workflow signals.
+
+Demonstrates:
+- Series visualizations (printing a single column);
+- Index visualizations of a pivoted time-series frame (Figure 7's
+  COVID-cases-by-state example);
+- Pre-aggregate recommendations after a multi-key groupby;
+- Pre-filter recommendations when a filter leaves too few rows (e.g. after
+  ``head()``), where Lux shows the *parent* dataframe instead.
+
+Run:  python examples/structure_history.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.data import make_airbnb
+
+
+def covid_cases_by_state() -> repro.LuxDataFrame:
+    """A long-format table of daily case percentages per state (Fig. 7)."""
+    rng = np.random.default_rng(9)
+    states = ["California", "Alabama", "New York", "Texas"]
+    dates = [f"2020-03-{d:02d}" for d in range(1, 15)]
+    rows = {"state": [], "Date": [], "cases": []}
+    for s_i, state in enumerate(states):
+        level = 0.0
+        for date in dates:
+            level += abs(rng.normal(0.5 + 0.3 * s_i, 0.3))
+            rows["state"].append(state)
+            rows["Date"].append(date)
+            rows["cases"].append(round(level, 2))
+    return repro.LuxDataFrame(rows)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Series visualization: printing a column shows its univariate chart.
+    # ------------------------------------------------------------------
+    df = make_airbnb(5_000)
+    print("== Printing a Series shows its chart ==")
+    print(df["room_type"])
+    print()
+
+    # ------------------------------------------------------------------
+    # Index visualization of a pivot result (Figure 7).
+    # ------------------------------------------------------------------
+    print("== Pivot + print: row-wise time series per state ==")
+    cases = covid_cases_by_state()
+    pivoted = cases.pivot(index="state", columns="Date", values="cases")
+    recs = pivoted.recommendations
+    print("Actions on the pivoted frame:", recs.keys())
+    for vis in recs["Index"]:
+        print(f"  {vis!r}")
+    print()
+    print(recs["Index"][0].to_ascii())
+    print()
+
+    # ------------------------------------------------------------------
+    # Pre-aggregate: a multi-key groupby result is visualized by its keys.
+    # ------------------------------------------------------------------
+    print("== Multi-key groupby -> Pre-aggregate recommendations ==")
+    agg = df.groupby(["neighbourhood_group", "room_type"]).mean()
+    recs = agg.recommendations
+    print("Actions:", recs.keys())
+    if "Pre-aggregate" in recs.keys():
+        print(recs["Pre-aggregate"][0].to_ascii())
+    print()
+
+    # ------------------------------------------------------------------
+    # Pre-filter: head() leaves too few rows; Lux recommends on the parent.
+    # ------------------------------------------------------------------
+    print("== head() -> Pre-filter shows the unfiltered dataframe ==")
+    tiny = df.head(3)
+    recs = tiny.recommendations
+    print("Actions on the 3-row frame:", recs.keys())
+    prefilter = recs["Pre-filter"]
+    print(f"Pre-filter recommends {len(prefilter)} charts from the parent "
+          f"({len(df)} rows):")
+    print(prefilter[0].to_ascii())
+
+
+if __name__ == "__main__":
+    main()

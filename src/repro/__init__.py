@@ -1,0 +1,52 @@
+"""Reproduction of "Lux: Always-on Visualization Recommendations for
+Exploratory Dataframe Workflows" (VLDB 2021).
+
+Quickstart::
+
+    import repro
+
+    df = repro.read_csv("hpi.csv")      # a LuxDataFrame
+    df                                  # always-on recommendations on print
+    df.intent = ["AvrgLifeExpectancy", "Inequality"]
+    df.recommendations["Enhance"]       # steered recommendations
+    repro.Vis(["Age", "Education"], df) # direct visualization via intent
+"""
+
+from .core import usage_log  # noqa: F401
+from .core import (
+    Clause,
+    Config,
+    IntentError,
+    LuxDataFrame,
+    LuxError,
+    LuxSeries,
+    LuxWarning,
+    Vis,
+    VisList,
+    config,
+    read_csv,
+    register_action,
+    remove_action,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Clause",
+    "Config",
+    "IntentError",
+    "LuxDataFrame",
+    "LuxError",
+    "LuxSeries",
+    "LuxWarning",
+    "Vis",
+    "VisList",
+    "config",
+    "dataframe",
+    "read_csv",
+    "usage_log",
+    "register_action",
+    "remove_action",
+]
+
+from . import dataframe  # noqa: E402  (re-exported subpackage)

@@ -1,0 +1,21 @@
+"""Benchmark harness: conditions, notebook driver, workloads, measurement."""
+
+from .conditions import CONDITIONS, condition
+from .measure import fit_power_law, format_table, recall_at_k, time_once
+from .notebook import Cell, CellTiming, Notebook, NotebookResult
+from .workloads import build_airbnb_notebook, build_communities_notebook
+
+__all__ = [
+    "CONDITIONS",
+    "Cell",
+    "CellTiming",
+    "Notebook",
+    "NotebookResult",
+    "build_airbnb_notebook",
+    "build_communities_notebook",
+    "condition",
+    "fit_power_law",
+    "format_table",
+    "recall_at_k",
+    "time_once",
+]

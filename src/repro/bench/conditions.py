@@ -1,0 +1,28 @@
+"""Benchmark conditions (§9.1) and config save/restore helpers."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..core.config import config
+from ..core.optimizer.scheduler import drain_all
+
+__all__ = ["CONDITIONS", "condition"]
+
+#: The five measured conditions, in the paper's order.
+CONDITIONS = ("no-opt", "wflow", "wflow+prune", "all-opt", "pandas")
+
+
+@contextmanager
+def condition(name: str) -> Iterator[None]:
+    """Apply a named condition's flag set, restoring config afterwards."""
+    snapshot = config.snapshot()
+    try:
+        config.apply_condition(name)
+        yield
+    finally:
+        # Fence in-flight streaming work so one measured condition cannot
+        # steal CPU from the next.
+        drain_all()
+        config.restore(snapshot)

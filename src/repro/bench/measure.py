@@ -1,0 +1,78 @@
+"""Measurement and reporting helpers shared by the benchmark targets."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "fit_power_law",
+    "format_table",
+    "recall_at_k",
+    "time_once",
+]
+
+
+def time_once(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """Wall-clock one call; returns (seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Fit ``y = c * x^p`` by least squares in log space; returns (p, c).
+
+    Used for Fig. 12 (left): the paper reports the no-opt curve scaling with
+    power 2.53 over column count and all-opt near-linear at 1.07.
+    """
+    lx = np.log(np.asarray(xs, dtype=float))
+    ly = np.log(np.asarray(ys, dtype=float))
+    ok = np.isfinite(lx) & np.isfinite(ly)
+    if ok.sum() < 2:
+        return float("nan"), float("nan")
+    p, logc = np.polyfit(lx[ok], ly[ok], 1)
+    return float(p), float(math.exp(logc))
+
+
+def recall_at_k(approx_ranking: Sequence[Any], exact_ranking: Sequence[Any], k: int) -> float:
+    """|top-k(approx) ∩ top-k(exact)| / k — the paper's Recall@15 metric."""
+    if k <= 0:
+        return 0.0
+    top_approx = set(list(approx_ranking)[:k])
+    top_exact = set(list(exact_ranking)[:k])
+    if not top_exact:
+        return 1.0
+    return len(top_approx & top_exact) / min(k, len(top_exact))
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Fixed-width text table for benchmark stdout reports."""
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) < 0.01 or abs(v) >= 10_000:
+                return f"{v:.3e}"
+            return f"{v:.3f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in cells)) if cells else len(headers[j])
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

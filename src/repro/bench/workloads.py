@@ -1,0 +1,175 @@
+"""The two benchmark notebooks (§9.2), modelled on public Kaggle EDA flows.
+
+Cell-type counts match Table 3 exactly:
+
+=============  ========  ============  =======
+notebook       print df  print series  non-Lux
+=============  ========  ============  =======
+Airbnb         14        7             17
+Communities    14        4             25
+=============  ========  ============  =======
+
+Each notebook follows the paper's description: loading, transformation,
+cleaning, computing statistics, and (stand-in) machine-learning prep, with
+dataframe/series prints interspersed to validate intermediate results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..dataframe import qcut
+from ..data.airbnb import make_airbnb
+from ..data.communities import make_communities
+from .notebook import Cell, Notebook
+
+__all__ = ["build_airbnb_notebook", "build_communities_notebook"]
+
+
+def _cell(label: str, kind: str, body: Callable[[dict[str, Any]], Any]) -> Cell:
+    return Cell(label=label, kind=kind, body=body)
+
+
+# ----------------------------------------------------------------------
+# Airbnb: moderate width, many rows (14 df / 7 series / 17 code)
+# ----------------------------------------------------------------------
+def build_airbnb_notebook(n_rows: int = 50_000, seed: int = 0) -> Notebook:
+    def setup() -> dict[str, Any]:
+        return {"n_rows": n_rows, "seed": seed}
+
+    cells = [
+        # -- loading ----------------------------------------------------
+        _cell("load csv", "code", lambda env: env.update(df=make_airbnb(env["n_rows"], env["seed"]))),
+        _cell("peek df", "print_df", lambda env: env["df"]),
+        _cell("head", "print_df", lambda env: env["df"].head(10)),
+        _cell("shape", "code", lambda env: env["df"].shape),
+        _cell("dtypes", "code", lambda env: env["df"].dtypes),
+        # -- profiling --------------------------------------------------
+        _cell("describe", "print_df", lambda env: env["df"].describe()),
+        _cell("price series", "print_series", lambda env: env["df"]["price"]),
+        _cell("room types", "print_series", lambda env: env["df"]["room_type"].value_counts()),
+        _cell("nulls", "code", lambda env: env["df"].count()),
+        _cell("nunique", "code", lambda env: env["df"].nunique()),
+        # -- cleaning ---------------------------------------------------
+        _cell("drop name col", "code", lambda env: env["df"].drop("name", inplace=True)),
+        _cell("post-drop view", "print_df", lambda env: env["df"]),
+        _cell("fill reviews", "code", lambda env: env["df"].fillna(0, inplace=True)),
+        _cell("rename col", "code", lambda env: env["df"].rename(columns={"neighbourhood_group": "borough"}, inplace=True)),
+        _cell("post-rename view", "print_df", lambda env: env["df"]),
+        # -- transformation ----------------------------------------------
+        _cell("log price", "code", lambda env: env["df"].__setitem__(
+            "log_price", (env["df"]["price"] + 1.0).map(np.log))),
+        _cell("log price hist", "print_series", lambda env: env["df"]["log_price"]),
+        _cell("price tier", "code", lambda env: env["df"].__setitem__(
+            "price_tier", qcut(env["df"]["price"], 3, labels=["Budget", "Mid", "Lux"]))),
+        _cell("tier counts", "print_series", lambda env: env["df"]["price_tier"].value_counts()),
+        _cell("post-bin view", "print_df", lambda env: env["df"]),
+        # -- filtering / subsets -----------------------------------------
+        _cell("manhattan subset", "code", lambda env: env.update(
+            manhattan=env["df"][env["df"]["borough"] == "Manhattan"])),
+        _cell("manhattan view", "print_df", lambda env: env["manhattan"]),
+        _cell("cheap subset", "code", lambda env: env.update(
+            cheap=env["df"][env["df"]["price"] < 100])),
+        _cell("cheap view", "print_df", lambda env: env["cheap"]),
+        _cell("cheap head", "print_df", lambda env: env["cheap"].head()),
+        # -- aggregation --------------------------------------------------
+        _cell("mean price by borough", "print_df", lambda env: env["df"].groupby("borough").mean()),
+        _cell("counts by room type", "print_series", lambda env: env["df"].groupby("room_type").size()),
+        _cell("pivot borough/room", "print_df", lambda env: env["df"].pivot_table(
+            index="borough", columns="room_type", values="price", aggfunc="mean")),
+        _cell("agg by tier", "print_df", lambda env: env["df"].groupby("price_tier").agg({"price": "mean", "number_of_reviews": "mean"})),
+        # -- statistics ---------------------------------------------------
+        _cell("corr matrix", "code", lambda env: env["df"][["price", "log_price", "minimum_nights", "number_of_reviews"]].corr()),
+        _cell("price stats", "code", lambda env: (env["df"]["price"].mean(), env["df"]["price"].std())),
+        _cell("reviews stats", "print_series", lambda env: env["df"]["number_of_reviews"]),
+        # -- "ML prep" ----------------------------------------------------
+        _cell("zscore price", "code", lambda env: env["df"].__setitem__(
+            "price_z", (env["df"]["price"] - env["df"]["price"].mean()) / env["df"]["price"].std())),
+        _cell("onehot-ish code", "code", lambda env: env["df"].__setitem__(
+            "is_entire", (env["df"]["room_type"] == "Entire home/apt").astype("int64"))),
+        _cell("feature view", "print_df", lambda env: env["df"][["price_z", "is_entire", "minimum_nights"]]),
+        _cell("train mask", "code", lambda env: env.update(train=env["df"].sample(frac=0.8, random_state=1))),
+        _cell("train view", "print_df", lambda env: env["train"]),
+        _cell("top prices", "print_series", lambda env: env["df"]["price"].sort_values().tail(20)),
+    ]
+    return Notebook("airbnb", setup, cells)
+
+
+# ----------------------------------------------------------------------
+# Communities: wide frame (14 df / 4 series / 25 code)
+# ----------------------------------------------------------------------
+def build_communities_notebook(n_rows: int = 2_000, seed: int = 0) -> Notebook:
+    def setup() -> dict[str, Any]:
+        return {"n_rows": n_rows, "seed": seed}
+
+    def numeric_cols(env: dict[str, Any]) -> list[str]:
+        df = env["df"]
+        return [c for c in df.columns if df.column(c).dtype.name == "float64"][:8]
+
+    cells = [
+        # -- loading ------------------------------------------------------
+        _cell("load csv", "code", lambda env: env.update(df=make_communities(env["n_rows"], seed=env["seed"]))),
+        _cell("peek df", "print_df", lambda env: env["df"]),
+        _cell("head", "print_df", lambda env: env["df"].head()),
+        _cell("shape", "code", lambda env: env["df"].shape),
+        _cell("columns", "code", lambda env: env["df"].columns),
+        _cell("dtypes", "code", lambda env: env["df"].dtypes),
+        _cell("null counts", "code", lambda env: env["df"].count()),
+        # -- profiling ------------------------------------------------------
+        _cell("describe", "print_df", lambda env: env["df"][numeric_cols(env)].describe()),
+        _cell("state counts", "print_series", lambda env: env["df"]["state"].value_counts()),
+        _cell("crime series", "print_series", lambda env: env["df"][numeric_cols(env)[0]]),
+        _cell("means", "code", lambda env: env["df"].mean()),
+        _cell("variances", "code", lambda env: env["df"].var()),
+        _cell("nunique", "code", lambda env: env["df"].nunique()),
+        # -- cleaning --------------------------------------------------------
+        _cell("dropna", "code", lambda env: env["df"].dropna(inplace=True)),
+        _cell("post-clean view", "print_df", lambda env: env["df"]),
+        _cell("rename", "code", lambda env: env["df"].rename(columns={"communityname": "community"}, inplace=True)),
+        _cell("post-rename view", "print_df", lambda env: env["df"]),
+        # -- transformation ----------------------------------------------------
+        _cell("risk score", "code", lambda env: env["df"].__setitem__(
+            "risk", sum((env["df"][c] for c in numeric_cols(env)[1:4]), env["df"][numeric_cols(env)[0]]))),
+        _cell("risk view", "print_series", lambda env: env["df"]["risk"]),
+        _cell("risk level", "code", lambda env: env["df"].__setitem__(
+            "risk_level", qcut(env["df"]["risk"], 2, labels=["Low", "High"]))),
+        _cell("post-risk view", "print_df", lambda env: env["df"]),
+        _cell("drop helper", "code", lambda env: env["df"].drop("risk", inplace=True)),
+        _cell("post-drop view", "print_df", lambda env: env["df"]),
+        # -- subsets ----------------------------------------------------------
+        _cell("california", "code", lambda env: env.update(ca=env["df"][env["df"]["state"] == "California"])),
+        _cell("ca view", "print_df", lambda env: env["ca"]),
+        _cell("high risk", "code", lambda env: env.update(high=env["df"][env["df"]["risk_level"] == "High"])),
+        _cell("high view", "print_df", lambda env: env["high"]),
+        _cell("high head", "print_df", lambda env: env["high"].head()),
+        # -- aggregation ---------------------------------------------------------
+        _cell("mean by state", "print_df", lambda env: env["df"].groupby("state")[numeric_cols(env)[:4]].mean()),
+        _cell("size by level", "print_series", lambda env: env["df"].groupby("risk_level").size()),
+        _cell("pivot state/level", "print_df", lambda env: env["df"].pivot_table(
+            index="state", columns="risk_level", values=numeric_cols(env)[0], aggfunc="mean")),
+        # -- statistics ------------------------------------------------------------
+        _cell("corr pairs", "code", lambda env: env["df"][numeric_cols(env)[:6]].corr()),
+        _cell("top corr find", "code", lambda env: max(
+            abs(v)
+            for row in env["df"][numeric_cols(env)[:4]].corr().to_records()
+            for v in row.values()
+            if isinstance(v, float) and abs(v) < 0.999)),
+        _cell("quantiles", "code", lambda env: env["df"][numeric_cols(env)[0]].median()),
+        # -- ML prep ---------------------------------------------------------------
+        _cell("zscore block", "code", lambda env: [env["df"].__setitem__(
+            f"z_{c}", (env["df"][c] - env["df"][c].mean()) / (env["df"][c].std() or 1.0)) for c in numeric_cols(env)[:3]]),
+        _cell("target encode", "code", lambda env: env["df"].__setitem__(
+            "target", (env["df"]["risk_level"] == "High").astype("int64"))),
+        _cell("feature matrix", "code", lambda env: env.update(X=env["df"][[f"z_{c}" for c in numeric_cols(env)[:3]]])),
+        _cell("X view", "print_df", lambda env: env["X"]),
+        _cell("train split", "code", lambda env: env.update(train=env["df"].sample(frac=0.7, random_state=2))),
+        _cell("train view", "print_df", lambda env: env["train"]),
+        _cell("coef calc", "code", lambda env: np.linalg.lstsq(
+            np.column_stack([env["X"].column(c).to_float() for c in env["X"].columns]),
+            np.asarray(env["df"]["target"].to_list(), dtype=float), rcond=None)[0]),
+        _cell("sorted communities", "code", lambda env: env["df"].sort_values("target", ascending=False).head(10)),
+        _cell("final summary", "code", lambda env: env["df"].shape),
+    ]
+    return Notebook("communities", setup, cells)

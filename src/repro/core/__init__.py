@@ -1,0 +1,42 @@
+"""Lux core: the paper's primary contribution.
+
+Public entry points:
+
+- :class:`LuxDataFrame` / :class:`LuxSeries` — always-on dataframes
+- :class:`Clause`, :class:`Vis`, :class:`VisList` — the intent language
+- :func:`read_csv` — load CSVs straight into LuxDataFrames
+- :data:`config` — optimization and display knobs
+- :func:`register_action` / :func:`remove_action` — custom actions
+"""
+
+from .clause import Clause
+from .config import Config, config
+from .errors import ExecutorError, IntentError, LuxError, LuxWarning
+from .frame import LuxDataFrame, LuxSeries, read_csv
+from .history import History
+from .metadata import Metadata, compute_metadata
+from .vis import Vis
+from .vislist import VisList
+from .actions.registry import register_action, remove_action
+from . import usage_log
+
+__all__ = [
+    "Clause",
+    "Config",
+    "ExecutorError",
+    "History",
+    "IntentError",
+    "LuxDataFrame",
+    "LuxError",
+    "LuxSeries",
+    "LuxWarning",
+    "Metadata",
+    "Vis",
+    "VisList",
+    "compute_metadata",
+    "usage_log",
+    "config",
+    "read_csv",
+    "register_action",
+    "remove_action",
+]

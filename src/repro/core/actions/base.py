@@ -1,0 +1,83 @@
+"""Action base class: a named, triggerable recommendation generator (§7.2).
+
+An action (a) declares when it applies via :meth:`applies_to`, (b) produces
+candidate visualizations, and (c) ranks them into a VisList.  Built-in
+actions enumerate candidates through the intent compiler and rank through
+the shared pruning-aware ranker; custom user actions may override
+:meth:`generate` entirely with a Python UDF.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+from ..compiler import CompiledVis, compile_intent
+from ..clause import Clause
+from ..config import config
+from ..metadata import Metadata
+from ..optimizer.cost_model import estimate_action_cost
+from ..optimizer.sampling import rank_candidates
+from ..vislist import VisList
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..frame import LuxDataFrame
+
+__all__ = ["Action"]
+
+
+class Action(ABC):
+    """One tab of the recommendation dashboard."""
+
+    #: Unique name displayed as the tab title.
+    name: str = "Action"
+    #: One-line description shown in the widget.
+    description: str = ""
+    #: Whether candidates are scored and ranked (vs natural order).
+    ranked: bool = True
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def applies_to(self, ldf: "LuxDataFrame") -> bool:
+        """Trigger condition: is this action relevant for ``ldf``?"""
+
+    @abstractmethod
+    def candidates(self, ldf: "LuxDataFrame") -> list[CompiledVis]:
+        """Enumerate the search space of candidate visualizations."""
+
+    # ------------------------------------------------------------------
+    def generate(self, ldf: "LuxDataFrame") -> VisList:
+        """Produce the ranked, processed VisList for display."""
+        cands = self.candidates(ldf)
+        if not cands:
+            return VisList(visualizations=[], source=ldf)
+        if self.ranked:
+            return rank_candidates(cands, ldf, k=config.top_k)
+        from ..executor.base import get_executor
+        from ..vis import Vis
+
+        executor = get_executor()
+        out = []
+        for cand in cands[: config.top_k]:
+            if cand.spec.data is None:
+                executor.execute(cand.spec, ldf)
+            out.append(Vis.from_compiled(cand, source=ldf, process=False))
+        return VisList(visualizations=out, source=ldf)
+
+    def estimated_cost(self, metadata: Metadata) -> float:
+        """Cost estimate used by the async scheduler (search-space sized)."""
+        return float(self.search_space_size(metadata)) * max(metadata.n_rows, 1)
+
+    def search_space_size(self, metadata: Metadata) -> int:
+        """Rough candidate count; cheap to compute without enumeration."""
+        return 1
+
+    # ------------------------------------------------------------------
+    def _compile(
+        self, clauses: Sequence[Clause], metadata: Metadata
+    ) -> list[CompiledVis]:
+        """Helper: run the intent compiler for candidate construction."""
+        return compile_intent(list(clauses), metadata)
+
+    def __repr__(self) -> str:
+        return f"<Action {self.name}>"

@@ -1,0 +1,183 @@
+"""Clause: one unit of the intent grammar (§5.1).
+
+The grammar::
+
+    <Intent> -> <Clause>+
+    <Clause> -> <Axis> | <Filter>
+    <Axis>   -> <attribute>* <channel> <aggregation> <bin_size>
+    <Filter> -> <attribute> [= > < <= >= !=] <value>
+
+``attribute`` and ``value`` admit unions (lists) and the wildcard ``?``
+(optionally constrained, e.g. ``Clause("?", data_type="quantitative")``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+__all__ = ["Clause", "FILTER_OPS", "WILDCARD"]
+
+WILDCARD = "?"
+FILTER_OPS = ("=", "!=", ">", "<", ">=", "<=")
+
+_AGG_NAME_FROM_CALLABLE = {
+    "mean": "mean",
+    "nanmean": "mean",
+    "average": "mean",
+    "avg": "mean",
+    "sum": "sum",
+    "nansum": "sum",
+    "var": "var",
+    "nanvar": "var",
+    "std": "std",
+    "nanstd": "std",
+    "min": "min",
+    "max": "max",
+    "median": "median",
+    "count": "count",
+    "size": "count",
+}
+
+
+def _normalize_aggregation(agg: Any) -> str | None:
+    if agg is None or agg == "":
+        return None
+    if callable(agg):
+        name = getattr(agg, "__name__", "")
+        if name in _AGG_NAME_FROM_CALLABLE:
+            return _AGG_NAME_FROM_CALLABLE[name]
+        raise ValueError(f"unsupported aggregation callable {agg!r}")
+    name = str(agg).lower()
+    if name in _AGG_NAME_FROM_CALLABLE:
+        return _AGG_NAME_FROM_CALLABLE[name]
+    raise ValueError(f"unsupported aggregation {agg!r}")
+
+
+class Clause:
+    """An axis or filter of interest.
+
+    Examples
+    --------
+    >>> Clause(attribute="Age")                          # axis
+    >>> Clause(attribute="Age", aggregation="var")       # axis with agg
+    >>> Clause(attribute="Dept", filter_op="=", value="Sales")   # filter
+    >>> Clause(attribute="?", data_type="quantitative")  # wildcard axis
+    >>> Clause(attribute=["A", "B"])                     # union axis
+    """
+
+    def __init__(
+        self,
+        attribute: str | Sequence[str] = "",
+        value: Any = "",
+        filter_op: str = "=",
+        channel: str = "",
+        aggregation: Any = "",
+        bin_size: int = 0,
+        data_type: str = "",
+        sort: str = "",
+        description: str = "",
+    ) -> None:
+        if isinstance(attribute, (list, tuple)):
+            attribute = list(attribute)
+        self.attribute = attribute
+        self.value = list(value) if isinstance(value, (list, tuple)) else value
+        if filter_op not in FILTER_OPS:
+            raise ValueError(f"unsupported filter operation {filter_op!r}")
+        self.filter_op = filter_op
+        self.channel = channel
+        self.aggregation = _normalize_aggregation(aggregation)
+        #: Whether the user set the aggregation explicitly (overrides defaults).
+        self.aggregation_specified = aggregation not in ("", None)
+        self.bin_size = int(bin_size)
+        self.data_type = data_type
+        self.sort = sort
+        self.description = description
+
+    # ------------------------------------------------------------------
+    @property
+    def is_filter(self) -> bool:
+        """Filters carry a value; axes do not."""
+        return self.value not in ("", None) or (
+            isinstance(self.value, list) and len(self.value) > 0
+        )
+
+    @property
+    def is_axis(self) -> bool:
+        return not self.is_filter
+
+    @property
+    def is_wildcard(self) -> bool:
+        attr_wild = self.attribute == WILDCARD
+        value_wild = self.value == WILDCARD
+        return attr_wild or value_wild
+
+    @property
+    def is_union(self) -> bool:
+        return isinstance(self.attribute, list) or isinstance(self.value, list)
+
+    def alternatives(self, all_attributes: Sequence[str]) -> list["Clause"]:
+        """Enumerate the concrete clauses this clause stands for.
+
+        Attribute unions/wildcards expand here; *value* wildcards are
+        expanded later by the compiler because they need column metadata.
+        """
+        if isinstance(self.attribute, list):
+            return [self._with_attribute(a) for a in self.attribute]
+        if self.attribute == WILDCARD:
+            return [self._with_attribute(a) for a in all_attributes]
+        return [self]
+
+    def _with_attribute(self, attribute: str) -> "Clause":
+        out = self.copy()
+        out.attribute = attribute
+        return out
+
+    def copy(self) -> "Clause":
+        out = Clause.__new__(Clause)
+        out.attribute = (
+            list(self.attribute) if isinstance(self.attribute, list) else self.attribute
+        )
+        out.value = list(self.value) if isinstance(self.value, list) else self.value
+        out.filter_op = self.filter_op
+        out.channel = self.channel
+        out.aggregation = self.aggregation
+        out.aggregation_specified = self.aggregation_specified
+        out.bin_size = self.bin_size
+        out.data_type = self.data_type
+        out.sort = self.sort
+        out.description = self.description
+        return out
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        if self.is_filter:
+            return f"Clause({self.attribute!s} {self.filter_op} {self.value!r})"
+        extras = []
+        if self.aggregation:
+            extras.append(f"aggregation={self.aggregation}")
+        if self.channel:
+            extras.append(f"channel={self.channel}")
+        if self.bin_size:
+            extras.append(f"bin_size={self.bin_size}")
+        if self.data_type:
+            extras.append(f"data_type={self.data_type}")
+        suffix = (", " + ", ".join(extras)) if extras else ""
+        return f"Clause({self.attribute!r}{suffix})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clause):
+            return NotImplemented
+        return (
+            self.attribute == other.attribute
+            and self.value == other.value
+            and self.filter_op == other.filter_op
+            and self.channel == other.channel
+            and self.aggregation == other.aggregation
+            and self.bin_size == other.bin_size
+            and self.data_type == other.data_type
+        )
+
+    def __hash__(self) -> int:
+        attr = tuple(self.attribute) if isinstance(self.attribute, list) else self.attribute
+        value = tuple(self.value) if isinstance(self.value, list) else self.value
+        return hash((attr, value, self.filter_op, self.channel, self.aggregation))

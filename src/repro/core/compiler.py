@@ -1,0 +1,338 @@
+"""Intent compiler (§7.1.2): Expand -> Lookup -> Infer.
+
+Turns validated, possibly-partial Clauses into complete ``VisSpec``s:
+
+1. **Expand** unrolls unions and wildcards into the cross-product of
+   alternatives, yielding one candidate clause-list per visualization.
+2. **Lookup** fills omitted details (data types) from precomputed metadata
+   and removes invalid or ineffective candidates (unknown columns, id
+   columns, nominal axes beyond the cardinality cap).
+3. **Infer** picks the mark, channels, aggregation, and binning via
+   rule-based design heuristics, producing a renderer-ready spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..vis.encoding import Encoding
+from ..vis.marks import infer_mark
+from ..vis.spec import VisSpec
+from .clause import WILDCARD, Clause
+from .config import config
+from .errors import IntentError
+from .metadata import Metadata
+
+__all__ = ["CompiledVis", "compile_intent"]
+
+
+@dataclass
+class CompiledVis:
+    """A fully specified visualization candidate."""
+
+    clauses: list[Clause]
+    spec: VisSpec
+
+    @property
+    def attributes(self) -> list[str]:
+        return [str(c.attribute) for c in self.clauses if c.is_axis]
+
+    @property
+    def filters(self) -> list[Clause]:
+        return [c for c in self.clauses if c.is_filter]
+
+
+# ----------------------------------------------------------------------
+# Stage 1: Expand
+# ----------------------------------------------------------------------
+def _axis_alternatives(clause: Clause, metadata: Metadata) -> list[Clause]:
+    if isinstance(clause.attribute, list):
+        return [clause._with_attribute(a) for a in clause.attribute]
+    if clause.attribute == WILDCARD:
+        names = []
+        for attr in metadata:
+            if attr.data_type == "id":
+                continue
+            if clause.data_type and attr.data_type != clause.data_type:
+                continue
+            names.append(attr.name)
+        return [clause._with_attribute(n) for n in names]
+    return [clause]
+
+
+def _filter_alternatives(clause: Clause, metadata: Metadata) -> list[Clause]:
+    attrs: list[str]
+    if isinstance(clause.attribute, list):
+        attrs = [str(a) for a in clause.attribute]
+    elif clause.attribute == WILDCARD:
+        attrs = metadata.columns_of_type("nominal", "geographic")
+    else:
+        attrs = [str(clause.attribute)]
+    out: list[Clause] = []
+    for attr in attrs:
+        values: list[Any]
+        if clause.value == WILDCARD:
+            if attr not in metadata:
+                continue
+            values = list(metadata[attr].unique_values)
+        elif isinstance(clause.value, list):
+            values = list(clause.value)
+        else:
+            values = [clause.value]
+        for value in values:
+            c = clause.copy()
+            c.attribute = attr
+            c.value = value
+            out.append(c)
+    return out
+
+
+def expand(clauses: Sequence[Clause], metadata: Metadata) -> list[list[Clause]]:
+    """Cross-product expansion of unions/wildcards (§5.1's n1 x ... x nk)."""
+    per_clause: list[list[Clause]] = []
+    for clause in clauses:
+        alts = (
+            _filter_alternatives(clause, metadata)
+            if clause.is_filter
+            else _axis_alternatives(clause, metadata)
+        )
+        if not alts:
+            return []
+        per_clause.append(alts)
+
+    combos: list[list[Clause]] = [[]]
+    for alts in per_clause:
+        combos = [combo + [alt] for combo in combos for alt in alts]
+
+    # Drop degenerate candidates where one attribute fills two axis slots.
+    out = []
+    for combo in combos:
+        axis_attrs = [str(c.attribute) for c in combo if c.is_axis]
+        if len(axis_attrs) == len(set(axis_attrs)):
+            out.append(combo)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Stage 2: Lookup
+# ----------------------------------------------------------------------
+def lookup(combo: list[Clause], metadata: Metadata) -> list[Clause] | None:
+    """Fill metadata-derived details; None when the candidate is invalid."""
+    filled: list[Clause] = []
+    for clause in combo:
+        attr = str(clause.attribute)
+        if attr not in metadata:
+            return None
+        meta = metadata[attr]
+        c = clause.copy()
+        if not c.data_type:
+            c.data_type = meta.data_type
+        if c.is_axis:
+            if meta.data_type == "id":
+                return None
+            if (
+                meta.data_type in ("nominal", "geographic")
+                and meta.cardinality > config.max_cardinality_for_axis
+            ):
+                return None
+        filled.append(c)
+    return filled
+
+
+# ----------------------------------------------------------------------
+# Stage 3: Infer
+# ----------------------------------------------------------------------
+def _default_bin_size(clause: Clause) -> int:
+    return clause.bin_size if clause.bin_size > 0 else config.default_bin_size
+
+
+def infer_spec(combo: list[Clause], metadata: Metadata) -> VisSpec | None:
+    """Infer mark, channels, and transforms for one complete clause list."""
+    axes = [c for c in combo if c.is_axis]
+    filters = [
+        (str(c.attribute), c.filter_op, c.value) for c in combo if c.is_filter
+    ]
+    if len(axes) == 0:
+        return None
+    if len(axes) > 3:
+        return None
+
+    if len(axes) == 1:
+        return _infer_univariate(axes[0], filters)
+    if len(axes) == 2:
+        return _infer_bivariate(axes[0], axes[1], filters, metadata)
+    return _infer_trivariate(axes, filters, metadata)
+
+
+def _infer_univariate(axis: Clause, filters: list) -> VisSpec:
+    attr = str(axis.attribute)
+    if axis.data_type == "quantitative" and not axis.aggregation_specified:
+        bins = _default_bin_size(axis)
+        encs = [
+            Encoding("x", attr, "quantitative", bin=True, bin_size=bins),
+            Encoding("y", "", "quantitative", aggregate="count"),
+        ]
+        return VisSpec("histogram", encs, filters=filters)
+    if axis.data_type == "temporal":
+        encs = [
+            Encoding("x", attr, "temporal"),
+            Encoding("y", "", "quantitative", aggregate="count"),
+        ]
+        return VisSpec("line", encs, filters=filters)
+    if axis.data_type == "geographic":
+        encs = [
+            Encoding("x", attr, "geographic"),
+            Encoding("color", "", "quantitative", aggregate="count"),
+        ]
+        return VisSpec("geoshape", encs, filters=filters)
+    if axis.data_type == "quantitative" and axis.aggregation_specified:
+        # Aggregated single measure, e.g. Clause("Age", aggregation="mean").
+        encs = [
+            Encoding("x", attr, "quantitative", aggregate=axis.aggregation),
+        ]
+        return VisSpec("bar", encs, filters=filters)
+    encs = [
+        Encoding("y", attr, "nominal", sort="-x"),
+        Encoding("x", "", "quantitative", aggregate="count"),
+    ]
+    return VisSpec("bar", encs, filters=filters)
+
+
+def _swap_for_channels(a: Clause, b: Clause) -> tuple[Clause, Clause]:
+    """Honor explicit channel requests; default order otherwise."""
+    if a.channel == "y" or b.channel == "x":
+        return b, a
+    return a, b
+
+
+def _infer_bivariate(
+    a: Clause, b: Clause, filters: list, metadata: Metadata
+) -> VisSpec | None:
+    ta, tb = a.data_type, b.data_type
+    # Measure x measure -> scatter.
+    if ta == "quantitative" and tb == "quantitative":
+        x, y = _swap_for_channels(a, b)
+        encs = [
+            Encoding("x", str(x.attribute), "quantitative"),
+            Encoding("y", str(y.attribute), "quantitative"),
+        ]
+        return VisSpec("point", encs, filters=filters)
+    # Dimension x measure -> aggregated bar/line/map.
+    if ta == "quantitative" or tb == "quantitative":
+        measure, dim = (a, b) if ta == "quantitative" else (b, a)
+        agg = measure.aggregation if measure.aggregation_specified else "mean"
+        m_attr, d_attr = str(measure.attribute), str(dim.attribute)
+        if dim.data_type == "temporal":
+            encs = [
+                Encoding("x", d_attr, "temporal"),
+                Encoding("y", m_attr, "quantitative", aggregate=agg),
+            ]
+            return VisSpec("line", encs, filters=filters)
+        if dim.data_type == "geographic":
+            encs = [
+                Encoding("x", d_attr, "geographic"),
+                Encoding("color", m_attr, "quantitative", aggregate=agg),
+            ]
+            return VisSpec("geoshape", encs, filters=filters)
+        encs = [
+            Encoding("y", d_attr, dim.data_type, sort="-x"),
+            Encoding("x", m_attr, "quantitative", aggregate=agg),
+        ]
+        return VisSpec("bar", encs, filters=filters)
+    # Dimension x dimension -> count heatmap.
+    x, y = _swap_for_channels(a, b)
+    encs = [
+        Encoding("x", str(x.attribute), x.data_type),
+        Encoding("y", str(y.attribute), y.data_type),
+        Encoding("color", "", "quantitative", aggregate="count"),
+    ]
+    return VisSpec("rect", encs, filters=filters)
+
+
+def _infer_trivariate(
+    axes: list[Clause], filters: list, metadata: Metadata
+) -> VisSpec | None:
+    measures = [c for c in axes if c.data_type == "quantitative"]
+    dims = [c for c in axes if c.data_type != "quantitative"]
+    if len(measures) == 2 and len(dims) == 1:
+        dim = dims[0]
+        attr = str(dim.attribute)
+        if (
+            attr in metadata
+            and metadata[attr].cardinality > config.max_cardinality_for_color
+        ):
+            return None
+        encs = [
+            Encoding("x", str(measures[0].attribute), "quantitative"),
+            Encoding("y", str(measures[1].attribute), "quantitative"),
+            Encoding("color", attr, dim.data_type),
+        ]
+        return VisSpec("point", encs, filters=filters)
+    if len(measures) == 1 and len(dims) == 2:
+        measure = measures[0]
+        agg = measure.aggregation if measure.aggregation_specified else "mean"
+        d1, d2 = dims
+        c1 = metadata[str(d1.attribute)].cardinality if str(d1.attribute) in metadata else 0
+        c2 = metadata[str(d2.attribute)].cardinality if str(d2.attribute) in metadata else 0
+        # Lower-cardinality dimension takes the color channel.
+        bar_dim, color_dim = (d1, d2) if c2 <= c1 else (d2, d1)
+        color_attr = str(color_dim.attribute)
+        if (
+            color_attr in metadata
+            and metadata[color_attr].cardinality > config.max_cardinality_for_color
+        ):
+            return None
+        if bar_dim.data_type == "temporal":
+            encs = [
+                Encoding("x", str(bar_dim.attribute), "temporal"),
+                Encoding("y", str(measure.attribute), "quantitative", aggregate=agg),
+                Encoding("color", color_attr, color_dim.data_type),
+            ]
+            return VisSpec("line", encs, filters=filters)
+        encs = [
+            Encoding("y", str(bar_dim.attribute), bar_dim.data_type),
+            Encoding("x", str(measure.attribute), "quantitative", aggregate=agg),
+            Encoding("color", color_attr, color_dim.data_type),
+        ]
+        return VisSpec("bar", encs, filters=filters)
+    if len(measures) == 3:
+        encs = [
+            Encoding("x", str(measures[0].attribute), "quantitative"),
+            Encoding("y", str(measures[1].attribute), "quantitative"),
+            Encoding("color", str(measures[2].attribute), "quantitative"),
+        ]
+        return VisSpec("point", encs, filters=filters)
+    # Three dimensions: colored count heatmap.
+    d1, d2, d3 = axes
+    encs = [
+        Encoding("x", str(d1.attribute), d1.data_type),
+        Encoding("y", str(d2.attribute), d2.data_type),
+        Encoding("color", "", "quantitative", aggregate="count"),
+        Encoding("column", str(d3.attribute), d3.data_type),
+    ]
+    return VisSpec("rect", encs, filters=filters)
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def compile_intent(
+    clauses: Sequence[Clause], metadata: Metadata
+) -> list[CompiledVis]:
+    """Run all three stages; returns one CompiledVis per valid candidate."""
+    out: list[CompiledVis] = []
+    seen: set[tuple] = set()
+    for combo in expand(clauses, metadata):
+        filled = lookup(combo, metadata)
+        if filled is None:
+            continue
+        spec = infer_spec(filled, metadata)
+        if spec is None:
+            continue
+        sig = spec.signature()
+        if sig in seen:
+            continue
+        seen.add(sig)
+        out.append(CompiledVis(clauses=filled, spec=spec))
+    return out

@@ -1,0 +1,141 @@
+"""Global configuration for the Lux reproduction.
+
+The flags mirror the paper's evaluation conditions (§9.1): ``lazy_maintain``
+is the *wflow* optimization, ``early_pruning`` is *prune*, and
+``cost_based_scheduling`` is *async*.  The benchmark harness flips these to
+realize the five measured conditions (no-opt / wflow / wflow+prune /
+all-opt / pandas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Config", "config"]
+
+
+@dataclass
+class Config:
+    """Runtime knobs; mutate the module-level :data:`config` singleton."""
+
+    #: Number of recommendations kept per action (paper: k = 15).
+    top_k: int = 15
+
+    #: wflow — compute metadata/recommendations lazily on print and memoize.
+    lazy_maintain: bool = True
+
+    #: prune — approximate scoring on a cached sample with exact top-k
+    #: recomputation.
+    early_pruning: bool = True
+
+    #: async — order actions cheapest-first using the cost model (and stream
+    #: remaining ones in the background when ``streaming`` is set).
+    cost_based_scheduling: bool = True
+
+    #: Run laggard actions on a background thread (time-to-first-action
+    #: optimisation); synchronous when False so results are deterministic.
+    streaming: bool = False
+
+    #: Rows above which approximate scoring kicks in (paper samples when the
+    #: dataframe exceeds the cache size).
+    sampling_start: int = 10_000
+
+    #: Cached-sample cap in rows (paper: 30k justified by Fig. 12 right).
+    sampling_cap: int = 30_000
+
+    #: Master switch for sampling (the RQ3 experiment sweeps this).
+    sampling: bool = True
+
+    #: Default bin count for histograms.
+    default_bin_size: int = 10
+
+    #: Nominal axes with more distinct values than this are deemed
+    #: ineffective encodings and filtered by the compiler's Lookup stage.
+    max_cardinality_for_axis: int = 50
+
+    #: Color channels with more groups than this are dropped.
+    max_cardinality_for_color: int = 20
+
+    #: Scatterplots subsample their display data beyond this many points.
+    max_scatter_points: int = 10_000
+
+    #: "pandas" | "lux" — which view prints by default.
+    default_display: str = "pandas"
+
+    #: Executor backend: "dataframe" (in-process columnar engine) or "sql"
+    #: (sqlite3).
+    executor: str = "dataframe"
+
+    #: When False, the always-on hook in ``__repr__`` is disabled entirely
+    #: (the *pandas* benchmark condition).
+    always_on: bool = True
+
+    #: Seed for all sampling decisions, for reproducible experiments.
+    random_seed: int = 0
+
+    def apply_condition(self, condition: str) -> None:
+        """Set the flag combination for a named benchmark condition.
+
+        Conditions follow §9.1: ``no-opt``, ``wflow``, ``wflow+prune``,
+        ``all-opt``, ``pandas``.
+        """
+        presets: dict[str, dict[str, bool]] = {
+            "no-opt": dict(
+                always_on=True,
+                lazy_maintain=False,
+                early_pruning=False,
+                cost_based_scheduling=False,
+                streaming=False,
+            ),
+            "wflow": dict(
+                always_on=True,
+                lazy_maintain=True,
+                early_pruning=False,
+                cost_based_scheduling=False,
+                streaming=False,
+            ),
+            "wflow+prune": dict(
+                always_on=True,
+                lazy_maintain=True,
+                early_pruning=True,
+                cost_based_scheduling=False,
+                streaming=False,
+            ),
+            # async: cheapest action computed inline, laggards streamed from
+            # a background pool — print returns control early (§8.2).
+            "all-opt": dict(
+                always_on=True,
+                lazy_maintain=True,
+                early_pruning=True,
+                cost_based_scheduling=True,
+                streaming=True,
+            ),
+            "pandas": dict(
+                always_on=False,
+                lazy_maintain=True,
+                early_pruning=False,
+                cost_based_scheduling=False,
+                streaming=False,
+            ),
+        }
+        try:
+            values = presets[condition]
+        except KeyError:
+            raise ValueError(
+                f"unknown condition {condition!r}; expected one of {sorted(presets)}"
+            ) from None
+        for key, value in values.items():
+            setattr(self, key, value)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Copy of all current settings (for save/restore in tests)."""
+        return dict(self.__dict__)
+
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        for key, value in snapshot.items():
+            setattr(self, key, value)
+
+
+#: The process-wide configuration singleton.
+config = Config()

@@ -1,0 +1,31 @@
+"""Exceptions and warnings for the Lux core."""
+
+from __future__ import annotations
+
+__all__ = ["LuxError", "IntentError", "LuxWarning", "ExecutorError"]
+
+
+class LuxError(Exception):
+    """Base class for all Lux-core errors."""
+
+
+class IntentError(LuxError):
+    """The user's intent does not validate against the dataframe.
+
+    Carries optional suggestions (e.g. close attribute-name matches), which
+    the validator surfaces as early warnings per §7.1.1.
+    """
+
+    def __init__(self, message: str, suggestions: list[str] | None = None) -> None:
+        if suggestions:
+            message = f"{message} Did you mean: {', '.join(suggestions)}?"
+        super().__init__(message)
+        self.suggestions = suggestions or []
+
+
+class ExecutorError(LuxError):
+    """A visualization could not be processed by the execution engine."""
+
+
+class LuxWarning(UserWarning):
+    """Non-fatal issues: fallback to the plain table view, dirty data, etc."""

@@ -1,0 +1,6 @@
+"""Execution engines: dataframe (columnar) and SQL (sqlite3) backends."""
+
+from .base import Executor, get_executor
+from .df_exec import DataFrameExecutor
+
+__all__ = ["DataFrameExecutor", "Executor", "get_executor"]

@@ -1,0 +1,49 @@
+"""Executor interface: turn a compiled VisSpec into chart-ready data.
+
+The paper's execution engine (§8.1) performs the relational operations of
+Table 2 either as dataframe operations (``DataFrameExecutor``) or as SQL
+queries (``SQLExecutor``); both implement this interface and are swappable
+through ``config.executor``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from ...dataframe import DataFrame
+from ...vis.spec import VisSpec
+
+__all__ = ["Executor", "get_executor"]
+
+
+class Executor(ABC):
+    """Processes visualization data and column metadata for one backend."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def execute(self, spec: VisSpec, frame: DataFrame) -> list[dict[str, Any]]:
+        """Compute the records behind ``spec`` and attach them to it."""
+
+    @abstractmethod
+    def apply_filters(
+        self, frame: DataFrame, filters: list[tuple[str, str, Any]]
+    ) -> DataFrame:
+        """Apply intent filter clauses, returning the matching subset."""
+
+
+def get_executor(name: str | None = None) -> Executor:
+    """Factory honoring ``config.executor`` ("dataframe" or "sql")."""
+    from ..config import config
+
+    choice = name or config.executor
+    if choice == "dataframe":
+        from .df_exec import DataFrameExecutor
+
+        return DataFrameExecutor()
+    if choice == "sql":
+        from .sql_exec import SQLExecutor
+
+        return SQLExecutor()
+    raise ValueError(f"unknown executor backend {choice!r}")

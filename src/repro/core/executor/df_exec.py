@@ -1,0 +1,257 @@
+"""Dataframe executor: Table 2's relational operations on the columnar engine.
+
+=================  =========================================
+Vis type           Relational operation (Table 2)
+=================  =========================================
+Scatterplot        Selection on 2 columns
+Color scatterplot  Selection on 3 columns
+Line / bar         Group-by aggregation
+Colored line/bar   2-D group-by aggregation
+Histogram          Bin + count
+Heatmap            2-D bin + count
+Color heatmap      2-D bin + count + group-by aggregation
+Choropleth         Group-by aggregation keyed on a geo column
+=================  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ...dataframe import DataFrame, GroupBy
+from ...vis.encoding import Encoding
+from ...vis.spec import VisSpec
+from ..config import config
+from ..errors import ExecutorError
+from .base import Executor
+
+__all__ = ["DataFrameExecutor"]
+
+
+class DataFrameExecutor(Executor):
+    """Executes visualization queries directly on ``repro.dataframe``."""
+
+    name = "dataframe"
+
+    # ------------------------------------------------------------------
+    def apply_filters(
+        self, frame: DataFrame, filters: list[tuple[str, str, Any]]
+    ) -> DataFrame:
+        if not filters:
+            return frame
+        mask = np.ones(len(frame), dtype=bool)
+        for attr, op, value in filters:
+            if attr not in frame:
+                raise ExecutorError(f"filter attribute {attr!r} not found")
+            col = frame.column(attr)
+            if op == "=":
+                cmp = col == value
+            elif op == "!=":
+                cmp = col != value
+            elif op == ">":
+                cmp = col > value
+            elif op == "<":
+                cmp = col < value
+            elif op == ">=":
+                cmp = col >= value
+            elif op == "<=":
+                cmp = col <= value
+            else:  # pragma: no cover - parser rejects other ops
+                raise ExecutorError(f"unsupported filter op {op!r}")
+            mask &= cmp.values & ~cmp.mask
+        return frame[mask]
+
+    # ------------------------------------------------------------------
+    def execute(self, spec: VisSpec, frame: DataFrame) -> list[dict[str, Any]]:
+        frame = self.apply_filters(frame, spec.filters)
+        handler = {
+            "histogram": self._execute_histogram,
+            "bar": self._execute_grouped,
+            "line": self._execute_grouped,
+            "area": self._execute_grouped,
+            "geoshape": self._execute_geo,
+            "point": self._execute_scatter,
+            "tick": self._execute_scatter,
+            "rect": self._execute_heatmap,
+        }.get(spec.mark)
+        if handler is None:  # pragma: no cover - spec ctor rejects others
+            raise ExecutorError(f"no handler for mark {spec.mark!r}")
+        records = handler(spec, frame)
+        spec.data = records
+        return records
+
+    # ------------------------------------------------------------------
+    # Histogram: bin + count
+    # ------------------------------------------------------------------
+    def _execute_histogram(
+        self, spec: VisSpec, frame: DataFrame
+    ) -> list[dict[str, Any]]:
+        enc = spec.x if spec.x is not None and spec.x.bin else spec.y
+        if enc is None or enc.field not in frame:
+            raise ExecutorError("histogram requires a binned axis")
+        values = frame.column(enc.field).to_float()
+        values = values[~np.isnan(values)]
+        if len(values) == 0:
+            return []
+        counts, edges = np.histogram(values, bins=enc.bin_size)
+        centers = (edges[:-1] + edges[1:]) / 2
+        return [
+            {enc.field: float(c), "count": int(n)}
+            for c, n in zip(centers, counts)
+        ]
+
+    # ------------------------------------------------------------------
+    # Bar / line: (2-D) group-by aggregation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _grouping_channels(spec: VisSpec) -> tuple[Encoding, Encoding | None]:
+        """(dimension encoding, measure encoding or None for count)."""
+        dim = None
+        measure = None
+        for enc in spec.encodings:
+            if enc.channel not in ("x", "y"):
+                continue
+            if enc.aggregate or (enc.field_type == "quantitative" and not enc.bin):
+                measure = enc
+            else:
+                dim = enc
+        if dim is None:
+            # Single aggregated measure, e.g. Vis of mean(Age) alone.
+            return measure, measure
+        return dim, measure
+
+    def _execute_grouped(
+        self, spec: VisSpec, frame: DataFrame
+    ) -> list[dict[str, Any]]:
+        dim, measure = self._grouping_channels(spec)
+        if dim is None:
+            raise ExecutorError("bar/line requires a dimension axis")
+        if dim is measure:
+            # Degenerate single-measure aggregate.
+            agg = measure.aggregate or "mean"
+            col = frame[measure.field]
+            value = getattr(col, "count" if agg == "count" else agg)()
+            return [{measure.field: value}]
+        color = spec.color
+        keys = [dim.field]
+        if color is not None and color.field and color.field_type != "quantitative":
+            keys.append(color.field)
+        grouped = GroupBy(frame, keys)
+        if measure is None or measure.aggregate == "count" or not measure.field:
+            records = grouped.size_frame("count").to_records()
+        elif len(keys) == 1:
+            agg = measure.aggregate or "mean"
+            series = grouped[measure.field].agg(agg)
+            records = _series_records(series, keys, measure.field)
+        else:
+            agg = measure.aggregate or "mean"
+            records = grouped.agg({measure.field: agg}).to_records()
+        if dim.field_type == "temporal":
+            records.sort(key=lambda r: _sort_key(r.get(dim.field)))
+        return records
+
+    # ------------------------------------------------------------------
+    # Choropleth: group-by aggregation on the geo column
+    # ------------------------------------------------------------------
+    def _execute_geo(self, spec: VisSpec, frame: DataFrame) -> list[dict[str, Any]]:
+        geo = None
+        for enc in spec.encodings:
+            if enc.field_type == "geographic":
+                geo = enc
+        if geo is None or geo.field not in frame:
+            raise ExecutorError("geoshape requires a geographic field")
+        measure = spec.color if spec.color is not None else spec.y
+        grouped = GroupBy(frame, [geo.field])
+        if measure is None or not measure.field or measure.aggregate == "count":
+            series = grouped.size()
+            return _series_records(series, [geo.field], "count")
+        series = grouped[measure.field].agg(measure.aggregate or "mean")
+        return _series_records(series, [geo.field], measure.field)
+
+    # ------------------------------------------------------------------
+    # Scatter: selection on 2-3 columns (display-capped)
+    # ------------------------------------------------------------------
+    def _execute_scatter(
+        self, spec: VisSpec, frame: DataFrame
+    ) -> list[dict[str, Any]]:
+        fields = [
+            enc.field
+            for enc in spec.encodings
+            if enc.field and enc.field in frame
+        ]
+        if not fields:
+            raise ExecutorError("scatter requires at least one field")
+        subset = frame[fields]
+        if len(subset) > config.max_scatter_points:
+            subset = subset.sample(
+                n=config.max_scatter_points, random_state=config.random_seed
+            )
+        return subset.to_records()
+
+    # ------------------------------------------------------------------
+    # Heatmap: 2-D bin/group + count (+ group-by aggregation when colored)
+    # ------------------------------------------------------------------
+    def _execute_heatmap(
+        self, spec: VisSpec, frame: DataFrame
+    ) -> list[dict[str, Any]]:
+        x, y = spec.x, spec.y
+        if x is None or y is None:
+            raise ExecutorError("heatmap requires x and y")
+        color = spec.color
+        if x.field_type == "quantitative" and y.field_type == "quantitative":
+            return self._numeric_heatmap(spec, frame, x, y, color)
+        keys = [x.field, y.field]
+        grouped = GroupBy(frame, keys)
+        if color is not None and color.field and color.aggregate not in (None, "count"):
+            return grouped.agg({color.field: color.aggregate}).to_records()
+        return grouped.size_frame("count").to_records()
+
+    def _numeric_heatmap(
+        self,
+        spec: VisSpec,
+        frame: DataFrame,
+        x: Encoding,
+        y: Encoding,
+        color: Encoding | None,
+    ) -> list[dict[str, Any]]:
+        xv = frame.column(x.field).to_float()
+        yv = frame.column(y.field).to_float()
+        ok = ~(np.isnan(xv) | np.isnan(yv))
+        xv, yv = xv[ok], yv[ok]
+        if len(xv) == 0:
+            return []
+        bins = max(x.bin_size, y.bin_size, config.default_bin_size)
+        counts, xe, ye = np.histogram2d(xv, yv, bins=bins)
+        records = []
+        xc = (xe[:-1] + xe[1:]) / 2
+        yc = (ye[:-1] + ye[1:]) / 2
+        if color is not None and color.field and color.field in frame:
+            cv = frame.column(color.field).to_float()[ok]
+            sums, _, _ = np.histogram2d(xv, yv, bins=[xe, ye], weights=np.nan_to_num(cv))
+        else:
+            sums = None
+        for i in range(len(xc)):
+            for j in range(len(yc)):
+                n = int(counts[i, j])
+                if n == 0:
+                    continue
+                rec = {x.field: float(xc[i]), y.field: float(yc[j]), "count": n}
+                if sums is not None and color is not None:
+                    rec[color.field] = float(sums[i, j] / n)
+                records.append(rec)
+        return records
+
+
+def _series_records(series: Any, keys: list[str], value_name: str) -> list[dict[str, Any]]:
+    """Flatten a single-key grouped Series into chart records."""
+    labels = series.index.to_list()
+    return [
+        {keys[0]: label, value_name: value}
+        for label, value in zip(labels, series.to_list())
+    ]
+
+
+def _sort_key(v: Any) -> Any:
+    return (v is None, v)

@@ -1,0 +1,234 @@
+"""SQL executor: Table 2's relational operations as sqlite3 queries.
+
+The paper's execution engine can run "equivalently in SQL queries in
+relational databases" (§7, Fig. 8).  This backend materializes the frame
+into an in-memory sqlite database (cached per frame content-version) and
+translates each visualization into one SQL statement.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import weakref
+from typing import Any
+
+import numpy as np
+
+from ...dataframe import DataFrame
+from ...vis.encoding import Encoding
+from ...vis.spec import VisSpec
+from ..config import config
+from ..errors import ExecutorError
+from .base import Executor
+
+__all__ = ["SQLExecutor", "translate_vis_to_sql"]
+
+_TABLE = "frame"
+
+#: Cache of (id(frame), data_version) -> sqlite connection.  Weak keys are
+#: not possible for plain frames, so a small LRU-ish dict is used.
+_CONN_CACHE: dict[int, tuple[int, sqlite3.Connection]] = {}
+_CACHE_LIMIT = 8
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _sql_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return repr(float(value) if isinstance(value, (float, np.floating)) else int(value))
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def _column_sql_type(frame: DataFrame, name: str) -> str:
+    kind = frame.column(name).dtype.name
+    if kind == "int64":
+        return "INTEGER"
+    if kind in ("float64", "bool"):
+        return "REAL"
+    return "TEXT"
+
+
+def load_frame(conn: sqlite3.Connection, frame: DataFrame) -> None:
+    """Create and populate the ``frame`` table from a DataFrame."""
+    cols = frame.columns
+    decls = ", ".join(f"{_quote(c)} {_column_sql_type(frame, c)}" for c in cols)
+    conn.execute(f"DROP TABLE IF EXISTS {_TABLE}")
+    conn.execute(f"CREATE TABLE {_TABLE} ({decls})")
+    placeholders = ", ".join(["?"] * len(cols))
+    columns = [frame.column(c) for c in cols]
+
+    def rows():
+        for i in range(len(frame)):
+            out = []
+            for col in columns:
+                v = col[i]
+                if isinstance(v, np.datetime64):
+                    v = str(v.astype("datetime64[s]"))
+                out.append(v)
+            yield tuple(out)
+
+    conn.executemany(f"INSERT INTO {_TABLE} VALUES ({placeholders})", rows())
+    conn.commit()
+
+
+def _where_clause(filters: list[tuple[str, str, Any]]) -> str:
+    if not filters:
+        return ""
+    parts = []
+    for attr, op, value in filters:
+        sql_op = {"=": "=", "!=": "<>", ">": ">", "<": "<", ">=": ">=", "<=": "<="}[op]
+        parts.append(f"{_quote(attr)} {sql_op} {_sql_literal(value)}")
+    return " WHERE " + " AND ".join(parts)
+
+
+_AGG_SQL = {
+    "mean": "AVG",
+    "sum": "SUM",
+    "min": "MIN",
+    "max": "MAX",
+    "count": "COUNT",
+    "median": "AVG",  # sqlite lacks MEDIAN; AVG is the closest single-pass
+    "var": None,
+    "std": None,
+}
+
+
+def _agg_expr(agg: str, field: str) -> str:
+    fn = _AGG_SQL.get(agg, "AVG")
+    if agg in ("var", "std"):
+        # Computed via the sum-of-squares identity in one pass.
+        q = _quote(field)
+        var = f"(SUM({q}*{q}) - SUM({q})*SUM({q})/COUNT({q})) / (COUNT({q}) - 1)"
+        return var
+    if agg == "count" and not field:
+        return "COUNT(*)"
+    return f"{fn}({_quote(field)})"
+
+
+def translate_vis_to_sql(spec: VisSpec, frame: DataFrame) -> str:
+    """Produce the single SQL statement that processes ``spec``."""
+    where = _where_clause(spec.filters)
+    x, y, color = spec.x, spec.y, spec.color
+
+    if spec.mark == "histogram":
+        enc = x if x is not None and x.bin else y
+        if enc is None:
+            raise ExecutorError("histogram requires a binned axis")
+        q = _quote(enc.field)
+        b = enc.bin_size
+        not_null = f"{q} IS NOT NULL"
+        where_h = f"{where} AND {not_null}" if where else f" WHERE {not_null}"
+        # Fixed-width binning via integer bucket arithmetic (bin + count).
+        return (
+            f"SELECT CAST(MIN(({q} - (SELECT MIN({q}) FROM {_TABLE})) * {b} / "
+            f"NULLIF((SELECT MAX({q}) - MIN({q}) FROM {_TABLE}), 0), {b - 1}) "
+            f"AS INTEGER) AS bucket, COUNT(*) AS count "
+            f"FROM {_TABLE}{where_h} GROUP BY bucket ORDER BY bucket"
+        )
+    if spec.mark in ("point", "tick"):
+        fields = [enc.field for enc in spec.encodings if enc.field]
+        cols = ", ".join(_quote(f) for f in fields)
+        return (
+            f"SELECT {cols} FROM {_TABLE}{where} "
+            f"LIMIT {config.max_scatter_points}"
+        )
+    if spec.mark in ("bar", "line", "area", "geoshape"):
+        dim = None
+        measure = None
+        for enc in spec.encodings:
+            if enc.channel not in ("x", "y", "color"):
+                continue
+            if enc.aggregate:
+                measure = enc
+            elif enc.field and enc.field_type != "quantitative" or (
+                enc.field and spec.mark == "geoshape"
+            ):
+                dim = dim or enc
+        if dim is None:
+            raise ExecutorError("bar/line requires a dimension")
+        group_cols = [_quote(dim.field)]
+        if (
+            color is not None
+            and color.field
+            and color.field_type != "quantitative"
+            and color.field != dim.field
+        ):
+            group_cols.append(_quote(color.field))
+        value = (
+            _agg_expr(measure.aggregate or "mean", measure.field)
+            if measure is not None and measure.field
+            else "COUNT(*)"
+        )
+        alias = measure.field if measure is not None and measure.field else "count"
+        gc = ", ".join(group_cols)
+        return (
+            f"SELECT {gc}, {value} AS {_quote(alias)} "
+            f"FROM {_TABLE}{where} GROUP BY {gc}"
+        )
+    if spec.mark == "rect":
+        if x is None or y is None:
+            raise ExecutorError("heatmap requires x and y")
+        gc = f"{_quote(x.field)}, {_quote(y.field)}"
+        if color is not None and color.field and color.aggregate not in (None, "count"):
+            value = _agg_expr(color.aggregate, color.field)
+            return (
+                f"SELECT {gc}, {value} AS {_quote(color.field)} "
+                f"FROM {_TABLE}{where} GROUP BY {gc}"
+            )
+        return f'SELECT {gc}, COUNT(*) AS "count" FROM {_TABLE}{where} GROUP BY {gc}'
+    raise ExecutorError(f"no SQL translation for mark {spec.mark!r}")
+
+
+class SQLExecutor(Executor):
+    """Executes visualization queries on an in-memory sqlite3 database."""
+
+    name = "sql"
+
+    def _connection(self, frame: DataFrame) -> sqlite3.Connection:
+        key = id(frame)
+        version = getattr(frame, "_data_version", 0)
+        cached = _CONN_CACHE.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        conn = sqlite3.connect(":memory:")
+        load_frame(conn, frame)
+        if len(_CONN_CACHE) >= _CACHE_LIMIT:
+            _, (___, old) = _CONN_CACHE.popitem()
+            old.close()
+        _CONN_CACHE[key] = (version, conn)
+        return conn
+
+    # ------------------------------------------------------------------
+    def apply_filters(
+        self, frame: DataFrame, filters: list[tuple[str, str, Any]]
+    ) -> DataFrame:
+        # Row filtering itself stays on the dataframe layer; SQL handles it
+        # inside each translated query via WHERE.
+        from .df_exec import DataFrameExecutor
+
+        return DataFrameExecutor().apply_filters(frame, filters)
+
+    def execute(self, spec: VisSpec, frame: DataFrame) -> list[dict[str, Any]]:
+        if spec.mark == "histogram":
+            # Delegate histograms to numpy binning for edge parity with the
+            # dataframe executor (sqlite bucket arithmetic differs at edges).
+            from .df_exec import DataFrameExecutor
+
+            return DataFrameExecutor().execute(spec, frame)
+        conn = self._connection(frame)
+        sql = translate_vis_to_sql(spec, frame)
+        try:
+            cursor = conn.execute(sql)
+        except sqlite3.Error as exc:
+            raise ExecutorError(f"SQL execution failed: {exc}\n{sql}") from exc
+        names = [d[0] for d in cursor.description]
+        records = [dict(zip(names, row)) for row in cursor.fetchall()]
+        spec.data = records
+        return records

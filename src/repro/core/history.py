@@ -1,0 +1,105 @@
+"""Dataframe operation history (§6, "History-based recommendations").
+
+Lux instruments every dataframe function and stores the trace *on the
+dataframe itself* (not via program analysis, which the paper notes is
+error-prone).  Histories propagate to derived frames so context is not lost
+through intermediate objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["Event", "History"]
+
+_clock = itertools.count()
+
+#: Ops that mark the frame as derived-by-filtering.
+FILTER_OPS = {"filter", "head", "tail", "take", "slice", "dropna"}
+
+#: Ops that mark the frame as derived-by-aggregation.
+AGG_OPS = {"groupby_agg", "pivot", "describe", "corr", "melt"}
+
+#: Ops that change content and therefore expire metadata/recommendations.
+MUTATING_OPS = {
+    "setitem",
+    "delitem",
+    "rename",
+    "drop",
+    "dropna",
+    "fillna",
+    "sort",
+}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded dataframe operation."""
+
+    op: str
+    #: Global logical timestamp; later events have larger values.
+    time: int
+
+    @staticmethod
+    def new(op: str) -> "Event":
+        return Event(op=op, time=next(_clock))
+
+
+class History:
+    """An append-only, propagating event log with derivation flags."""
+
+    MAX_EVENTS = 200
+
+    def __init__(self, events: Iterable[Event] = ()) -> None:
+        self._events: list[Event] = list(events)
+
+    def append(self, op: str) -> None:
+        self._events.append(Event.new(op))
+        if len(self._events) > self.MAX_EVENTS:
+            # Keep the newest events; old history has no recommendation value.
+            del self._events[: len(self._events) - self.MAX_EVENTS]
+
+    def extend_from(self, parent: "History") -> None:
+        """Propagate a parent frame's history into this derived frame."""
+        merged = sorted(
+            {e.time: e for e in [*parent._events, *self._events]}.values(),
+            key=lambda e: e.time,
+        )
+        self._events = list(merged)[-self.MAX_EVENTS :]
+
+    def copy(self) -> "History":
+        return History(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        ops = [e.op for e in self._events[-8:]]
+        return f"History({' -> '.join(ops)})"
+
+    # ------------------------------------------------------------------
+    # Signals consumed by history-based actions
+    # ------------------------------------------------------------------
+    def ops(self) -> list[str]:
+        return [e.op for e in self._events]
+
+    def recently(self, op_set: set[str], window: int = 5) -> bool:
+        """True when any op in ``op_set`` occurred in the last ``window`` events."""
+        return any(e.op in op_set for e in self._events[-window:])
+
+    @property
+    def was_filtered(self) -> bool:
+        return self.recently(FILTER_OPS)
+
+    @property
+    def was_aggregated(self) -> bool:
+        return self.recently(AGG_OPS)
+
+    @property
+    def was_column_modified(self) -> bool:
+        return self.recently({"setitem", "rename"})

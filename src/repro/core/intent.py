@@ -1,0 +1,90 @@
+"""The intent parser (§7.1.1): shorthand strings -> Clause objects.
+
+Accepted shorthands::
+
+    "Age"                       axis
+    "Age|Weight"                axis union
+    "?"                         wildcard axis
+    "Department=Sales"          filter
+    "Department=Sales|Support"  filter with value union
+    "Country=?"                 filter value wildcard
+    "price>=100"                numeric filter
+    ["HourlyRate", "DailyRate"] (as a *list element* of the intent) union
+
+An intent is a list whose elements are strings, Clauses, or lists of
+strings (a union clause).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Sequence
+
+from .clause import Clause, FILTER_OPS
+
+__all__ = ["parse_intent", "parse_clause"]
+
+# Longest operators first so ">=" wins over ">".
+_OP_PATTERN = re.compile(r"(>=|<=|!=|=|>|<)")
+
+
+def _parse_scalar(text: str) -> Any:
+    """Filter values: try int, then float, else keep the string."""
+    t = text.strip()
+    try:
+        return int(t)
+    except ValueError:
+        pass
+    try:
+        return float(t)
+    except ValueError:
+        pass
+    return t
+
+
+def parse_clause(item: Any) -> Clause:
+    """Convert one intent element (string / Clause / union list) to a Clause."""
+    if isinstance(item, Clause):
+        return item.copy()
+    if isinstance(item, (list, tuple)):
+        parts = [str(p) for p in item]
+        return Clause(attribute=parts)
+    if not isinstance(item, str):
+        raise TypeError(
+            f"intent elements must be strings, Clauses, or lists; got {type(item).__name__}"
+        )
+    text = item.strip()
+    if not text:
+        raise ValueError("empty intent string")
+    match = _OP_PATTERN.search(text)
+    if match:
+        op = match.group(0)
+        attr = text[: match.start()].strip()
+        value_text = text[match.end() :].strip()
+        if not attr:
+            raise ValueError(f"filter missing attribute: {item!r}")
+        if op not in FILTER_OPS:
+            raise ValueError(f"unsupported filter operation {op!r}")
+        if value_text == "?":
+            value: Any = "?"
+        elif "|" in value_text:
+            value = [_parse_scalar(v) for v in value_text.split("|")]
+        else:
+            value = _parse_scalar(value_text)
+        return Clause(attribute=attr, filter_op=op, value=value)
+    if "|" in text:
+        return Clause(attribute=[a.strip() for a in text.split("|")])
+    return Clause(attribute=text)
+
+
+def parse_intent(intent: Any) -> list[Clause]:
+    """Parse a user intent (a single element or a list) into Clauses."""
+    if intent is None:
+        return []
+    if isinstance(intent, (str, Clause)):
+        intent = [intent]
+    if not isinstance(intent, (list, tuple)):
+        raise TypeError(
+            f"intent must be a list of clauses/strings, got {type(intent).__name__}"
+        )
+    return [parse_clause(item) for item in intent]

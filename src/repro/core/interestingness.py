@@ -1,0 +1,253 @@
+"""Interestingness scoring for ranking visualizations within an action.
+
+Each score is in [0, 1] (larger = more interesting) and dispatches on the
+structure of the spec, following Lux's published heuristics:
+
+- scatter of two measures ............ |Pearson correlation|
+- histogram of one measure ........... normalized |skewness|
+- bar of counts over a dimension ..... deviation from the uniform distribution
+- bar/line of an aggregated measure .. dispersion of the aggregate across groups
+- filtered visualization ............. L2 deviation of the filtered
+  distribution from the unfiltered one (the SeeDB-style measure)
+- colored scatter .................... between-group separation of y by color
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+from scipy import stats
+
+from ..dataframe import DataFrame
+from ..vis.spec import VisSpec
+from .executor.base import Executor
+
+__all__ = ["score_vis"]
+
+
+def _clamp(x: float) -> float:
+    if math.isnan(x) or math.isinf(x):
+        return 0.0
+    return max(0.0, min(1.0, x))
+
+
+def _paired_valid(frame: DataFrame, a: str, b: str) -> tuple[np.ndarray, np.ndarray]:
+    xa = frame.column(a).to_float()
+    xb = frame.column(b).to_float()
+    ok = ~(np.isnan(xa) | np.isnan(xb))
+    return xa[ok], xb[ok]
+
+
+class _StandardizedCache:
+    """Per-frame cache of standardized column vectors for fast correlation.
+
+    The Correlation action scores O(m^2) attribute pairs; standardizing each
+    column once reduces every pairwise Pearson to a dot product.  Entries
+    key on (frame identity, content version) so wflow expiry invalidates
+    them naturally.
+    """
+
+    def __init__(self, limit: int = 4) -> None:
+        self._store: dict[int, tuple[int, dict[str, Any]]] = {}
+        self._limit = limit
+
+    def _frame_slot(self, frame: DataFrame) -> dict[str, Any]:
+        key = id(frame)
+        version = getattr(frame, "_data_version", 0)
+        slot = self._store.get(key)
+        if slot is None or slot[0] != version:
+            if len(self._store) >= self._limit:
+                self._store.pop(next(iter(self._store)))
+            slot = (version, {})
+            self._store[key] = slot
+        return slot[1]
+
+    def standardized(self, frame: DataFrame, name: str) -> np.ndarray | None:
+        """Unit-variance, zero-mean vector; None when NaNs/constant block it."""
+        cols = self._frame_slot(frame)
+        if name not in cols:
+            v = frame.column(name).to_float()
+            if np.isnan(v).any():
+                cols[name] = None
+            else:
+                std = v.std()
+                if std == 0 or len(v) < 3:
+                    cols[name] = None
+                else:
+                    cols[name] = (v - v.mean()) / (std * np.sqrt(len(v)))
+        return cols[name]
+
+
+_std_cache = _StandardizedCache()
+
+
+def _pearson(frame: DataFrame, a: str, b: str) -> float:
+    za = _std_cache.standardized(frame, a)
+    zb = _std_cache.standardized(frame, b)
+    if za is not None and zb is not None:
+        return _clamp(abs(float(np.dot(za, zb))))
+    # Fallback: pairwise-complete observations when NaNs are present.
+    x, y = _paired_valid(frame, a, b)
+    if len(x) < 3 or x.std() == 0 or y.std() == 0:
+        return 0.0
+    return _clamp(abs(float(np.corrcoef(x, y)[0, 1])))
+
+
+def _skewness(frame: DataFrame, attr: str) -> float:
+    v = frame.column(attr).to_float()
+    v = v[~np.isnan(v)]
+    if len(v) < 3 or v.std() == 0:
+        return 0.0
+    skew = abs(float(stats.skew(v)))
+    # Map |skew| in [0, inf) to [0, 1); |skew|=2 is already very skewed.
+    return _clamp(skew / (1.0 + skew))
+
+
+def _unevenness(counts: np.ndarray) -> float:
+    """Deviation of a count distribution from uniform (Lux's bar score)."""
+    total = counts.sum()
+    if total <= 0 or len(counts) < 2:
+        return 0.0
+    p = counts / total
+    uniform = np.full(len(p), 1.0 / len(p))
+    # Normalize the L2 distance by its maximum (all mass in one bucket).
+    max_dist = math.sqrt((1 - 1 / len(p)) ** 2 + (len(p) - 1) * (1 / len(p)) ** 2)
+    return _clamp(float(np.linalg.norm(p - uniform)) / max_dist)
+
+
+def _dispersion(values: np.ndarray) -> float:
+    """Spread of an aggregated measure across groups (coeff. of variation)."""
+    v = values[~np.isnan(values)]
+    if len(v) < 2:
+        return 0.0
+    mean = abs(v.mean())
+    if mean < 1e-12:
+        return _clamp(float(v.std()))
+    return _clamp(float(v.std() / mean))
+
+
+def _group_separation(frame: DataFrame, measure: str, color: str) -> float:
+    """Between-group variance fraction of ``measure`` explained by ``color``."""
+    y = frame.column(measure).to_float()
+    codes, _ = frame.column(color).factorize()
+    ok = ~np.isnan(y) & (codes >= 0)
+    y, codes = y[ok], codes[ok]
+    if len(y) < 3 or y.var() == 0:
+        return 0.0
+    grand = y.mean()
+    between = 0.0
+    for g in np.unique(codes):
+        grp = y[codes == g]
+        between += len(grp) * (grp.mean() - grand) ** 2
+    total = ((y - grand) ** 2).sum()
+    return _clamp(between / total) if total > 0 else 0.0
+
+
+def _filter_deviation(
+    spec: VisSpec, frame: DataFrame, executor: Executor
+) -> float:
+    """SeeDB-style deviation: filtered vs unfiltered aggregate distribution."""
+    reference = VisSpec(spec.mark, spec.encodings, filters=[])
+    try:
+        executor.execute(reference, frame)
+    except Exception:
+        return 0.0
+    filtered_data = spec.data or []
+    reference_data = reference.data or []
+    if not filtered_data or not reference_data:
+        return 0.0
+    dim_key = _dimension_key(spec)
+    val_key = _value_key(spec)
+    if dim_key is None or val_key is None:
+        return 0.0
+    ref = {r.get(dim_key): r.get(val_key) for r in reference_data}
+    fil = {r.get(dim_key): r.get(val_key) for r in filtered_data}
+    labels = [k for k in ref if k is not None]
+    if not labels:
+        return 0.0
+    ref_vec = np.array([_num(ref.get(k)) for k in labels], dtype=float)
+    fil_vec = np.array([_num(fil.get(k)) for k in labels], dtype=float)
+    ref_vec = _normalize(ref_vec)
+    fil_vec = _normalize(fil_vec)
+    return _clamp(float(np.linalg.norm(ref_vec - fil_vec)) / math.sqrt(2))
+
+
+def _num(v: Any) -> float:
+    return float(v) if isinstance(v, (int, float)) and v is not None else 0.0
+
+
+def _normalize(v: np.ndarray) -> np.ndarray:
+    s = v.sum()
+    return v / s if s > 0 else v
+
+
+def _dimension_key(spec: VisSpec) -> str | None:
+    for enc in spec.encodings:
+        if enc.channel in ("x", "y") and not enc.aggregate and enc.field:
+            return enc.field
+    return None
+
+
+def _value_key(spec: VisSpec) -> str | None:
+    for enc in spec.encodings:
+        if enc.aggregate:
+            return enc.field if enc.field else "count"
+    return None
+
+
+def score_vis(
+    spec: VisSpec,
+    frame: DataFrame,
+    executor: Executor,
+) -> float:
+    """Score one visualization on (a sample of) ``frame``.
+
+    The executor is used when the score needs processed data (count bars and
+    filter deviation); statistical scores read columns directly.
+    """
+    try:
+        if spec.filters:
+            if spec.data is None:
+                executor.execute(spec, frame)
+            return _filter_deviation(spec, frame, executor)
+
+        subset = executor.apply_filters(frame, spec.filters)
+        x, y, color = spec.x, spec.y, spec.color
+        if spec.mark in ("point", "tick"):
+            if (
+                color is not None
+                and color.field
+                and color.field_type != "quantitative"
+                and y is not None
+            ):
+                return _group_separation(subset, y.field, color.field)
+            if x is not None and y is not None and x.field and y.field:
+                return _pearson(subset, x.field, y.field)
+            return 0.0
+        if spec.mark == "histogram":
+            enc = x if x is not None and x.bin else y
+            return _skewness(subset, enc.field) if enc is not None else 0.0
+        if spec.mark in ("bar", "line", "area", "geoshape"):
+            if spec.data is None:
+                executor.execute(spec, subset)
+            data = spec.data or []
+            val_key = _value_key(spec)
+            if val_key is None:
+                return 0.0
+            values = np.array([_num(r.get(val_key)) for r in data], dtype=float)
+            if val_key == "count":
+                return _unevenness(values)
+            return _dispersion(values)
+        if spec.mark == "rect":
+            if spec.data is None:
+                executor.execute(spec, subset)
+            counts = np.array(
+                [_num(r.get("count")) for r in (spec.data or [])], dtype=float
+            )
+            return _unevenness(counts)
+    except Exception:
+        # Scoring must never break the always-on display (§10.3).
+        return 0.0
+    return 0.0

@@ -1,0 +1,17 @@
+"""The paper's three optimizations: wflow (lazy+memo, lives in core.frame),
+prune (sampling), and async (scheduler)."""
+
+from .cost_model import estimate_action_cost, estimate_vis_cost, prune_is_beneficial
+from .sampling import get_sample, rank_candidates
+from .scheduler import RecommendationSet, run_actions, schedule_actions
+
+__all__ = [
+    "RecommendationSet",
+    "estimate_action_cost",
+    "estimate_vis_cost",
+    "get_sample",
+    "prune_is_beneficial",
+    "rank_candidates",
+    "run_actions",
+    "schedule_actions",
+]

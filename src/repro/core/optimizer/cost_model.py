@@ -1,0 +1,98 @@
+"""Cost model for visualization processing (§8.2, Table 2).
+
+Estimates the relational-operation cost of processing one visualization in
+abstract "row operation" units.  The absolute scale is irrelevant; the model
+is used for *ordering* (async scheduling of cheap actions first) and for the
+prune guard inequality ``N * t_exact >> N * t_approx + k * t_exact``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ...vis.spec import VisSpec
+from ..metadata import Metadata
+
+__all__ = ["estimate_vis_cost", "estimate_action_cost", "prune_is_beneficial"]
+
+#: Fixed per-visualization overhead (compilation, record assembly).
+_BASE_COST = 50.0
+
+
+def _cardinality(metadata: Metadata, field: str) -> int:
+    if field and field in metadata:
+        return max(metadata[field].cardinality, 1)
+    return 1
+
+
+def estimate_vis_cost(spec: VisSpec, metadata: Metadata, n_rows: int | None = None) -> float:
+    """Predicted cost of processing ``spec`` on a frame of ``n_rows``.
+
+    The per-mark terms follow Table 2:
+
+    - scatter: selection on 2 (3 when colored) columns -> ``cols * n``
+    - bar/line: group-by aggregation -> ``n + c`` (``n + c1*c2`` colored)
+    - histogram: bin + count -> ``n + b``
+    - heatmap: 2-D bin + count -> ``n + b^2`` (+ group-by when colored)
+    """
+    n = float(n_rows if n_rows is not None else metadata.n_rows)
+    # Filters require one selection pass each.
+    cost = _BASE_COST + len(spec.filters) * n
+
+    x, y, color = spec.x, spec.y, spec.color
+    if spec.mark in ("point", "tick"):
+        cols = sum(1 for enc in (x, y, color) if enc is not None and enc.field)
+        return cost + max(cols, 1) * n
+    if spec.mark == "histogram":
+        enc = x if x is not None and x.bin else y
+        bins = enc.bin_size if enc is not None else 10
+        return cost + n + bins
+    if spec.mark in ("bar", "line", "area", "geoshape"):
+        dim = None
+        for enc in (x, y):
+            if enc is not None and not enc.aggregate:
+                dim = enc
+        c1 = _cardinality(metadata, dim.field if dim is not None else "")
+        if color is not None and color.field and color.field_type != "quantitative":
+            c2 = _cardinality(metadata, color.field)
+            return cost + n + c1 * c2
+        return cost + n + c1
+    if spec.mark == "rect":
+        if x is not None and y is not None and x.field_type == "quantitative":
+            bins = max(x.bin_size, 10)
+            extra = bins * bins
+        else:
+            extra = _cardinality(metadata, x.field if x else "") * _cardinality(
+                metadata, y.field if y else ""
+            )
+        if color is not None and color.field:
+            extra *= 2  # extra aggregation pass
+        return cost + n + extra
+    return cost + n
+
+
+def estimate_action_cost(
+    specs: Iterable[VisSpec], metadata: Metadata, n_rows: int | None = None
+) -> float:
+    """Action cost = sum of its visualizations' costs (§8.2, async)."""
+    return sum(estimate_vis_cost(s, metadata, n_rows) for s in specs)
+
+
+def prune_is_beneficial(
+    n_candidates: int,
+    k: int,
+    n_rows: int,
+    sample_rows: int,
+) -> bool:
+    """Evaluate the paper's guard: ``N*t_exact > N*t_approx + k*t_exact``.
+
+    With per-vis cost dominated by the row count, ``t_approx/t_exact``
+    reduces to ``sample_rows / n_rows``.
+    """
+    if n_candidates <= k:
+        return False
+    if n_rows <= 0 or sample_rows >= n_rows:
+        return False
+    t_exact = float(n_rows)
+    t_approx = float(sample_rows)
+    return n_candidates * t_exact > n_candidates * t_approx + k * t_exact

@@ -1,0 +1,100 @@
+"""Approximate early pruning of the visualization search space (§8.2, prune).
+
+Two-pass ranking: a first pass scores every candidate on a cached random
+sample of the dataframe, then the selected top-k are *recomputed exactly*
+on the full data before display — so displayed charts are always exact, and
+Recall@k against exact rankings is the quality metric (Fig. 12 right).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...dataframe import DataFrame
+from ..compiler import CompiledVis
+from ..config import config
+from ..executor.base import get_executor
+from ..interestingness import score_vis
+from ..vis import Vis
+from ..vislist import VisList
+from .cost_model import prune_is_beneficial
+
+__all__ = ["get_sample", "rank_candidates"]
+
+
+def get_sample(frame: DataFrame) -> DataFrame:
+    """The cached row sample used for approximate scoring.
+
+    Frames at or below ``config.sampling_start`` rows are returned as-is.
+    LuxDataFrames cache the sample until their next mutation.
+    """
+    n = len(frame)
+    if not config.sampling or n <= config.sampling_start:
+        return frame
+    cap = min(config.sampling_cap, n)
+    cached = getattr(frame, "_sample_cache", None)
+    if cached is not None and len(cached) == cap:
+        return cached
+    sample = frame.sample(n=cap, random_state=config.random_seed)
+    try:
+        frame._sample_cache = sample
+    except AttributeError:
+        pass
+    return sample
+
+
+def _exact_scored(
+    candidates: Sequence[CompiledVis], frame: DataFrame
+) -> list[tuple[float, CompiledVis]]:
+    executor = get_executor()
+    scored = []
+    for cand in candidates:
+        cand.spec.data = None
+        score = score_vis(cand.spec, frame, executor)
+        scored.append((score, cand))
+    return scored
+
+
+def rank_candidates(
+    candidates: Sequence[CompiledVis],
+    frame: DataFrame,
+    k: int | None = None,
+) -> VisList:
+    """Rank candidates by interestingness and return the processed top-k.
+
+    When ``config.early_pruning`` holds and the cost-model guard passes,
+    scores are approximated on the sample first (pass 1) and only the
+    survivors are recomputed exactly (pass 2).
+    """
+    k = k if k is not None else config.top_k
+    executor = get_executor()
+    n = len(frame)
+    sample = get_sample(frame)
+
+    use_prune = (
+        config.early_pruning
+        and len(candidates) > k
+        and prune_is_beneficial(len(candidates), k, n, len(sample))
+    )
+
+    if use_prune:
+        approx: list[tuple[float, CompiledVis]] = []
+        for cand in candidates:
+            cand.spec.data = None
+            approx.append((score_vis(cand.spec, sample, executor), cand))
+        approx.sort(key=lambda sc: -sc[0])
+        survivors = [cand for _, cand in approx[:k]]
+        scored = _exact_scored(survivors, frame)
+    else:
+        scored = _exact_scored(candidates, frame)
+
+    scored.sort(key=lambda sc: -sc[0])
+    visualizations = []
+    for score, cand in scored[:k]:
+        # Exact display data for everything shown (pass 2 guarantee).
+        if cand.spec.data is None:
+            executor.execute(cand.spec, frame)
+        visualizations.append(
+            Vis.from_compiled(cand, source=frame, score=score, process=False)
+        )
+    return VisList(visualizations=visualizations, source=frame)

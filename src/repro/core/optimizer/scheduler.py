@@ -1,0 +1,167 @@
+"""Cost-based action scheduling (§8.2, async).
+
+Actions are ordered cheapest-first using the cost model, so early results
+reach the user quickly; with ``config.streaming`` the remaining (laggard)
+actions run on a background thread pool and stream into the result object
+as they complete.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from ..config import config
+from ..metadata import Metadata
+from .cost_model import estimate_action_cost
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..actions.base import Action
+    from ..vislist import VisList
+
+__all__ = ["RecommendationSet", "drain_all", "schedule_actions"]
+
+#: Live streaming result sets; ``drain_all`` blocks until they finish so
+#: benchmarks can fence background work between measured conditions.
+_LIVE: "weakref.WeakSet[RecommendationSet]" = weakref.WeakSet()
+
+
+def drain_all(timeout: float | None = 120.0) -> None:
+    """Block until every in-flight streaming recommendation completes."""
+    for result in list(_LIVE):
+        result.wait(timeout)
+
+
+class RecommendationSet:
+    """Ordered action name -> VisList mapping that may fill in over time.
+
+    Synchronous runs are complete on construction; streaming runs expose
+    ``ready`` (names computed so far), ``wait()`` (block until done), and
+    ``time_to_first`` measurements are possible by polling ``ready``.
+    """
+
+    def __init__(self) -> None:
+        self._results: dict[str, "VisList"] = {}
+        self._order: list[str] = []
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._expected = 0
+
+    def _put(self, name: str, vislist: "VisList") -> None:
+        with self._lock:
+            self._results[name] = vislist
+            if name not in self._order:
+                self._order.append(name)
+            if len(self._results) >= self._expected:
+                self._done.set()
+
+    # Mapping-style access -------------------------------------------------
+    def __getitem__(self, name: str) -> "VisList":
+        self.wait()
+        return self._results[name]
+
+    def __contains__(self, name: str) -> bool:
+        self.wait()
+        return name in self._results
+
+    def __iter__(self):
+        self.wait()
+        return iter(self._order)
+
+    def __len__(self) -> int:
+        self.wait()
+        return len(self._results)
+
+    def keys(self) -> list[str]:
+        self.wait()
+        return list(self._order)
+
+    def items(self):
+        self.wait()
+        return [(k, self._results[k]) for k in self._order]
+
+    @property
+    def ready(self) -> list[str]:
+        """Actions whose results are available right now (non-blocking)."""
+        with self._lock:
+            return list(self._order)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._done.wait(timeout)
+
+    def __repr__(self) -> str:
+        state = "complete" if self._done.is_set() else "streaming"
+        return f"<RecommendationSet {self.ready} [{state}]>"
+
+
+def schedule_actions(
+    actions: list["Action"],
+    metadata: Metadata,
+    cost_of: Callable[["Action"], float] | None = None,
+) -> list["Action"]:
+    """Order actions cheapest-first when cost-based scheduling is enabled."""
+    if not config.cost_based_scheduling:
+        return list(actions)
+    def cost(action: "Action") -> float:
+        if cost_of is not None:
+            return cost_of(action)
+        return action.estimated_cost(metadata)
+
+    return sorted(actions, key=cost)
+
+
+def run_actions(
+    actions: list["Action"],
+    ldf,
+    metadata: Metadata,
+) -> RecommendationSet:
+    """Execute actions in scheduled order, synchronously or streaming."""
+    ordered = schedule_actions(actions, metadata)
+    result = RecommendationSet()
+    result._expected = len(ordered)
+    if not ordered:
+        result._done.set()
+        return result
+
+    if not config.streaming:
+        for action in ordered:
+            result._put(action.name, _generate_safely(action, ldf))
+        return result
+
+    # Streaming: run the cheapest action inline so something is ready when
+    # control returns, then stream the rest from a background pool.
+    _LIVE.add(result)
+    first, rest = ordered[0], ordered[1:]
+    result._put(first.name, _generate_safely(first, ldf))
+    if not rest:
+        return result
+    pool = ThreadPoolExecutor(max_workers=2, thread_name_prefix="lux-action")
+    for action in rest:
+        pool.submit(
+            lambda a=action: result._put(a.name, _generate_safely(a, ldf))
+        )
+    pool.shutdown(wait=False)
+    return result
+
+
+def _generate_safely(action: "Action", ldf) -> "VisList":
+    """Run one action, containing failures (§10.3 failproofing).
+
+    A broken action (most often a user UDF) yields an empty tab plus a
+    warning instead of taking down the whole dashboard.
+    """
+    try:
+        return action.generate(ldf)
+    except Exception as exc:
+        import warnings
+
+        from ..errors import LuxWarning
+        from ..vislist import VisList
+
+        warnings.warn(
+            f"action {action.name!r} failed ({exc}); showing an empty tab.",
+            LuxWarning,
+        )
+        return VisList(visualizations=[])

@@ -1,0 +1,125 @@
+"""Usage logging — the reproduction of the paper's ``lux-logger`` (§9/§10).
+
+The paper instruments the widget to log user interactions (514 collected
+logs inform the async design: users skim the table a median of 2.8 s
+before toggling).  This module records the analogous programmatic events —
+prints, intent changes, recommendation computations, exports — with
+timestamps, and can replay summary statistics such as the think-time
+distribution.
+
+Logging is off by default; enable with :func:`enable`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["UsageLog", "disable", "enable", "get_log", "record"]
+
+
+@dataclass(frozen=True)
+class UsageEvent:
+    """One logged interaction."""
+
+    kind: str  # print | intent | recommend | export | toggle
+    timestamp: float
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class UsageLog:
+    """Thread-safe, bounded, in-memory event log with JSONL export."""
+
+    MAX_EVENTS = 10_000
+
+    def __init__(self) -> None:
+        self._events: list[UsageEvent] = []
+        self._lock = threading.Lock()
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        event = UsageEvent(kind=kind, timestamp=time.time(), detail=detail)
+        with self._lock:
+            self._events.append(event)
+            if len(self._events) > self.MAX_EVENTS:
+                del self._events[: len(self._events) - self.MAX_EVENTS]
+
+    def events(self, kind: str | None = None) -> list[UsageEvent]:
+        with self._lock:
+            return [e for e in self._events if kind in (None, e.kind)]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # ------------------------------------------------------------------
+    def think_times(self) -> list[float]:
+        """Gaps between consecutive print events (the §8.2 statistic)."""
+        prints = self.events("print")
+        return [
+            b.timestamp - a.timestamp for a, b in zip(prints, prints[1:])
+        ]
+
+    def summary(self) -> dict[str, Any]:
+        """Counts per event kind plus think-time statistics."""
+        counts: dict[str, int] = {}
+        for event in self.events():
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        gaps = self.think_times()
+        gaps_sorted = sorted(gaps)
+        median = gaps_sorted[len(gaps_sorted) // 2] if gaps_sorted else None
+        return {"counts": counts, "median_think_time": median, "n_gaps": len(gaps)}
+
+    def to_jsonl(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events():
+                handle.write(json.dumps(asdict(event)) + "\n")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "UsageLog":
+        log = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                raw = json.loads(line)
+                log._events.append(
+                    UsageEvent(
+                        kind=raw["kind"],
+                        timestamp=raw["timestamp"],
+                        detail=raw.get("detail", {}),
+                    )
+                )
+        return log
+
+
+_GLOBAL = UsageLog()
+
+
+def get_log() -> UsageLog:
+    """The process-wide usage log."""
+    return _GLOBAL
+
+
+def enable() -> None:
+    _GLOBAL.enabled = True
+
+
+def disable() -> None:
+    _GLOBAL.enabled = False
+
+
+def record(kind: str, **detail: Any) -> None:
+    """Record an event on the global log (no-op unless enabled)."""
+    _GLOBAL.record(kind, **detail)

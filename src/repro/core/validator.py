@@ -1,0 +1,75 @@
+"""Intent validator (§7.1.1): early warnings before compilation.
+
+Checks user clauses against precomputed metadata and raises
+:class:`IntentError` with *suggested corrections* (close-match column names,
+known filter values) when the intent does not align with the dataframe.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Sequence
+
+from .clause import WILDCARD, Clause
+from .errors import IntentError
+from .metadata import Metadata
+
+__all__ = ["validate_intent"]
+
+
+def _suggest(name: str, candidates: Sequence[str]) -> list[str]:
+    return difflib.get_close_matches(name, candidates, n=3, cutoff=0.6)
+
+
+def _check_attribute(attr: str, metadata: Metadata) -> None:
+    if attr == WILDCARD or attr in metadata:
+        return
+    raise IntentError(
+        f"attribute {attr!r} does not exist in the dataframe.",
+        suggestions=_suggest(attr, [a.name for a in metadata]),
+    )
+
+
+def _check_filter_value(clause: Clause, metadata: Metadata) -> None:
+    attr = str(clause.attribute)
+    if attr == WILDCARD or attr not in metadata:
+        return
+    meta = metadata[attr]
+    if clause.filter_op != "=" or clause.value == WILDCARD:
+        return
+    values = clause.value if isinstance(clause.value, list) else [clause.value]
+    # Only equality filters on fully-enumerated columns can be checked.
+    if meta.unique_truncated or meta.data_type == "quantitative":
+        return
+    known = set(map(str, meta.unique_values))
+    for value in values:
+        if str(value) not in known:
+            raise IntentError(
+                f"value {value!r} not found in column {attr!r}.",
+                suggestions=_suggest(str(value), sorted(known)[:200]),
+            )
+
+
+def _check_data_type_constraint(clause: Clause) -> None:
+    valid = ("", "quantitative", "nominal", "temporal", "geographic", "id")
+    if clause.data_type not in valid:
+        raise IntentError(
+            f"unknown data type constraint {clause.data_type!r}.",
+            suggestions=[t for t in valid if t],
+        )
+
+
+def validate_intent(clauses: Sequence[Clause], metadata: Metadata) -> None:
+    """Raise IntentError on the first inconsistency; silent when valid."""
+    for clause in clauses:
+        _check_data_type_constraint(clause)
+        attrs = (
+            [str(a) for a in clause.attribute]
+            if isinstance(clause.attribute, list)
+            else [str(clause.attribute)]
+        )
+        for attr in attrs:
+            if attr:
+                _check_attribute(attr, metadata)
+        if clause.is_filter:
+            _check_filter_value(clause, metadata)

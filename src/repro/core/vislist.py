@@ -1,0 +1,110 @@
+"""VisList: an ordered collection of visualizations (§4.A).
+
+Created either directly by users (wildcards/unions expand into one Vis per
+alternative, e.g. Q5-Q7 in the paper) or internally by actions, which score
+and rank their VisLists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from ..dataframe import DataFrame
+from .clause import Clause
+from .compiler import compile_intent
+from .errors import IntentError
+from .executor.base import get_executor
+from .intent import parse_intent
+from .validator import validate_intent
+from .vis import Vis, metadata_for
+
+__all__ = ["VisList"]
+
+
+class VisList:
+    """A list of Vis objects sharing a common (expanded) intent."""
+
+    def __init__(
+        self,
+        intent: Any = None,
+        source: DataFrame | None = None,
+        visualizations: Sequence[Vis] | None = None,
+    ) -> None:
+        if visualizations is not None:
+            self._visualizations = list(visualizations)
+            self._intent: list[Clause] = parse_intent(intent) if intent else []
+            self.source = source
+            return
+        self._intent = parse_intent(intent)
+        self._visualizations = []
+        self.source = None
+        if source is not None:
+            self.refresh_source(source)
+
+    # ------------------------------------------------------------------
+    def refresh_source(self, frame: DataFrame) -> "VisList":
+        metadata = metadata_for(frame)
+        validate_intent(self._intent, metadata)
+        candidates = compile_intent(self._intent, metadata)
+        if not candidates:
+            raise IntentError("intent did not compile to any valid visualization.")
+        executor = get_executor()
+        visualizations = []
+        for compiled in candidates:
+            executor.execute(compiled.spec, frame)
+            visualizations.append(
+                Vis.from_compiled(compiled, source=frame, process=False)
+            )
+        self._visualizations = visualizations
+        self.source = frame
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def intent(self) -> list[Clause]:
+        return list(self._intent)
+
+    def __len__(self) -> int:
+        return len(self._visualizations)
+
+    def __getitem__(self, i: int | slice) -> Vis | list[Vis]:
+        return self._visualizations[i]
+
+    def __iter__(self) -> Iterator[Vis]:
+        return iter(self._visualizations)
+
+    def append(self, vis: Vis) -> None:
+        self._visualizations.append(vis)
+
+    # ------------------------------------------------------------------
+    def score(self) -> "VisList":
+        """Compute interestingness for every Vis (idempotent)."""
+        for vis in self._visualizations:
+            vis.compute_score()
+        return self
+
+    def sort(self, descending: bool = True) -> "VisList":
+        """Order by score; unscored Vis objects are scored first."""
+        self.score()
+        self._visualizations.sort(
+            key=lambda v: v.score if v.score is not None else 0.0,
+            reverse=descending,
+        )
+        return self
+
+    def top_k(self, k: int) -> "VisList":
+        self.sort()
+        return VisList(
+            visualizations=self._visualizations[:k], source=self.source
+        )
+
+    def specs(self) -> list[Any]:
+        return [v.spec for v in self._visualizations if v.spec is not None]
+
+    def __repr__(self) -> str:
+        lines = [f"<VisList ({len(self)} visualizations)>"]
+        for vis in self._visualizations[:15]:
+            lines.append(f"  {vis!r}")
+        if len(self) > 15:
+            lines.append(f"  ... ({len(self) - 15} more)")
+        return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Synthetic dataset generators standing in for the paper's data sources.
+
+Each generator documents which paper artifact it substitutes for (see
+DESIGN.md section 2 for the full substitution table).
+"""
+
+from .airbnb import make_airbnb
+from .communities import make_communities
+from .covid import make_covid_stringency
+from .hpi import make_hpi
+from .minifaker import MiniFaker
+from .synthetic import make_width_dataset
+from .uci import DatasetSize, make_uci_like, sample_uci_sizes
+
+__all__ = [
+    "DatasetSize",
+    "MiniFaker",
+    "make_airbnb",
+    "make_communities",
+    "make_covid_stringency",
+    "make_hpi",
+    "make_uci_like",
+    "make_width_dataset",
+    "sample_uci_sizes",
+]

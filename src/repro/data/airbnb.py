@@ -1,0 +1,55 @@
+"""Airbnb-like dataset generator (§9.1 workload, substitution for [29]).
+
+The paper's Airbnb dataset has 12 columns mixing identifiers, geographic
+attributes, coordinates, categories, and skewed quantitative measures, row-
+duplicated up to 10M rows.  This generator matches the schema and the
+statistical character (log-normal price, zero-inflated review counts,
+5 boroughs x ~200 neighbourhoods).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.frame import LuxDataFrame
+from .minifaker import MiniFaker
+
+__all__ = ["make_airbnb"]
+
+_BOROUGHS = ["Manhattan", "Brooklyn", "Queens", "Bronx", "Staten Island"]
+_ROOM_TYPES = ["Entire home/apt", "Private room", "Shared room"]
+
+
+def make_airbnb(n_rows: int = 50_000, seed: int = 0) -> LuxDataFrame:
+    """Generate an Airbnb-like listing table with 12 columns."""
+    faker = MiniFaker(seed)
+    rng = faker.rng
+
+    borough_idx = rng.choice(len(_BOROUGHS), size=n_rows, p=[0.44, 0.41, 0.11, 0.03, 0.01])
+    neighbourhood_pool = [f"{b}-{i:03d}" for b in _BOROUGHS for i in range(40)]
+    neighbourhood_idx = borough_idx * 40 + rng.integers(0, 40, size=n_rows)
+
+    price = np.round(rng.lognormal(4.7, 0.7, n_rows), 0)
+    reviews = np.where(
+        rng.random(n_rows) < 0.2,
+        0,
+        rng.negative_binomial(1, 0.04, n_rows),
+    )
+
+    data = {
+        "id": np.arange(1, n_rows + 1, dtype=np.int64),
+        "name": faker.companies(n_rows),
+        "host_id": rng.integers(1_000, 300_000, size=n_rows),
+        "host_name": faker.names(n_rows),
+        "neighbourhood_group": [_BOROUGHS[i] for i in borough_idx],
+        "neighbourhood": [neighbourhood_pool[i] for i in neighbourhood_idx],
+        "latitude": np.round(40.5 + rng.random(n_rows) * 0.4, 5),
+        "longitude": np.round(-74.2 + rng.random(n_rows) * 0.5, 5),
+        "room_type": [_ROOM_TYPES[i] for i in rng.choice(3, n_rows, p=[0.52, 0.45, 0.03])],
+        "price": price,
+        "minimum_nights": rng.choice(
+            [1, 2, 3, 4, 5, 7, 14, 30], size=n_rows, p=[0.3, 0.25, 0.15, 0.08, 0.07, 0.06, 0.04, 0.05]
+        ),
+        "number_of_reviews": reviews.astype(np.int64),
+    }
+    return LuxDataFrame(data)

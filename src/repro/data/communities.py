@@ -1,0 +1,85 @@
+"""Communities-and-Crime-like dataset generator (§9.1, substitution for [46]).
+
+The UCI Communities dataset has 128 columns, almost all normalized
+quantitative socio-economic rates plus community/state identifiers.  Width
+— not row count — is what stresses Lux here (the Correlation action's
+search space is quadratic in the number of measures), so the generator
+reproduces the column-type mix and adds correlated column blocks so that
+the Correlation ranking is non-trivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.frame import LuxDataFrame
+from .minifaker import MiniFaker
+
+__all__ = ["make_communities"]
+
+_STATES = [
+    "California", "Texas", "Florida", "New York", "Illinois", "Ohio",
+    "Washington", "Oregon", "Georgia", "Virginia", "Michigan", "Arizona",
+    "Alabama", "Colorado", "Nevada", "Utah",
+]
+
+_PREFIXES = [
+    "pct", "med", "num", "rate", "per", "avg", "tot", "frac",
+]
+_TOPICS = [
+    "Pop", "Urban", "Income", "Poverty", "Employ", "Divorce", "Kids",
+    "Immig", "Housing", "Rent", "Vacant", "Dense", "Educ", "Police",
+    "Crime", "Assault", "Burglary", "Larceny", "AutoTheft", "Arson",
+]
+
+
+def _column_names(n: int) -> list[str]:
+    names = []
+    i = 0
+    while len(names) < n:
+        prefix = _PREFIXES[i % len(_PREFIXES)]
+        topic = _TOPICS[(i // len(_PREFIXES)) % len(_TOPICS)]
+        suffix = i // (len(_PREFIXES) * len(_TOPICS))
+        name = f"{prefix}{topic}" + (f"{suffix}" if suffix else "")
+        names.append(name)
+        i += 1
+    return names
+
+
+def make_communities(
+    n_rows: int = 2_000, n_cols: int = 128, seed: int = 0
+) -> LuxDataFrame:
+    """Generate a Communities-like table: 2 nominal + (n_cols-2) measures."""
+    faker = MiniFaker(seed)
+    rng = faker.rng
+    n_quant = n_cols - 2
+
+    # Latent factors induce correlated blocks of ~8 columns each, giving the
+    # Correlation action a meaningful ranking to recover; loadings alternate
+    # strong/weak so the top pairs are clearly separated from the rest.
+    n_factors = max(n_quant // 8, 1)
+    factors = rng.normal(0, 1, size=(n_rows, n_factors))
+    data: dict[str, object] = {
+        "communityname": [f"community_{i % 1997:04d}" for i in range(n_rows)],
+        "state": [_STATES[i] for i in rng.integers(0, len(_STATES), n_rows)],
+    }
+    names = _column_names(n_quant)
+    for j, name in enumerate(names):
+        factor = factors[:, (j // 8) % n_factors]
+        loading = 0.95 if j % 8 < 3 else 0.25
+        noise = rng.normal(0, np.sqrt(max(1 - loading**2, 0.05)), n_rows)
+        raw = loading * factor + noise
+        # Vary the marginal shape per column (real socio-economic rates mix
+        # symmetric and heavily skewed distributions), so the Distribution
+        # action has a genuine skewness ranking to recover.
+        shape = j % 3
+        if shape == 1:
+            strength = 0.4 + 0.2 * (j % 5)
+            raw = np.exp(strength * raw)  # right-skewed
+        elif shape == 2:
+            strength = 0.3 + 0.15 * (j % 4)
+            raw = -np.exp(-strength * raw)  # left-skewed
+        # Normalize to [0, 1] like the UCI original.
+        lo, hi = raw.min(), raw.max()
+        data[name] = np.round((raw - lo) / (hi - lo + 1e-12), 4)
+    return LuxDataFrame(data)

@@ -1,0 +1,46 @@
+"""COVID-19 stringency dataset generator (§3 step II, substitution for [36]).
+
+One row per country with the Oxford-tracker-style ``stringency`` index as of
+March 11, 2020: heavily right-skewed (most countries had low early
+responses), with China and Italy at the strict end, and Afghanistan,
+Pakistan, and Rwanda as the paper's highlighted low-resource/high-response
+outliers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.frame import LuxDataFrame
+from .hpi import COUNTRIES, _iso3
+
+__all__ = ["make_covid_stringency"]
+
+#: Countries the paper calls out with unusually strict early responses.
+_STRICT = {"China": 81.0, "Italy": 85.2}
+_PRAISED_OUTLIERS = {"Afghanistan": 62.5, "Pakistan": 58.3, "Rwanda": 65.1}
+
+
+def make_covid_stringency(seed: int = 13) -> LuxDataFrame:
+    """Generate the (Entity, Code, stringency) table for 2020-03-11."""
+    rng = np.random.default_rng(seed)
+    iso = _iso3()
+    entities = list(COUNTRIES) + ["Italy"]
+    seen = set()
+    rows = {"Entity": [], "Code": [], "Day": [], "stringency": []}
+    for country in entities:
+        if country in seen:
+            continue
+        seen.add(country)
+        if country in _STRICT:
+            value = _STRICT[country]
+        elif country in _PRAISED_OUTLIERS:
+            value = _PRAISED_OUTLIERS[country]
+        else:
+            # Right-skewed: most countries cluster near low stringency.
+            value = float(np.clip(rng.gamma(1.6, 9.0), 0, 100))
+        rows["Entity"].append(country)
+        rows["Code"].append(iso.get(country, country[:3].upper()))
+        rows["Day"].append("2020-03-11")
+        rows["stringency"].append(round(value, 1))
+    return LuxDataFrame(rows)

@@ -1,0 +1,95 @@
+"""Mini-faker: deterministic synthetic value generators.
+
+Substitutes for the ``faker`` library used in the paper's Fig. 12 (left)
+width-scaling experiment.  All generators are seeded and vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MiniFaker"]
+
+_FIRST_NAMES = [
+    "Alice", "Bob", "Carol", "David", "Emma", "Frank", "Grace", "Henry",
+    "Ivy", "Jack", "Karen", "Liam", "Mona", "Noah", "Olivia", "Peter",
+    "Quinn", "Rosa", "Sam", "Tina", "Uma", "Victor", "Wendy", "Xander",
+    "Yara", "Zane",
+]
+_LAST_NAMES = [
+    "Smith", "Johnson", "Lee", "Brown", "Garcia", "Miller", "Davis",
+    "Martinez", "Lopez", "Wilson", "Anderson", "Thomas", "Taylor", "Moore",
+    "Jackson", "Martin", "Perez", "Thompson", "White", "Harris",
+]
+_CITIES = [
+    "Springfield", "Riverton", "Lakeview", "Fairview", "Georgetown",
+    "Salem", "Madison", "Arlington", "Ashland", "Dover", "Hudson",
+    "Clinton", "Milton", "Auburn", "Dayton", "Lexington", "Milford",
+    "Newport", "Oxford", "Princeton",
+]
+_WORDS = [
+    "alpha", "bravo", "cedar", "delta", "ember", "falcon", "granite",
+    "harbor", "indigo", "juniper", "kepler", "lumen", "meadow", "nimbus",
+    "onyx", "prairie", "quartz", "raven", "sable", "tundra", "umber",
+    "violet", "willow", "xenon", "yonder", "zephyr",
+]
+_COMPANY_SUFFIXES = ["Inc", "LLC", "Corp", "Group", "Labs", "Partners"]
+
+
+class MiniFaker:
+    """Seeded generator of name/city/word/date columns."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def integers(self, n: int, low: int = 0, high: int = 1000) -> np.ndarray:
+        return self.rng.integers(low, high, size=n)
+
+    def floats(self, n: int, mean: float = 0.0, std: float = 1.0) -> np.ndarray:
+        return self.rng.normal(mean, std, size=n)
+
+    def lognormals(self, n: int, mean: float = 0.0, sigma: float = 1.0) -> np.ndarray:
+        return self.rng.lognormal(mean, sigma, size=n)
+
+    # ------------------------------------------------------------------
+    def words(self, n: int, cardinality: int = 20) -> list[str]:
+        """Nominal strings with exactly ``cardinality`` distinct values."""
+        pool = self._word_pool(cardinality)
+        return [pool[i] for i in self.rng.integers(0, len(pool), size=n)]
+
+    def _word_pool(self, cardinality: int) -> list[str]:
+        pool = []
+        i = 0
+        while len(pool) < cardinality:
+            base = _WORDS[i % len(_WORDS)]
+            suffix = i // len(_WORDS)
+            pool.append(base if suffix == 0 else f"{base}_{suffix}")
+            i += 1
+        return pool[:cardinality]
+
+    def names(self, n: int) -> list[str]:
+        first = self.rng.integers(0, len(_FIRST_NAMES), size=n)
+        last = self.rng.integers(0, len(_LAST_NAMES), size=n)
+        return [f"{_FIRST_NAMES[i]} {_LAST_NAMES[j]}" for i, j in zip(first, last)]
+
+    def cities(self, n: int) -> list[str]:
+        idx = self.rng.integers(0, len(_CITIES), size=n)
+        return [_CITIES[i] for i in idx]
+
+    def companies(self, n: int) -> list[str]:
+        w = self.rng.integers(0, len(_WORDS), size=n)
+        s = self.rng.integers(0, len(_COMPANY_SUFFIXES), size=n)
+        return [
+            f"{_WORDS[i].capitalize()} {_COMPANY_SUFFIXES[j]}" for i, j in zip(w, s)
+        ]
+
+    def dates(
+        self, n: int, start: str = "2018-01-01", span_days: int = 1000
+    ) -> np.ndarray:
+        base = np.datetime64(start, "ns")
+        offsets = self.rng.integers(0, span_days, size=n)
+        return base + offsets.astype("timedelta64[D]").astype("timedelta64[ns]")
+
+    def booleans(self, n: int, p: float = 0.5) -> np.ndarray:
+        return self.rng.random(n) < p

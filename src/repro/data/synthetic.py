@@ -1,0 +1,61 @@
+"""Synthetic width-scaling dataset (§9.3 / Fig. 12 left).
+
+Reproduces the paper's construction exactly: a 100k-row frame with 78%
+quantitative columns (half integers, half floats), 20% nominal columns
+whose cardinalities follow a geometric series between 1 and 10000, and 2%
+temporal columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.frame import LuxDataFrame
+from .minifaker import MiniFaker
+
+__all__ = ["make_width_dataset"]
+
+
+def _geometric_cardinalities(n: int, lo: int = 1, hi: int = 10_000) -> list[int]:
+    if n <= 0:
+        return []
+    if n == 1:
+        return [lo]
+    series = np.geomspace(lo, hi, n)
+    return [max(int(round(c)), 1) for c in series]
+
+
+def make_width_dataset(
+    n_rows: int = 100_000,
+    n_cols: int = 100,
+    quantitative_frac: float = 0.78,
+    nominal_frac: float = 0.20,
+    seed: int = 0,
+) -> LuxDataFrame:
+    """Generate the synthetic frame used for the width experiment.
+
+    ``n_cols`` is partitioned into quantitative/nominal/temporal per the
+    fractions; the temporal share is the remainder (paper: 2%), with at
+    least one temporal column when ``n_cols >= 3``.
+    """
+    if n_cols < 1:
+        raise ValueError("n_cols must be >= 1")
+    faker = MiniFaker(seed)
+    n_quant = int(round(n_cols * quantitative_frac))
+    n_nominal = int(round(n_cols * nominal_frac))
+    n_temporal = max(n_cols - n_quant - n_nominal, 0)
+    if n_temporal == 0 and n_cols >= 3:
+        n_temporal, n_quant = 1, n_quant - 1
+    n_int = n_quant // 2
+    n_float = n_quant - n_int
+
+    data: dict[str, object] = {}
+    for i in range(n_int):
+        data[f"int_{i}"] = faker.integers(n_rows, 0, 10_000)
+    for i in range(n_float):
+        data[f"float_{i}"] = np.round(faker.floats(n_rows, mean=50, std=15), 3)
+    for i, card in enumerate(_geometric_cardinalities(n_nominal)):
+        data[f"nominal_{i}"] = faker.words(n_rows, cardinality=card)
+    for i in range(n_temporal):
+        data[f"date_{i}"] = faker.dates(n_rows)
+    return LuxDataFrame(data)

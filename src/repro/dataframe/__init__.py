@@ -1,0 +1,55 @@
+"""A from-scratch columnar dataframe engine (pandas substitute).
+
+This subpackage is the substrate the Lux reproduction is built on: the paper
+wraps pandas, and pandas is not available in this environment, so the
+dataframe API surface that Lux instruments — construction, column access,
+boolean filtering, groupby/aggregation, merge, pivot, binning, CSV I/O — is
+implemented here on numpy.
+
+Quick example::
+
+    from repro import dataframe as rdf
+
+    df = rdf.DataFrame({"city": ["a", "b", "a"], "pop": [1.0, 2.0, 3.0]})
+    df.groupby("city").mean()
+"""
+
+from .column import Column
+from .cut import cut, qcut
+from .datetimes import date_range, to_datetime
+from .dtypes import BOOL, DATETIME, FLOAT64, INT64, STRING, DType
+from .frame import DataFrame, concat
+from .groupby import GroupBy
+from .index import Index, RangeIndex
+from .io import read_csv, read_csv_string, to_csv
+from .join import merge
+from .reshape import crosstab, melt, pivot, pivot_table
+from .series import Series
+
+__all__ = [
+    "BOOL",
+    "Column",
+    "DATETIME",
+    "DType",
+    "DataFrame",
+    "FLOAT64",
+    "GroupBy",
+    "INT64",
+    "Index",
+    "RangeIndex",
+    "STRING",
+    "Series",
+    "concat",
+    "crosstab",
+    "cut",
+    "date_range",
+    "melt",
+    "merge",
+    "pivot",
+    "pivot_table",
+    "qcut",
+    "read_csv",
+    "read_csv_string",
+    "to_csv",
+    "to_datetime",
+]

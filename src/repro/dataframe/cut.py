@@ -1,0 +1,123 @@
+"""Binning: ``cut`` (fixed-width) and ``qcut`` (quantile) discretization.
+
+Both return string-labelled Series, which the type-inference layer treats as
+nominal — the behaviour the paper's §3 workflow relies on when Alice bins
+``stringency`` into a binary ``stringency_level``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .column import Column
+from .series import Series
+
+__all__ = ["cut", "qcut"]
+
+
+def _as_series(data: Any) -> Series:
+    if isinstance(data, Series):
+        return data
+    return Series(data)
+
+
+def _interval_label(lo: float, hi: float, closed_left: bool) -> str:
+    lb = "[" if closed_left else "("
+    return f"{lb}{lo:.4g}, {hi:.4g}]"
+
+
+def _apply_bins(
+    series: Series,
+    edges: np.ndarray,
+    labels: Sequence[str] | None,
+    include_lowest: bool,
+) -> Series:
+    if labels is not None and len(labels) != len(edges) - 1:
+        raise ValueError(
+            f"{len(labels)} labels for {len(edges) - 1} bins"
+        )
+    values = series.column.to_float()
+    out: list[str | None] = []
+    n_bins = len(edges) - 1
+    for i, v in enumerate(values):
+        if series.column.mask[i] or np.isnan(v):
+            out.append(None)
+            continue
+        if include_lowest and v == edges[0]:
+            b = 0
+        elif v <= edges[0] or v > edges[-1]:
+            out.append(None)
+            continue
+        else:
+            b = int(np.searchsorted(edges, v, side="left")) - 1
+            b = min(max(b, 0), n_bins - 1)
+        if labels is not None:
+            out.append(str(labels[b]))
+        else:
+            out.append(
+                _interval_label(
+                    float(edges[b]),
+                    float(edges[b + 1]),
+                    closed_left=include_lowest and b == 0,
+                )
+            )
+    return Series(Column.from_data(out, "string"), name=series.name, index=series.index)
+
+
+def cut(
+    data: Any,
+    bins: int | Sequence[float],
+    labels: Sequence[str] | None = None,
+    include_lowest: bool = True,
+) -> Series:
+    """Bin values into fixed-width (or explicitly edged) intervals."""
+    series = _as_series(data)
+    values = series.column.to_float()
+    valid = values[~np.isnan(values)]
+    if isinstance(bins, int):
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        if len(valid) == 0:
+            edges = np.linspace(0.0, 1.0, bins + 1)
+        else:
+            lo, hi = float(valid.min()), float(valid.max())
+            if lo == hi:
+                lo -= 0.5
+                hi += 0.5
+            edges = np.linspace(lo, hi, bins + 1)
+    else:
+        edges = np.asarray(list(bins), dtype=np.float64)
+        if len(edges) < 2 or not np.all(np.diff(edges) > 0):
+            raise ValueError("bin edges must be strictly increasing")
+    return _apply_bins(series, edges, labels, include_lowest)
+
+
+def qcut(
+    data: Any,
+    q: int | Sequence[float],
+    labels: Sequence[str] | None = None,
+) -> Series:
+    """Bin values into quantile-based intervals with ~equal populations."""
+    series = _as_series(data)
+    values = series.column.to_float()
+    valid = values[~np.isnan(values)]
+    if len(valid) == 0:
+        raise ValueError("qcut requires at least one non-missing value")
+    if isinstance(q, int):
+        if q < 1:
+            raise ValueError("q must be >= 1")
+        quantiles = np.linspace(0.0, 1.0, q + 1)
+    else:
+        quantiles = np.asarray(list(q), dtype=np.float64)
+    edges = np.quantile(valid, quantiles)
+    edges = np.unique(edges)
+    if len(edges) < 2:
+        raise ValueError("cannot form bins: all values identical")
+    if labels is not None and len(labels) != len(edges) - 1:
+        raise ValueError(
+            f"{len(labels)} labels for {len(edges) - 1} quantile bins "
+            "(duplicate bin edges were dropped)"
+        )
+    return _apply_bins(series, edges, labels, include_lowest=True)

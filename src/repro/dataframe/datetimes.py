@@ -1,0 +1,150 @@
+"""Datetime parsing and the ``.dt`` accessor.
+
+Parsing accepts ISO-8601 strings (date or datetime), plus the common
+``MM/DD/YYYY`` spreadsheet format — enough to load the CSVs the paper's
+workloads use without a dateutil dependency.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+import numpy as np
+
+from .column import Column
+from .dtypes import DATETIME, INT64, STRING
+from .series import Series
+
+__all__ = ["DatetimeAccessor", "date_range", "parse_datetime_column", "to_datetime"]
+
+_ISO_RE = re.compile(r"^\d{4}-\d{2}(-\d{2})?([ T]\d{2}:\d{2}(:\d{2})?(\.\d+)?)?$")
+_US_RE = re.compile(r"^(\d{1,2})/(\d{1,2})/(\d{4})$")
+
+
+def parse_datetime_scalar(value: Any) -> np.datetime64 | None:
+    """Parse one value to datetime64[ns]; None when unparseable."""
+    if value is None:
+        return None
+    if isinstance(value, np.datetime64):
+        return value.astype("datetime64[ns]")
+    s = str(value).strip()
+    if not s:
+        return None
+    if _ISO_RE.match(s):
+        try:
+            return np.datetime64(s.replace(" ", "T"), "ns")
+        except ValueError:
+            return None
+    m = _US_RE.match(s)
+    if m:
+        mm, dd, yyyy = (int(g) for g in m.groups())
+        try:
+            return np.datetime64(f"{yyyy:04d}-{mm:02d}-{dd:02d}", "ns")
+        except ValueError:
+            return None
+    if s.isdigit() and len(s) == 4:
+        # Bare year.
+        return np.datetime64(f"{s}-01-01", "ns")
+    return None
+
+
+def parse_datetime_column(col: Column) -> Column:
+    """Parse a string column into a datetime column (unparseable -> missing)."""
+    n = len(col)
+    values = np.empty(n, dtype="datetime64[ns]")
+    mask = np.zeros(n, dtype=bool)
+    for i in range(n):
+        if col.mask[i]:
+            values[i] = np.datetime64("NaT")
+            mask[i] = True
+            continue
+        parsed = parse_datetime_scalar(col.values[i])
+        if parsed is None:
+            values[i] = np.datetime64("NaT")
+            mask[i] = True
+        else:
+            values[i] = parsed
+    return Column(values, mask, DATETIME)
+
+
+def to_datetime(data: Any) -> Series:
+    """Convert Series/list of strings or datetimes to a datetime Series."""
+    series = data if isinstance(data, Series) else Series(data)
+    if series.dtype is DATETIME:
+        return series.copy()
+    if series.dtype is STRING:
+        return Series(
+            parse_datetime_column(series.column), name=series.name, index=series.index
+        )
+    raise TypeError(f"cannot convert {series.dtype} to datetime")
+
+
+def date_range(start: str, periods: int, freq: str = "D") -> Series:
+    """Evenly spaced datetimes; freq in {D, W, M(30d), H, T(min), S}."""
+    steps = {
+        "D": np.timedelta64(1, "D"),
+        "W": np.timedelta64(7, "D"),
+        "M": np.timedelta64(30, "D"),
+        "H": np.timedelta64(1, "h"),
+        "T": np.timedelta64(1, "m"),
+        "S": np.timedelta64(1, "s"),
+    }
+    if freq not in steps:
+        raise ValueError(f"unsupported frequency {freq!r}")
+    base = np.datetime64(start, "ns")
+    step = steps[freq].astype("timedelta64[ns]")
+    values = base + np.arange(periods) * step
+    return Series(Column(values, np.zeros(periods, dtype=bool), DATETIME))
+
+
+class DatetimeAccessor:
+    """Component extraction from datetime Series (``s.dt.year`` etc.)."""
+
+    def __init__(self, series: Series) -> None:
+        self._series = series
+
+    def _wrap_int(self, values: np.ndarray) -> Series:
+        s = self._series
+        col = Column(values.astype(np.int64), s.column.mask.copy(), INT64)
+        return Series(col, name=s.name, index=s.index)
+
+    @property
+    def year(self) -> Series:
+        v = self._series.column.values.astype("datetime64[Y]").astype(np.int64) + 1970
+        return self._wrap_int(v)
+
+    @property
+    def month(self) -> Series:
+        v = self._series.column.values.astype("datetime64[M]").astype(np.int64) % 12 + 1
+        return self._wrap_int(v)
+
+    @property
+    def day(self) -> Series:
+        days = self._series.column.values.astype("datetime64[D]")
+        months = self._series.column.values.astype("datetime64[M]")
+        v = (days - months.astype("datetime64[D]")).astype(np.int64) + 1
+        return self._wrap_int(v)
+
+    @property
+    def weekday(self) -> Series:
+        days = self._series.column.values.astype("datetime64[D]").astype(np.int64)
+        return self._wrap_int((days + 3) % 7)  # 1970-01-01 was a Thursday
+
+    @property
+    def hour(self) -> Series:
+        v = self._series.column.values.astype("datetime64[h]").astype(np.int64) % 24
+        return self._wrap_int(v)
+
+    def strftime(self, fmt: str) -> Series:
+        s = self._series
+        out = []
+        for i in range(len(s)):
+            if s.column.mask[i]:
+                out.append(None)
+            else:
+                import datetime as _dt
+
+                ts = s.column.values[i].astype("datetime64[s]").astype(int)
+                out.append(_dt.datetime.utcfromtimestamp(int(ts)).strftime(fmt))
+        return Series(Column.from_data(out, STRING), name=s.name, index=s.index)

@@ -1,0 +1,378 @@
+"""Group-by and aggregation.
+
+Grouping factorizes the key columns into integer codes and aggregates with
+vectorized numpy kernels (``bincount`` for sums/counts, ``ufunc.at`` for
+min/max, a sum-of-squares identity for variance).  Rows whose key is missing
+are dropped, matching pandas' default.
+
+The aggregated frame signals "pre-aggregated structure" to Lux in two ways:
+single-key groupbys produce a labelled :class:`Index` over the group keys,
+and the derived-frame hook receives ``op="groupby_agg"`` — both are inputs
+to the paper's structure- and history-based recommendations (§6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from .column import Column
+from .dtypes import FLOAT64, INT64, is_numeric
+from .frame import DataFrame
+from .index import Index, RangeIndex
+from .series import Series
+
+__all__ = ["GroupBy", "SeriesGroupBy"]
+
+_AGG_ALIASES: dict[Any, str] = {
+    "mean": "mean",
+    "average": "mean",
+    "avg": "mean",
+    "sum": "sum",
+    "count": "count",
+    "size": "count",
+    "min": "min",
+    "max": "max",
+    "var": "var",
+    "variance": "var",
+    "std": "std",
+    "stdev": "std",
+    "median": "median",
+    "first": "first",
+    "last": "last",
+}
+
+
+def normalize_aggfunc(fn: Any) -> str:
+    """Map an aggregation spec (name / numpy callable) to a canonical name."""
+    if callable(fn):
+        name = getattr(fn, "__name__", "")
+        if name in _AGG_ALIASES:
+            return _AGG_ALIASES[name]
+        if name == "nanmean":
+            return "mean"
+        raise TypeError(f"unsupported aggregation callable {fn!r}")
+    key = str(fn).lower()
+    if key not in _AGG_ALIASES:
+        raise TypeError(f"unsupported aggregation {fn!r}")
+    return _AGG_ALIASES[key]
+
+
+class _Grouping:
+    """Factorized key columns: group ids per row plus per-group key values."""
+
+    def __init__(self, frame: DataFrame, keys: Sequence[str]) -> None:
+        self.keys = list(keys)
+        for k in self.keys:
+            if k not in frame:
+                raise KeyError(f"groupby key {k!r} not found")
+        codes_list: list[np.ndarray] = []
+        labels_list: list[list[Any]] = []
+        for k in self.keys:
+            codes, labels = frame.column(k).factorize()
+            codes_list.append(codes)
+            labels_list.append(labels)
+        valid = np.ones(len(frame), dtype=bool)
+        for codes in codes_list:
+            valid &= codes >= 0
+        if len(self.keys) == 1:
+            combined = codes_list[0]
+            n_groups = len(labels_list[0])
+            group_ids = np.where(valid, combined, -1)
+            # Compact to only observed groups, preserving label order.
+            observed = np.zeros(n_groups, dtype=bool)
+            observed[group_ids[valid]] = True
+            remap = -np.ones(n_groups, dtype=np.int64)
+            remap[observed] = np.arange(int(observed.sum()))
+            self.group_ids = np.where(valid, remap[np.where(valid, combined, 0)], -1)
+            kept = np.flatnonzero(observed)
+            self.key_values: list[list[Any]] = [[labels_list[0][i] for i in kept]]
+            self.n_groups = len(kept)
+        else:
+            stacked = np.stack(codes_list, axis=1)
+            stacked_valid = stacked[valid]
+            if len(stacked_valid) == 0:
+                self.group_ids = -np.ones(len(frame), dtype=np.int64)
+                self.key_values = [[] for _ in self.keys]
+                self.n_groups = 0
+            else:
+                uniq, inverse = np.unique(stacked_valid, axis=0, return_inverse=True)
+                ids = -np.ones(len(frame), dtype=np.int64)
+                ids[valid] = inverse
+                self.group_ids = ids
+                self.key_values = [
+                    [labels_list[j][code] for code in uniq[:, j]]
+                    for j in range(len(self.keys))
+                ]
+                self.n_groups = len(uniq)
+        self.valid = self.group_ids >= 0
+
+
+class GroupBy:
+    """Deferred group-by over one or more key columns."""
+
+    def __init__(
+        self,
+        frame: DataFrame,
+        keys: Sequence[str],
+        value_columns: Sequence[str] | None = None,
+    ) -> None:
+        self._frame = frame
+        self._grouping = _Grouping(frame, keys)
+        self.keys = list(keys)
+        if value_columns is None:
+            value_columns = [c for c in frame.columns if c not in self.keys]
+        self._value_columns = list(value_columns)
+
+    # ------------------------------------------------------------------
+    # Column subsetting: ``df.groupby("k")["v"]``
+    # ------------------------------------------------------------------
+    def __getitem__(self, key: str | list[str]) -> "GroupBy | SeriesGroupBy":
+        if isinstance(key, str):
+            if key not in self._frame:
+                raise KeyError(key)
+            return SeriesGroupBy(self, key)
+        missing = [k for k in key if k not in self._frame]
+        if missing:
+            raise KeyError(f"columns not found: {missing}")
+        out = GroupBy.__new__(GroupBy)
+        out._frame = self._frame
+        out._grouping = self._grouping
+        out.keys = self.keys
+        out._value_columns = list(key)
+        return out
+
+    @property
+    def ngroups(self) -> int:
+        return self._grouping.n_groups
+
+    def __iter__(self) -> Iterator[tuple[Any, DataFrame]]:
+        g = self._grouping
+        for gid in range(g.n_groups):
+            key = tuple(vals[gid] for vals in g.key_values)
+            if len(self.keys) == 1:
+                key = key[0]
+            yield key, self._frame[g.group_ids == gid]
+
+    # ------------------------------------------------------------------
+    # Aggregation kernels
+    # ------------------------------------------------------------------
+    def _aggregate_column(self, name: str, how: str) -> Column:
+        g = self._grouping
+        col = self._frame.column(name)
+        ids = g.group_ids
+        valid_row = g.valid & ~col.mask
+        ids_v = ids[valid_row]
+        n = g.n_groups
+
+        counts = np.bincount(ids_v, minlength=n).astype(np.float64)
+        if how == "count":
+            return Column.from_data(counts.astype(np.int64))
+
+        if col.dtype.name == "string" or how in ("first", "last", "median"):
+            return self._aggregate_generic(col, how)
+
+        vals = col.to_float()[valid_row]
+        empty = counts == 0
+        if how == "sum":
+            out = np.bincount(ids_v, weights=vals, minlength=n)
+            return Column.from_data(
+                out.astype(np.int64) if col.dtype is INT64 else out,
+            )
+        if how == "mean":
+            sums = np.bincount(ids_v, weights=vals, minlength=n)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                out = sums / counts
+            out[empty] = np.nan
+            return Column.from_data(out)
+        if how in ("var", "std"):
+            sums = np.bincount(ids_v, weights=vals, minlength=n)
+            sqs = np.bincount(ids_v, weights=vals * vals, minlength=n)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                mean = sums / counts
+                var = (sqs - counts * mean * mean) / np.maximum(counts - 1, 1)
+            var[counts < 2] = np.nan
+            var = np.maximum(var, 0.0)
+            return Column.from_data(np.sqrt(var) if how == "std" else var)
+        if how == "min":
+            out = np.full(n, np.inf)
+            np.minimum.at(out, ids_v, vals)
+            out[empty] = np.nan
+            return _restore_int(out, col)
+        if how == "max":
+            out = np.full(n, -np.inf)
+            np.maximum.at(out, ids_v, vals)
+            out[empty] = np.nan
+            return _restore_int(out, col)
+        raise TypeError(f"unsupported aggregation {how!r}")
+
+    def _aggregate_generic(self, col: Column, how: str) -> Column:
+        g = self._grouping
+        order = np.argsort(g.group_ids, kind="stable")
+        order = order[g.group_ids[order] >= 0]
+        boundaries = np.searchsorted(
+            g.group_ids[order], np.arange(g.n_groups + 1)
+        )
+        out: list[Any] = []
+        for gid in range(g.n_groups):
+            rows = order[boundaries[gid] : boundaries[gid + 1]]
+            rows = rows[~col.mask[rows]]
+            if len(rows) == 0:
+                out.append(None)
+            elif how == "first":
+                out.append(col[int(rows[0])])
+            elif how == "last":
+                out.append(col[int(rows[-1])])
+            elif how == "median":
+                out.append(float(np.median(col.to_float()[rows])))
+            elif how == "count":
+                out.append(len(rows))
+            else:
+                raise TypeError(f"unsupported aggregation {how!r} for {col.dtype}")
+        return Column.from_data(out)
+
+    def _result_frame(self, data: dict[str, Column]) -> DataFrame:
+        g = self._grouping
+        if len(self.keys) == 1:
+            index = Index(Column.from_data(g.key_values[0]), name=self.keys[0])
+            return self._frame._wrap(data, index, op="groupby_agg")
+        full: dict[str, Column] = {}
+        for j, k in enumerate(self.keys):
+            full[k] = Column.from_data(g.key_values[j])
+        full.update(data)
+        return self._frame._wrap(full, RangeIndex(g.n_groups), op="groupby_agg")
+
+    # ------------------------------------------------------------------
+    # Public aggregation API
+    # ------------------------------------------------------------------
+    def agg(self, spec: Any) -> DataFrame:
+        """Aggregate; ``spec`` is a name, callable, list, or column->spec dict."""
+        if isinstance(spec, dict):
+            data = {
+                col: self._aggregate_column(col, normalize_aggfunc(fn))
+                for col, fn in spec.items()
+            }
+            return self._result_frame(data)
+        if isinstance(spec, (list, tuple)):
+            data = {}
+            for fn in spec:
+                how = normalize_aggfunc(fn)
+                for col in self._agg_targets(how):
+                    data[f"{col}_{how}"] = self._aggregate_column(col, how)
+            return self._result_frame(data)
+        how = normalize_aggfunc(spec)
+        data = {
+            col: self._aggregate_column(col, how) for col in self._agg_targets(how)
+        }
+        return self._result_frame(data)
+
+    def _agg_targets(self, how: str) -> list[str]:
+        if how in ("count", "first", "last"):
+            return self._value_columns
+        return [
+            c
+            for c in self._value_columns
+            if is_numeric(self._frame.column(c).dtype)
+        ]
+
+    def mean(self) -> DataFrame:
+        return self.agg("mean")
+
+    def sum(self) -> DataFrame:
+        return self.agg("sum")
+
+    def count(self) -> DataFrame:
+        return self.agg("count")
+
+    def min(self) -> DataFrame:
+        return self.agg("min")
+
+    def max(self) -> DataFrame:
+        return self.agg("max")
+
+    def var(self) -> DataFrame:
+        return self.agg("var")
+
+    def std(self) -> DataFrame:
+        return self.agg("std")
+
+    def median(self) -> DataFrame:
+        return self.agg("median")
+
+    def first(self) -> DataFrame:
+        return self.agg("first")
+
+    def size(self) -> Series:
+        g = self._grouping
+        counts = np.bincount(
+            g.group_ids[g.valid], minlength=g.n_groups
+        ).astype(np.int64)
+        if len(self.keys) == 1:
+            index = Index(Column.from_data(g.key_values[0]), name=self.keys[0])
+        else:
+            index = RangeIndex(g.n_groups)
+        return Series(counts, name="size", index=index)
+
+    def size_frame(self, name: str = "count") -> DataFrame:
+        """Group sizes as a frame with the key columns materialized."""
+        g = self._grouping
+        counts = np.bincount(
+            g.group_ids[g.valid], minlength=g.n_groups
+        ).astype(np.int64)
+        data: dict[str, Column] = {
+            k: Column.from_data(g.key_values[j]) for j, k in enumerate(self.keys)
+        }
+        data[name] = Column.from_data(counts)
+        return self._frame._wrap(data, RangeIndex(g.n_groups), op="groupby_agg")
+
+
+class SeriesGroupBy:
+    """Group-by restricted to a single value column; reductions give Series."""
+
+    def __init__(self, parent: GroupBy, column: str) -> None:
+        self._parent = parent
+        self._column = column
+
+    def _reduce(self, how: str) -> Series:
+        col = self._parent._aggregate_column(self._column, how)
+        g = self._parent._grouping
+        if len(self._parent.keys) == 1:
+            index = Index(Column.from_data(g.key_values[0]), name=self._parent.keys[0])
+        else:
+            index = RangeIndex(g.n_groups)
+        return Series(col, name=self._column, index=index)
+
+    def agg(self, spec: Any) -> Series:
+        return self._reduce(normalize_aggfunc(spec))
+
+    def mean(self) -> Series:
+        return self._reduce("mean")
+
+    def sum(self) -> Series:
+        return self._reduce("sum")
+
+    def count(self) -> Series:
+        return self._reduce("count")
+
+    def min(self) -> Series:
+        return self._reduce("min")
+
+    def max(self) -> Series:
+        return self._reduce("max")
+
+    def var(self) -> Series:
+        return self._reduce("var")
+
+    def std(self) -> Series:
+        return self._reduce("std")
+
+    def median(self) -> Series:
+        return self._reduce("median")
+
+
+def _restore_int(out: np.ndarray, col: Column) -> Column:
+    """Return min/max results as ints when the source column was integral."""
+    if col.dtype is INT64 and not np.isnan(out).any():
+        return Column.from_data(out.astype(np.int64))
+    return Column.from_data(out)

@@ -1,0 +1,119 @@
+"""Row index objects.
+
+The substrate supports two index flavours, matching what Lux's
+structure-based recommendations need (§6 of the paper): a positional
+:class:`RangeIndex` (the default) and a labelled :class:`Index` produced by
+``groupby``/``pivot``/``set_index``.  Only single-level indexes are
+supported, mirroring the paper's stated limitation ("Lux currently only
+supports single-level indexes").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from .column import Column
+
+__all__ = ["Index", "RangeIndex"]
+
+
+class Index:
+    """An ordered collection of row labels backed by a :class:`Column`."""
+
+    def __init__(self, data: Any, name: str | None = None) -> None:
+        self.column = data if isinstance(data, Column) else Column.from_data(data)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.column)
+
+    def __getitem__(self, i: int) -> Any:
+        return self.column[i]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.column)
+
+    def __repr__(self) -> str:
+        return f"Index({self.column.to_list()!r}, name={self.name!r})"
+
+    @property
+    def is_default(self) -> bool:
+        """True when this index carries no information beyond row position."""
+        return False
+
+    def to_list(self) -> list[Any]:
+        return self.column.to_list()
+
+    def take(self, indices: np.ndarray) -> "Index":
+        return Index(self.column.take(indices), self.name)
+
+    def filter(self, keep: np.ndarray) -> "Index":
+        return Index(self.column.filter(keep), self.name)
+
+    def slice(self, sl: slice) -> "Index":
+        return Index(self.column.slice(sl), self.name)
+
+    def equals(self, other: "Index") -> bool:
+        if isinstance(other, RangeIndex) != isinstance(self, RangeIndex):
+            return False
+        return self.column.equals(other.column)
+
+    def get_loc(self, label: Any) -> int:
+        """Position of the first occurrence of ``label``."""
+        for i, v in enumerate(self.column):
+            if v == label:
+                return i
+        raise KeyError(label)
+
+
+class RangeIndex(Index):
+    """The default 0..n-1 positional index; materialized lazily."""
+
+    def __init__(self, n: int, name: str | None = None) -> None:
+        self._n = n
+        self.name = name
+
+    @property
+    def column(self) -> Column:  # type: ignore[override]
+        return Column.from_data(np.arange(self._n, dtype=np.int64))
+
+    @column.setter
+    def column(self, value: Column) -> None:  # pragma: no cover - defensive
+        raise AttributeError("RangeIndex is immutable")
+
+    @property
+    def is_default(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i: int) -> int:
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        return i
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __repr__(self) -> str:
+        return f"RangeIndex(n={self._n})"
+
+    def take(self, indices: np.ndarray) -> Index:
+        return RangeIndex(len(indices))
+
+    def filter(self, keep: np.ndarray) -> Index:
+        return RangeIndex(int(np.asarray(keep, dtype=bool).sum()))
+
+    def slice(self, sl: slice) -> Index:
+        return RangeIndex(len(range(*sl.indices(self._n))))
+
+    def get_loc(self, label: Any) -> int:
+        i = int(label)
+        if not 0 <= i < self._n:
+            raise KeyError(label)
+        return i

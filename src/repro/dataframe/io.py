@@ -1,0 +1,140 @@
+"""CSV input/output with type inference."""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+from typing import Any, Iterable
+
+from .column import Column
+from .datetimes import parse_datetime_scalar
+from .dtypes import DATETIME, FLOAT64, INT64, STRING
+from .frame import DataFrame
+
+__all__ = ["read_csv", "to_csv"]
+
+_MISSING = {"", "na", "n/a", "nan", "null", "none", "-"}
+
+
+def _infer_cell(text: str) -> Any:
+    """Parse one CSV cell into int/float/str or None (missing)."""
+    stripped = text.strip()
+    if stripped.lower() in _MISSING:
+        return None
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    # float() also accepts words like "inf"/"infinity"; require a digit so
+    # such words stay strings.
+    if any(ch.isdigit() for ch in stripped):
+        try:
+            return float(stripped)
+        except ValueError:
+            pass
+    return stripped
+
+
+def _build_column(cells: list[Any], parse_dates: bool) -> Column:
+    saw_str = any(isinstance(c, str) for c in cells if c is not None)
+    if saw_str:
+        as_str = [None if c is None else str(c) for c in cells]
+        col = Column.from_data(as_str, STRING)
+        if parse_dates:
+            non_missing = [c for c in as_str if c is not None]
+            if non_missing and all(
+                parse_datetime_scalar(c) is not None for c in non_missing[:50]
+            ):
+                parsed = col.astype(DATETIME)
+                # Only accept the parse when it did not create new missing.
+                if parsed.null_count() == col.null_count():
+                    return parsed
+        return col
+    saw_float = any(isinstance(c, float) for c in cells if c is not None)
+    has_missing = any(c is None for c in cells)
+    if saw_float or has_missing:
+        return Column.from_data(cells, FLOAT64)
+    return Column.from_data(cells, INT64)
+
+
+def read_csv(
+    path_or_buffer: Any,
+    delimiter: str = ",",
+    parse_dates: bool = True,
+    frame_cls: type[DataFrame] | None = None,
+) -> DataFrame:
+    """Load a CSV file (path, file object, or string buffer) into a frame.
+
+    Numeric and datetime types are inferred per column; cells matching common
+    missing markers ("", "NA", "NaN", ...) become missing values.
+    """
+    if hasattr(path_or_buffer, "read"):
+        handle = path_or_buffer
+        close = False
+    else:
+        handle = open(path_or_buffer, "r", newline="", encoding="utf-8")
+        close = True
+    try:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError("empty CSV input") from None
+        names = _dedupe([h.strip() for h in header])
+        raw: list[list[Any]] = [[] for _ in names]
+        for row in reader:
+            if not row:
+                continue
+            for j in range(len(names)):
+                cell = row[j] if j < len(row) else ""
+                raw[j].append(_infer_cell(cell))
+    finally:
+        if close:
+            handle.close()
+
+    data = {
+        name: _build_column(cells, parse_dates) for name, cells in zip(names, raw)
+    }
+    cls = frame_cls or DataFrame
+    return cls(data)
+
+
+def _dedupe(names: Iterable[str]) -> list[str]:
+    seen: dict[str, int] = {}
+    out = []
+    for name in names:
+        if name in seen:
+            seen[name] += 1
+            out.append(f"{name}.{seen[name]}")
+        else:
+            seen[name] = 0
+            out.append(name)
+    return out
+
+
+def to_csv(frame: DataFrame, path: Any, delimiter: str = ",") -> None:
+    """Write a frame to CSV; missing values are written as empty cells."""
+    if hasattr(path, "write"):
+        handle = path
+        close = False
+    else:
+        handle = open(path, "w", newline="", encoding="utf-8")
+        close = True
+    try:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(frame.columns)
+        cols = [frame.column(c) for c in frame.columns]
+        for i in range(len(frame)):
+            row = []
+            for col in cols:
+                v = col[i]
+                row.append("" if v is None else v)
+            writer.writerow(row)
+    finally:
+        if close:
+            handle.close()
+
+
+def read_csv_string(text: str, **kwargs: Any) -> DataFrame:
+    """Convenience: parse CSV from an in-memory string."""
+    return read_csv(_io.StringIO(text), **kwargs)

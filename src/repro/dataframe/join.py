@@ -1,0 +1,121 @@
+"""Relational joins (``merge``) via hash join on key tuples."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .column import Column
+from .frame import DataFrame
+from .index import RangeIndex
+
+__all__ = ["merge"]
+
+
+def _key_rows(frame: DataFrame, keys: Sequence[str]) -> list[tuple[Any, ...] | None]:
+    """Per-row key tuples; ``None`` for rows with any missing key part."""
+    cols = [frame.column(k) for k in keys]
+    out: list[tuple[Any, ...] | None] = []
+    for i in range(len(frame)):
+        if any(c.mask[i] for c in cols):
+            out.append(None)
+            continue
+        parts = []
+        for c in cols:
+            v = c.values[i]
+            parts.append(v.item() if hasattr(v, "item") and c.dtype.name != "datetime" else v)
+        out.append(tuple(parts))
+    return out
+
+
+def merge(
+    left: DataFrame,
+    right: DataFrame,
+    how: str = "inner",
+    on: str | Sequence[str] | None = None,
+    left_on: str | Sequence[str] | None = None,
+    right_on: str | Sequence[str] | None = None,
+    suffixes: tuple[str, str] = ("_x", "_y"),
+) -> DataFrame:
+    """Join two frames on equality of key columns.
+
+    Supports ``how`` in {"inner", "left", "right", "outer"}.  Non-key name
+    collisions are disambiguated with ``suffixes`` as in pandas.
+    """
+    if how not in ("inner", "left", "right", "outer"):
+        raise ValueError(f"unsupported join type {how!r}")
+    if on is not None:
+        left_keys = right_keys = [on] if isinstance(on, str) else list(on)
+    else:
+        if left_on is None or right_on is None:
+            common = [c for c in left.columns if c in right.columns]
+            if not common:
+                raise ValueError("no common columns to merge on")
+            left_keys = right_keys = common
+        else:
+            left_keys = [left_on] if isinstance(left_on, str) else list(left_on)
+            right_keys = [right_on] if isinstance(right_on, str) else list(right_on)
+    if len(left_keys) != len(right_keys):
+        raise ValueError("left and right key counts differ")
+    for k in left_keys:
+        if k not in left:
+            raise KeyError(f"left key {k!r} not found")
+    for k in right_keys:
+        if k not in right:
+            raise KeyError(f"right key {k!r} not found")
+
+    lkeys = _key_rows(left, left_keys)
+    rkeys = _key_rows(right, right_keys)
+
+    table: dict[tuple[Any, ...], list[int]] = {}
+    for j, key in enumerate(rkeys):
+        if key is not None:
+            table.setdefault(key, []).append(j)
+
+    left_idx: list[int] = []
+    right_idx: list[int] = []
+    matched_right = np.zeros(len(right), dtype=bool)
+    for i, key in enumerate(lkeys):
+        matches = table.get(key) if key is not None else None
+        if matches:
+            for j in matches:
+                left_idx.append(i)
+                right_idx.append(j)
+                matched_right[j] = True
+        elif how in ("left", "outer"):
+            left_idx.append(i)
+            right_idx.append(-1)
+    if how in ("right", "outer"):
+        for j in range(len(right)):
+            if not matched_right[j]:
+                left_idx.append(-1)
+                right_idx.append(j)
+
+    li = np.asarray(left_idx, dtype=np.int64)
+    ri = np.asarray(right_idx, dtype=np.int64)
+
+    same_key = left_keys == right_keys
+    data: dict[str, Column] = {}
+    right_cols = [
+        c for c in right.columns if not (same_key and c in right_keys)
+    ]
+    for name in left.columns:
+        out_name = name
+        if name in right_cols:
+            out_name = name + suffixes[0]
+        col = left.column(name).take(li)
+        if same_key and name in left_keys and how in ("right", "outer"):
+            # Fill key values from the right side for right-only rows.
+            k = right_keys[left_keys.index(name)]
+            rcol = right.column(k).take(np.where(ri < 0, 0, ri))
+            fill = (li < 0) & (ri >= 0)
+            for pos in np.flatnonzero(fill):
+                col.values[pos] = rcol.values[pos]
+                col.mask[pos] = rcol.mask[pos]
+        data[out_name] = col
+    for name in right_cols:
+        out_name = name + suffixes[1] if name in left.columns else name
+        data[out_name] = right.column(name).take(ri)
+
+    return left._wrap(data, RangeIndex(len(li)), op="merge")

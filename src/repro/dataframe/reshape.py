@@ -1,0 +1,112 @@
+"""Reshaping: pivot, pivot_table, crosstab, melt.
+
+``pivot``/``pivot_table`` produce frames with a labelled index — exactly the
+"pre-aggregated dataframe" shape that the paper's Index action visualizes
+row- or column-wise (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .column import Column
+from .frame import DataFrame
+from .groupby import GroupBy, normalize_aggfunc
+from .index import Index, RangeIndex
+
+__all__ = ["crosstab", "melt", "pivot", "pivot_table"]
+
+
+def pivot_table(
+    frame: DataFrame,
+    index: str,
+    columns: str,
+    values: str,
+    aggfunc: str | Callable = "mean",
+) -> DataFrame:
+    """Spread ``columns`` values into columns, aggregating ``values``."""
+    how = normalize_aggfunc(aggfunc)
+    # Aggregate on the (index, columns) pair first, then spread.
+    agg = GroupBy(frame, [index, columns]).agg({values: how})
+    row_codes, row_labels = agg.column(index).factorize()
+    col_codes, col_labels = agg.column(columns).factorize()
+    mat = np.full((len(row_labels), len(col_labels)), np.nan)
+    vals = agg.column(values).to_float()
+    for i in range(len(agg)):
+        if row_codes[i] >= 0 and col_codes[i] >= 0:
+            mat[row_codes[i], col_codes[i]] = vals[i]
+    data = {
+        str(label): Column.from_data(mat[:, j]) for j, label in enumerate(col_labels)
+    }
+    out_index = Index(Column.from_data(row_labels), name=index)
+    return frame._wrap(data, out_index, op="pivot")
+
+
+def pivot(frame: DataFrame, index: str, columns: str, values: str) -> DataFrame:
+    """Reshape without aggregation; duplicate (index, columns) pairs raise."""
+    pair_seen: set[tuple[Any, Any]] = set()
+    icol, ccol = frame.column(index), frame.column(columns)
+    for i in range(len(frame)):
+        if icol.mask[i] or ccol.mask[i]:
+            continue
+        key = (icol[i], ccol[i])
+        if key in pair_seen:
+            raise ValueError(
+                "pivot index/columns pair contains duplicate entries; "
+                "use pivot_table with an aggfunc"
+            )
+        pair_seen.add(key)
+    return pivot_table(frame, index=index, columns=columns, values=values, aggfunc="first")
+
+
+def crosstab(row: Any, col: Any, rownames: Sequence[str] | None = None) -> DataFrame:
+    """Frequency table of two Series-like inputs."""
+    from .series import Series
+
+    row = row if isinstance(row, Series) else Series(row, name="row")
+    col = col if isinstance(col, Series) else Series(col, name="col")
+    if len(row) != len(col):
+        raise ValueError("crosstab inputs must share length")
+    row_codes, row_labels = row.column.factorize()
+    col_codes, col_labels = col.column.factorize()
+    mat = np.zeros((len(row_labels), len(col_labels)), dtype=np.int64)
+    for i in range(len(row)):
+        if row_codes[i] >= 0 and col_codes[i] >= 0:
+            mat[row_codes[i], col_codes[i]] += 1
+    data = {
+        str(label): Column.from_data(mat[:, j]) for j, label in enumerate(col_labels)
+    }
+    name = (rownames[0] if rownames else None) or row.name or "row"
+    frame = DataFrame(data, index=Index(Column.from_data(row_labels), name=name))
+    frame._init_derived(parent=None, op="pivot")  # type: ignore[arg-type]
+    return frame
+
+
+def melt(
+    frame: DataFrame,
+    id_vars: Sequence[str] | None = None,
+    value_vars: Sequence[str] | None = None,
+    var_name: str = "variable",
+    value_name: str = "value",
+) -> DataFrame:
+    """Unpivot columns into (variable, value) long format."""
+    id_vars = list(id_vars or [])
+    value_vars = list(value_vars or [c for c in frame.columns if c not in id_vars])
+    n = len(frame)
+    data: dict[str, Column] = {}
+    reps = len(value_vars)
+    tiled = np.tile(np.arange(n, dtype=np.int64), reps)
+    for name in id_vars:
+        data[name] = frame.column(name).take(tiled)
+    var_values: list[str] = []
+    for v in value_vars:
+        var_values.extend([v] * n)
+    data[var_name] = Column.from_data(var_values)
+    value_col: Column | None = None
+    for v in value_vars:
+        piece = frame.column(v)
+        value_col = piece.copy() if value_col is None else value_col.concat(piece)
+    data[value_name] = value_col if value_col is not None else Column.from_data([])
+    return frame._wrap(data, RangeIndex(n * reps), op="melt")

@@ -1,0 +1,337 @@
+"""Series: a named, indexed 1-D column with vectorized operations."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from . import dtypes
+from .column import Column
+from .dtypes import BOOL, DATETIME, STRING, DType
+from .index import Index, RangeIndex
+
+__all__ = ["Series"]
+
+
+class Series:
+    """A single dataframe column together with its row index and name.
+
+    Binary operations align positionally (both operands must share length),
+    comparisons produce boolean Series suitable for frame filtering, and all
+    reductions are missing-aware.
+    """
+
+    def __init__(
+        self,
+        data: Any,
+        name: str | None = None,
+        index: Index | None = None,
+        dtype: str | DType | None = None,
+    ) -> None:
+        if isinstance(data, Series):
+            column = data.column.copy()
+            name = name if name is not None else data.name
+            index = index if index is not None else data.index
+        elif isinstance(data, Column):
+            column = data
+        else:
+            column = Column.from_data(data, dtype)
+        self.column = column
+        self.name = name
+        self.index = index if index is not None else RangeIndex(len(column))
+        if len(self.index) != len(column):
+            raise ValueError("index length does not match data length")
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.column)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.column)
+
+    @property
+    def dtype(self) -> DType:
+        return self.column.dtype
+
+    @property
+    def values(self) -> np.ndarray:
+        return self.column.values
+
+    @property
+    def shape(self) -> tuple[int]:
+        return (len(self),)
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def __repr__(self) -> str:
+        n = len(self)
+        shown = min(n, 10)
+        lines = [f"{self.index[i]!r:>8}  {self.column[i]!r}" for i in range(shown)]
+        if n > shown:
+            lines.append(f"... ({n - shown} more)")
+        lines.append(f"Name: {self.name}, dtype: {self.dtype.name}, length: {n}")
+        return "\n".join(lines)
+
+    def __getitem__(self, key: Any) -> Any:
+        if isinstance(key, (Series, Column, np.ndarray, list)):
+            keep = _as_bool_mask(key, len(self))
+            return self._wrap(self.column.filter(keep), self.index.filter(keep))
+        if isinstance(key, slice):
+            return self._wrap(self.column.slice(key), self.index.slice(key))
+        return self.column[self.index.get_loc(key)]
+
+    def iloc_scalar(self, i: int) -> Any:
+        """Positional scalar access (``s.iloc[i]`` equivalent)."""
+        return self.column[i]
+
+    def _wrap(self, column: Column, index: Index | None = None) -> "Series":
+        return type(self)(
+            column,
+            name=self.name,
+            index=index if index is not None else RangeIndex(len(column)),
+        )
+
+    def copy(self) -> "Series":
+        return self._wrap(self.column.copy(), self.index)
+
+    def equals(self, other: "Series") -> bool:
+        return isinstance(other, Series) and self.column.equals(other.column)
+
+    def to_list(self) -> list[Any]:
+        return self.column.to_list()
+
+    def to_numpy(self) -> np.ndarray:
+        return self.column.values.copy()
+
+    # ------------------------------------------------------------------
+    # Missing data
+    # ------------------------------------------------------------------
+    def isna(self) -> "Series":
+        return self._wrap(Column(self.column.isna(), np.zeros(len(self), bool), BOOL), self.index)
+
+    def notna(self) -> "Series":
+        return self._wrap(
+            Column(~self.column.isna(), np.zeros(len(self), bool), BOOL), self.index
+        )
+
+    def dropna(self) -> "Series":
+        keep = ~self.column.mask
+        return self._wrap(self.column.filter(keep), self.index.filter(keep))
+
+    def fillna(self, value: Any) -> "Series":
+        return self._wrap(self.column.fillna(value), self.index)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def astype(self, dtype: str | DType) -> "Series":
+        return self._wrap(self.column.astype(dtype), self.index)
+
+    def rename(self, name: str) -> "Series":
+        out = self.copy()
+        out.name = name
+        return out
+
+    def map(self, fn: Callable[[Any], Any]) -> "Series":
+        out = [None if v is None else fn(v) for v in self.column]
+        return self._wrap(Column.from_data(out), self.index)
+
+    def apply(self, fn: Callable[[Any], Any]) -> "Series":
+        return self.map(fn)
+
+    def isin(self, values: Any) -> "Series":
+        return self._wrap(self.column.isin(values), self.index)
+
+    def sort_values(self, ascending: bool = True) -> "Series":
+        order = self.column.argsort(ascending=ascending)
+        return self._wrap(self.column.take(order), self.index.take(order))
+
+    def head(self, n: int = 5) -> "Series":
+        return self[slice(0, n)]
+
+    def tail(self, n: int = 5) -> "Series":
+        return self[slice(max(len(self) - n, 0), len(self))]
+
+    def unique(self) -> list[Any]:
+        return self.column.unique()
+
+    def nunique(self) -> int:
+        return self.column.nunique()
+
+    def value_counts(self) -> "Series":
+        pairs = self.column.value_counts()
+        labels = [p[0] for p in pairs]
+        counts = [p[1] for p in pairs]
+        return Series(counts, name=self.name, index=Index(labels, name=self.name))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self) -> float:
+        return self.column.sum()
+
+    def mean(self) -> float:
+        return self.column.mean()
+
+    def var(self, ddof: int = 1) -> float:
+        return self.column.var(ddof=ddof)
+
+    def std(self, ddof: int = 1) -> float:
+        return self.column.std(ddof=ddof)
+
+    def median(self) -> float:
+        return self.column.median()
+
+    def min(self) -> Any:
+        return self.column.min()
+
+    def max(self) -> Any:
+        return self.column.max()
+
+    def count(self) -> int:
+        return self.column.count()
+
+    def any(self) -> bool:
+        if self.dtype is not BOOL:
+            raise TypeError("any() requires a boolean series")
+        return bool(self.column.values[~self.column.mask].any())
+
+    def all(self) -> bool:
+        if self.dtype is not BOOL:
+            raise TypeError("all() requires a boolean series")
+        return bool(self.column.values[~self.column.mask].all())
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def _lift(self, other: Any, op: Callable[[Column, Any], Column]) -> "Series":
+        rhs = other.column if isinstance(other, Series) else other
+        return self._wrap(op(self.column, rhs), self.index)
+
+    def __add__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: a + b)
+
+    def __radd__(self, other: Any) -> "Series":
+        return self.__add__(other)
+
+    def __sub__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: a - b)
+
+    def __rsub__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: (a * -1) + b)
+
+    def __mul__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: a * b)
+
+    def __rmul__(self, other: Any) -> "Series":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: a / b)
+
+    def __floordiv__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: a // b)
+
+    def __mod__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: a % b)
+
+    def __pow__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: a**b)
+
+    def __neg__(self) -> "Series":
+        return self._wrap(-self.column, self.index)
+
+    def __eq__(self, other: Any) -> "Series":  # type: ignore[override]
+        return self._lift(other, lambda a, b: a == b)
+
+    def __ne__(self, other: Any) -> "Series":  # type: ignore[override]
+        return self._lift(other, lambda a, b: a != b)
+
+    def __lt__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: a < b)
+
+    def __le__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: a <= b)
+
+    def __gt__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: a > b)
+
+    def __ge__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: a >= b)
+
+    def __and__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: a & b)
+
+    def __or__(self, other: Any) -> "Series":
+        return self._lift(other, lambda a, b: a | b)
+
+    def __invert__(self) -> "Series":
+        return self._wrap(~self.column, self.index)
+
+    def __hash__(self) -> int:  # Series compare elementwise, so not hashable
+        raise TypeError("Series objects are unhashable")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def str(self) -> "StringAccessor":
+        from .strings import StringAccessor
+
+        if self.dtype is not STRING:
+            raise AttributeError(".str accessor requires a string series")
+        return StringAccessor(self)
+
+    @property
+    def dt(self) -> "DatetimeAccessor":
+        from .datetimes import DatetimeAccessor
+
+        if self.dtype is not DATETIME:
+            raise AttributeError(".dt accessor requires a datetime series")
+        return DatetimeAccessor(self)
+
+    # ------------------------------------------------------------------
+    # Conversion to frame
+    # ------------------------------------------------------------------
+    def to_frame(self, name: str | None = None) -> "DataFrame":
+        from .frame import DataFrame
+
+        colname = name or self.name or "0"
+        return DataFrame({colname: self.column}, index=self.index)
+
+    def describe(self) -> dict[str, Any]:
+        """Summary statistics (numeric: moments; string: cardinality)."""
+        if dtypes.is_numeric(self.dtype):
+            return {
+                "count": self.count(),
+                "mean": self.mean(),
+                "std": self.std(),
+                "min": self.min(),
+                "median": self.median(),
+                "max": self.max(),
+            }
+        return {
+            "count": self.count(),
+            "unique": self.nunique(),
+            "top": self.value_counts().index[0] if self.count() else None,
+        }
+
+
+def _as_bool_mask(key: Any, n: int) -> np.ndarray:
+    if isinstance(key, Series):
+        key = key.column
+    if isinstance(key, Column):
+        if key.dtype is not BOOL:
+            raise TypeError("boolean mask required for filtering")
+        return key.values & ~key.mask
+    arr = np.asarray(key)
+    if arr.dtype.kind != "b":
+        raise TypeError("boolean mask required for filtering")
+    if len(arr) != n:
+        raise ValueError("mask length does not match")
+    return arr

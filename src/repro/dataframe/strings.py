@@ -1,0 +1,84 @@
+"""The ``.str`` accessor for string Series."""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from .column import Column
+from .dtypes import BOOL, INT64, STRING
+from .series import Series
+
+__all__ = ["StringAccessor"]
+
+
+class StringAccessor:
+    """Vectorized string methods; missing values propagate as missing."""
+
+    def __init__(self, series: Series) -> None:
+        self._series = series
+
+    def _map(self, fn: Callable[[str], Any], dtype: Any = STRING) -> Series:
+        s = self._series
+        out = [None if v is None else fn(v) for v in s.column]
+        return Series(
+            Column.from_data(out, dtype), name=s.name, index=s.index
+        )
+
+    def lower(self) -> Series:
+        return self._map(str.lower)
+
+    def upper(self) -> Series:
+        return self._map(str.upper)
+
+    def title(self) -> Series:
+        return self._map(str.title)
+
+    def strip(self) -> Series:
+        return self._map(str.strip)
+
+    def len(self) -> Series:
+        return self._map(len, INT64)
+
+    def contains(self, pattern: str, regex: bool = False, case: bool = True) -> Series:
+        if regex:
+            flags = 0 if case else re.IGNORECASE
+            compiled = re.compile(pattern, flags)
+            return self._map(lambda v: compiled.search(v) is not None, BOOL)
+        if case:
+            return self._map(lambda v: pattern in v, BOOL)
+        low = pattern.lower()
+        return self._map(lambda v: low in v.lower(), BOOL)
+
+    def startswith(self, prefix: str) -> Series:
+        return self._map(lambda v: v.startswith(prefix), BOOL)
+
+    def endswith(self, suffix: str) -> Series:
+        return self._map(lambda v: v.endswith(suffix), BOOL)
+
+    def replace(self, old: str, new: str, regex: bool = False) -> Series:
+        if regex:
+            compiled = re.compile(old)
+            return self._map(lambda v: compiled.sub(new, v))
+        return self._map(lambda v: v.replace(old, new))
+
+    def slice(self, start: int | None = None, stop: int | None = None) -> Series:
+        return self._map(lambda v: v[start:stop])
+
+    def split(self, sep: str, n: int = -1) -> Series:
+        # Stored as string-joined lists are not supported; return first piece
+        # lists as python objects would break the dtype lattice, so expose
+        # ``get`` for element access instead.
+        return self._map(lambda v: v.split(sep, n) if n >= 0 else v.split(sep), STRING)
+
+    def get(self, sep: str, i: int) -> Series:
+        """Split on ``sep`` and take piece ``i`` (missing if out of range)."""
+
+        def pick(v: str) -> str | None:
+            parts = v.split(sep)
+            return parts[i] if -len(parts) <= i < len(parts) else None
+
+        return self._map(pick)
+
+    def zfill(self, width: int) -> Series:
+        return self._map(lambda v: v.zfill(width))

@@ -1,0 +1,182 @@
+"""Terminal renderer: unicode charts for processed VisSpecs.
+
+This stands in for the Jupyter widget frontend — the paper excludes frontend
+drawing time from all measurements, so a lightweight textual renderer
+preserves every measured code path while keeping examples runnable in a
+plain console.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .spec import VisSpec
+
+__all__ = ["render_ascii"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_SHADES = " ░▒▓█"
+
+
+def _series(spec: VisSpec, channel: str) -> list[Any]:
+    enc = spec.get_encoding(channel)
+    if enc is None or spec.data is None:
+        return []
+    key = enc.field if enc.field else "count"
+    return [row.get(key) for row in spec.data]
+
+
+def _fmt(v: Any, width: int = 12) -> str:
+    if v is None:
+        text = "NaN"
+    elif isinstance(v, float):
+        text = f"{v:.4g}"
+    else:
+        text = str(v)
+    return text[:width].rjust(width)
+
+
+def _hbar(label: Any, value: float, vmax: float, width: int) -> str:
+    frac = 0.0 if vmax <= 0 else max(value, 0.0) / vmax
+    cells = frac * width
+    full = int(cells)
+    rem = int((cells - full) * 8)
+    bar = "█" * full + (_BLOCKS[rem] if rem else "")
+    return f"{_fmt(label)} | {bar} {value:.4g}"
+
+
+def render_ascii(spec: VisSpec, width: int = 60, height: int = 14) -> str:
+    """Render a processed spec to a unicode chart string."""
+    if spec.data is None:
+        return f"[unprocessed] {spec!r}"
+    if not spec.data:
+        return f"{spec.title}\n(no data)"
+    renderer = {
+        "bar": _render_bar,
+        "histogram": _render_bar,
+        "line": _render_line,
+        "area": _render_line,
+        "point": _render_scatter,
+        "tick": _render_scatter,
+        "rect": _render_heatmap,
+        "geoshape": _render_bar,
+    }[spec.mark]
+    body = renderer(spec, width, height)
+    return f"{spec.title}\n{body}"
+
+
+def _bar_axes(spec: VisSpec) -> tuple[str, str]:
+    """(label_channel, value_channel) for bar-family marks."""
+    x, y = spec.x, spec.y
+    if x is not None and x.field_type == "quantitative" and x.aggregate:
+        return "y", "x"
+    if y is not None and (y.field_type == "quantitative" or y.aggregate):
+        return "x", "y"
+    return ("x", "y") if y is not None else ("x", "x")
+
+
+def _render_bar(spec: VisSpec, width: int, height: int) -> str:
+    label_ch, value_ch = _bar_axes(spec)
+    labels = _series(spec, label_ch)
+    values = [v if isinstance(v, (int, float)) and v is not None else 0.0
+              for v in _series(spec, value_ch)]
+    if not labels:
+        labels = list(range(len(values)))
+    color = spec.color
+    lines = []
+    vmax = max([abs(v) for v in values], default=1.0) or 1.0
+    rows = list(zip(labels, values))
+    if color is not None and spec.data is not None:
+        groups = [row.get(color.field) for row in spec.data]
+        rows = [(f"{l} / {g}", v) for (l, v), g in zip(rows, groups)]
+    shown = rows[: max(height * 2, 20)]
+    for label, value in shown:
+        lines.append(_hbar(label, float(value), vmax, width - 20))
+    if len(rows) > len(shown):
+        lines.append(f"... ({len(rows) - len(shown)} more bars)")
+    return "\n".join(lines)
+
+
+def _grid_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int,
+    height: int,
+    char: str = "•",
+) -> str:
+    xs = np.asarray([x for x in xs if x is not None], dtype=float)
+    ys = np.asarray([y for y in ys if y is not None], dtype=float)
+    n = min(len(xs), len(ys))
+    xs, ys = xs[:n], ys[:n]
+    ok = ~(np.isnan(xs) | np.isnan(ys))
+    xs, ys = xs[ok], ys[ok]
+    if len(xs) == 0:
+        return "(no data)"
+    x0, x1 = float(xs.min()), float(xs.max())
+    y0, y1 = float(ys.min()), float(ys.max())
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+    grid = [[" "] * width for _ in range(height)]
+    ci = np.clip(((xs - x0) / (x1 - x0) * (width - 1)).astype(int), 0, width - 1)
+    ri = np.clip(((ys - y0) / (y1 - y0) * (height - 1)).astype(int), 0, height - 1)
+    for c, r in zip(ci, ri):
+        grid[height - 1 - r][c] = char
+    lines = ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" x: [{x0:.4g}, {x1:.4g}]  y: [{y0:.4g}, {y1:.4g}]")
+    return "\n".join(lines)
+
+
+def _to_floats(values: list[Any]) -> list[float]:
+    out = []
+    for v in values:
+        if v is None:
+            out.append(np.nan)
+        elif isinstance(v, (int, float)):
+            out.append(float(v))
+        else:
+            out.append(np.nan)
+    return out
+
+
+def _render_scatter(spec: VisSpec, width: int, height: int) -> str:
+    xs = _to_floats(_series(spec, "x"))
+    ys = _to_floats(_series(spec, "y")) if spec.y is not None else [0.0] * len(xs)
+    return _grid_plot(xs, ys, width, height)
+
+
+def _render_line(spec: VisSpec, width: int, height: int) -> str:
+    xs_raw = _series(spec, "x")
+    xs = _to_floats(xs_raw)
+    if all(np.isnan(x) for x in xs):
+        xs = list(map(float, range(len(xs_raw))))
+    ys = _to_floats(_series(spec, "y"))
+    return _grid_plot(xs, ys, width, height, char="*")
+
+
+def _render_heatmap(spec: VisSpec, width: int, height: int) -> str:
+    xs = _series(spec, "x")
+    ys = _series(spec, "y")
+    counts = [row.get("count", 1) for row in (spec.data or [])]
+    x_labels = sorted({x for x in xs if x is not None}, key=str)
+    y_labels = sorted({y for y in ys if y is not None}, key=str)
+    xi = {v: i for i, v in enumerate(x_labels)}
+    yi = {v: i for i, v in enumerate(y_labels)}
+    mat = np.zeros((len(y_labels), len(x_labels)))
+    for x, y, c in zip(xs, ys, counts):
+        if x is not None and y is not None:
+            mat[yi[y], xi[x]] += c or 0
+    vmax = mat.max() or 1.0
+    lines = []
+    for j in range(len(y_labels) - 1, -1, -1):
+        row = "".join(
+            _SHADES[min(int(mat[j, i] / vmax * (len(_SHADES) - 1) + 0.999), 4)]
+            for i in range(len(x_labels))
+        )
+        lines.append(f"{_fmt(y_labels[j])} |{row}|")
+    lines.append(f"{'':>12}  ({len(x_labels)} x-bins, max count {vmax:.0f})")
+    return "\n".join(lines)

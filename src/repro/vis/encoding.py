@@ -1,0 +1,94 @@
+"""Visual encoding model: channels, field types, aggregates, binning.
+
+This mirrors the Vega-Lite encoding algebra (the paper renders through
+Altair, a Vega-Lite binding): an :class:`Encoding` maps one data field to
+one visual channel, optionally through an aggregate or a binning transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+__all__ = ["CHANNELS", "Encoding", "FIELD_TYPES"]
+
+CHANNELS = ("x", "y", "color", "size", "row", "column")
+
+#: Lux's semantic data types (§8.1) mapped onto Vega-Lite field types.
+FIELD_TYPES = ("quantitative", "nominal", "temporal", "geographic", "ordinal")
+
+_VEGA_TYPE = {
+    "quantitative": "quantitative",
+    "nominal": "nominal",
+    "ordinal": "ordinal",
+    "temporal": "temporal",
+    # Vega-Lite has no geographic field type; choropleths key on nominal ids.
+    "geographic": "nominal",
+}
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """One field -> channel mapping.
+
+    Attributes
+    ----------
+    channel:
+        Visual channel, one of :data:`CHANNELS`.
+    field:
+        Column name (or "" for computed count axes).
+    field_type:
+        Semantic type, one of :data:`FIELD_TYPES`.
+    aggregate:
+        Optional aggregate ("mean", "sum", "count", ...) applied to the field.
+    bin:
+        Whether the field is binned before encoding.
+    bin_size:
+        Number of bins when ``bin`` is set.
+    sort:
+        Optional sort direction for discrete axes ("ascending"/"descending").
+    """
+
+    channel: str
+    field: str
+    field_type: str
+    aggregate: str | None = None
+    bin: bool = False
+    bin_size: int = 10
+    sort: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.channel not in CHANNELS:
+            raise ValueError(f"unknown channel {self.channel!r}")
+        if self.field_type not in FIELD_TYPES:
+            raise ValueError(f"unknown field type {self.field_type!r}")
+
+    def with_channel(self, channel: str) -> "Encoding":
+        return replace(self, channel=channel)
+
+    @property
+    def title(self) -> str:
+        """Human-readable axis title, e.g. ``Mean of Age``."""
+        if self.aggregate == "count":
+            return "Record Count" if not self.field else f"Count of {self.field}"
+        if self.aggregate:
+            return f"{self.aggregate.capitalize()} of {self.field}"
+        if self.bin:
+            return f"{self.field} (binned)"
+        return self.field
+
+    def to_vegalite(self) -> dict[str, Any]:
+        """Vega-Lite channel definition dict."""
+        out: dict[str, Any] = {"type": _VEGA_TYPE[self.field_type]}
+        if self.aggregate == "count" and not self.field:
+            out["aggregate"] = "count"
+        else:
+            out["field"] = self.field
+            if self.aggregate:
+                out["aggregate"] = "mean" if self.aggregate == "avg" else self.aggregate
+        if self.bin:
+            out["bin"] = {"maxbins": self.bin_size}
+        if self.sort:
+            out["sort"] = self.sort
+        out["title"] = self.title
+        return out

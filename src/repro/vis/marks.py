@@ -1,0 +1,58 @@
+"""Mark (chart) types and the mark-selection rule table.
+
+The compiler's *Infer* stage (§7.1.2) chooses a mark from the combination of
+field types on the spatial channels, following the rule-based heuristics the
+paper cites (Mackinlay's Show Me / Few's best practices).
+"""
+
+from __future__ import annotations
+
+__all__ = ["MARKS", "infer_mark"]
+
+#: Supported mark types and the Vega-Lite mark string they render as.
+MARKS = {
+    "bar": "bar",
+    "line": "line",
+    "point": "point",  # scatterplot
+    "tick": "tick",
+    "rect": "rect",  # heatmap
+    "geoshape": "geoshape",  # choropleth map
+    "area": "area",
+    "histogram": "bar",  # binned bar
+}
+
+
+def infer_mark(x_type: str | None, y_type: str | None, binned: bool = False) -> str:
+    """Pick a mark from the field types on x and y.
+
+    Rules (Q = quantitative, N = nominal/geographic, T = temporal):
+
+    - Q alone, binned        -> histogram
+    - N alone                -> bar (count)
+    - T alone                -> line (count over time)
+    - geographic alone       -> geoshape (choropleth)
+    - Q x Q                  -> point (scatter)
+    - N x Q / Q x N          -> bar
+    - T x Q                  -> line
+    - N x N                  -> rect (count heatmap)
+    """
+    def norm(t: str | None) -> str | None:
+        return None if t is None else t
+
+    x, y = norm(x_type), norm(y_type)
+    if x == "geographic" or y == "geographic":
+        return "geoshape"
+    if y is None or x is None:
+        only = x or y
+        if only == "quantitative":
+            return "histogram" if binned else "tick"
+        if only == "temporal":
+            return "line"
+        return "bar"
+    if x == "temporal" or y == "temporal":
+        return "line"
+    if x == "quantitative" and y == "quantitative":
+        return "rect" if binned else "point"
+    if x == "quantitative" or y == "quantitative":
+        return "bar"
+    return "rect"

@@ -1,0 +1,71 @@
+"""VisSpec -> Vega-Lite v5 JSON dict."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any
+
+import numpy as np
+
+from .spec import VisSpec
+
+__all__ = ["to_vegalite"]
+
+_SCHEMA = "https://vega.github.io/schema/vega-lite/v5.json"
+
+
+def _json_safe(value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        v = float(value)
+        return None if np.isnan(v) else v
+    if isinstance(value, np.datetime64):
+        return str(value.astype("datetime64[s]"))
+    if isinstance(value, (_dt.date, _dt.datetime)):
+        return value.isoformat()
+    if isinstance(value, float) and np.isnan(value):
+        return None
+    return value
+
+
+def to_vegalite(spec: VisSpec) -> dict[str, Any]:
+    """Build the Vega-Lite spec; processed data is embedded inline."""
+    encoding: dict[str, Any] = {}
+    for enc in spec.encodings:
+        encoding[enc.channel] = enc.to_vegalite()
+
+    mark: Any = {"bar": "bar", "histogram": "bar"}.get(spec.mark, spec.mark)
+    if spec.mark == "point":
+        mark = {"type": "point", "filled": True, "opacity": 0.7}
+    if spec.mark == "geoshape":
+        mark = {"type": "geoshape"}
+
+    out: dict[str, Any] = {
+        "$schema": _SCHEMA,
+        "title": spec.title,
+        "mark": mark,
+        "encoding": encoding,
+    }
+    if spec.data is not None:
+        out["data"] = {
+            "values": [
+                {k: _json_safe(v) for k, v in row.items()} for row in spec.data
+            ]
+        }
+    else:
+        out["data"] = {"name": "table"}
+    if spec.filters:
+        out["transform"] = [
+            {"filter": _filter_expr(attr, op, value)}
+            for attr, op, value in spec.filters
+        ]
+    return out
+
+
+def _filter_expr(attr: str, op: str, value: Any) -> str:
+    literal = f"'{value}'" if isinstance(value, str) else repr(value)
+    js_op = {"=": "==", "!=": "!=", ">": ">", "<": "<", ">=": ">=", "<=": "<="}[op]
+    return f"datum['{attr}'] {js_op} {literal}"

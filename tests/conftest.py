@@ -1,0 +1,50 @@
+"""Shared fixtures: config isolation and common frames."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LuxDataFrame, config
+
+
+@pytest.fixture(autouse=True)
+def _config_isolation():
+    """Every test runs against pristine config and restores it afterwards."""
+    snapshot = config.snapshot()
+    yield
+    from repro.core.optimizer.scheduler import drain_all
+
+    drain_all()
+    config.restore(snapshot)
+
+
+@pytest.fixture
+def employees() -> LuxDataFrame:
+    """A small mixed-type frame used across core tests."""
+    rng = np.random.default_rng(42)
+    n = 400
+    return LuxDataFrame(
+        {
+            "Age": np.round(rng.normal(40, 10, n), 1),
+            "MonthlyIncome": np.round(rng.lognormal(8.5, 0.6, n), 2),
+            "HourlyRate": np.round(rng.uniform(20, 120, n), 2),
+            "Education": rng.choice(["HS", "BS", "MS", "PhD"], n).tolist(),
+            "Department": rng.choice(["Sales", "Eng", "Ops"], n, p=[0.5, 0.3, 0.2]).tolist(),
+            "Attrition": rng.choice(["Yes", "No"], n, p=[0.2, 0.8]).tolist(),
+            "Country": rng.choice(
+                ["France", "Germany", "Japan", "Brazil", "Kenya"], n
+            ).tolist(),
+        }
+    )
+
+
+@pytest.fixture
+def tiny() -> LuxDataFrame:
+    return LuxDataFrame(
+        {
+            "city": ["a", "b", "a", "c", None],
+            "pop": [1.0, 2.0, 3.0, None, 5.0],
+            "n": [1, 2, 3, 4, 5],
+        }
+    )

@@ -1,0 +1,267 @@
+"""Unit tests for the recommendation actions (Table 1) and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Clause, LuxDataFrame, Vis, VisList, config
+from repro.core.actions import (
+    CorrelationAction,
+    CurrentVisAction,
+    DistributionAction,
+    EnhanceAction,
+    FilterAction,
+    GeneralizeAction,
+    GeographicAction,
+    IndexAction,
+    OccurrenceAction,
+    PreAggregateAction,
+    PreFilterAction,
+    TemporalAction,
+    default_registry,
+    register_action,
+    remove_action,
+)
+
+
+class TestMetadataActions:
+    def test_distribution_histograms(self, employees):
+        action = DistributionAction()
+        assert action.applies_to(employees)
+        out = action.generate(employees)
+        assert len(out) == 3  # Age, MonthlyIncome, HourlyRate
+        assert all(v.mark == "histogram" for v in out)
+
+    def test_occurrence_bars(self, employees):
+        out = OccurrenceAction().generate(employees)
+        assert all(v.mark == "bar" for v in out)
+        fields = {v.spec.y.field for v in out}
+        assert fields == {"Education", "Department", "Attrition"}
+
+    def test_geographic_maps(self, employees):
+        action = GeographicAction()
+        assert action.applies_to(employees)
+        out = action.generate(employees)
+        assert all(v.mark == "geoshape" for v in out)
+
+    def test_temporal_lines(self, employees):
+        from repro.dataframe import date_range
+
+        assert not TemporalAction().applies_to(employees)
+        employees["hired"] = date_range("2018-01-01", periods=len(employees)).column
+        assert TemporalAction().applies_to(employees)
+        out = TemporalAction().generate(employees)
+        assert out[0].mark == "line"
+
+    def test_correlation_ranked_by_pearson(self, employees):
+        employees["Age2"] = employees["Age"] * 2 + 1  # perfectly correlated
+        out = CorrelationAction().generate(employees)
+        top = out[0]
+        assert {top.spec.x.field, top.spec.y.field} == {"Age", "Age2"}
+        assert top.score == pytest.approx(1.0, abs=1e-6)
+
+    def test_correlation_needs_two_measures(self, tiny):
+        sub = tiny[["city"]]
+        assert not CorrelationAction().applies_to(sub)
+
+    def test_correlation_search_space(self, employees):
+        meta = employees.metadata
+        assert CorrelationAction().search_space_size(meta) == 3
+
+
+class TestIntentActions:
+    def test_current_vis(self, employees):
+        employees.intent = ["Age", "MonthlyIncome"]
+        out = CurrentVisAction().generate(employees)
+        assert len(out) == 1
+        assert out[0].mark == "point"
+
+    def test_enhance_adds_attribute(self, employees):
+        employees.intent = ["Age", "MonthlyIncome"]
+        action = EnhanceAction()
+        assert action.applies_to(employees)
+        out = action.generate(employees)
+        assert len(out) >= 1
+        for vis in out:
+            assert len([c for c in vis.intent if c.is_axis]) == 3
+
+    def test_enhance_not_applicable_without_intent(self, employees):
+        employees.clear_intent()
+        assert not EnhanceAction().applies_to(employees)
+
+    def test_filter_adds_filters(self, employees):
+        employees.intent = ["Age"]
+        out = FilterAction().generate(employees)
+        assert len(out) >= 1
+        assert all(v.spec.filters for v in out)
+
+    def test_filter_swaps_value(self, employees):
+        employees.intent = ["Age", "Department=Sales"]
+        out = FilterAction().generate(employees)
+        # Candidates with a single Department filter are value swaps.
+        swapped = {
+            v.spec.filters[0][2]
+            for v in out
+            if len(v.spec.filters) == 1 and v.spec.filters[0][0] == "Department"
+        }
+        assert "Sales" not in swapped
+        assert {"Eng", "Ops"} <= swapped
+        # Candidates with two filters keep the original and add one more.
+        added = [v for v in out if len(v.spec.filters) == 2]
+        for vis in added:
+            assert ("Department", "=", "Sales") in vis.spec.filters
+
+    def test_generalize_removes_clauses(self, employees):
+        employees.intent = ["Age", "MonthlyIncome", "Department=Sales"]
+        action = GeneralizeAction()
+        assert action.applies_to(employees)
+        out = action.generate(employees)
+        # Removing either axis or the filter -> strictly simpler charts.
+        assert 2 <= len(out) <= 3
+        for vis in out:
+            assert len(vis.intent) == 2
+
+    def test_generalize_not_applicable_single_axis(self, employees):
+        employees.intent = ["Age"]
+        assert not GeneralizeAction().applies_to(employees)
+
+
+class TestStructureActions:
+    def test_index_action_on_groupby_result(self, employees):
+        agg = employees.groupby("Education").mean()
+        action = IndexAction()
+        assert action.applies_to(agg)
+        out = action.generate(agg)
+        assert all(v.mark == "bar" for v in out)
+        assert all(v.data is not None for v in out)
+
+    def test_index_action_ignores_default_index(self, employees):
+        assert not IndexAction().applies_to(employees)
+
+    def test_index_action_pivot_rows_as_lines(self):
+        # Fig. 7: pivoted time columns -> one line per row.
+        dates = [f"2020-01-{d:02d}" for d in range(1, 11)]
+        data = {"state": ["CA", "AL"]}
+        for d in dates:
+            data[d] = list(np.random.default_rng(0).random(2))
+        frame = LuxDataFrame(data).set_index("state")
+        out = IndexAction().generate(frame)
+        assert all(v.mark == "line" for v in out)
+        assert len(out) == 2  # one per row/state
+
+    def test_series_visualization(self, employees):
+        vis = employees["Age"].visualization
+        assert vis is not None and vis.mark == "histogram"
+
+    def test_series_repr_includes_chart(self, employees):
+        text = repr(employees["Education"])
+        assert "█" in text
+
+    def test_series_repr_plain_under_pandas_condition(self, employees):
+        config.always_on = False
+        assert "█" not in repr(employees["Education"])
+
+
+class TestHistoryActions:
+    def test_preaggregate_on_multikey_groupby(self, employees):
+        agg = employees.groupby(["Education", "Department"]).mean()
+        action = PreAggregateAction()
+        assert action.applies_to(agg)
+        out = action.generate(agg)
+        assert len(out) >= 1
+
+    def test_preaggregate_skips_plain_frames(self, employees):
+        assert not PreAggregateAction().applies_to(employees)
+
+    def test_prefilter_on_tiny_filtered_frame(self, employees):
+        tiny = employees[employees["Age"] > employees["Age"].max() - 0.5]
+        assert len(tiny) <= 5
+        action = PreFilterAction()
+        assert action.applies_to(tiny)
+        out = action.generate(tiny)
+        # Recommendations come from the unfiltered parent.
+        assert out.source is employees
+        assert len(out) >= 1
+
+    def test_prefilter_skips_large_frames(self, employees):
+        filtered = employees[employees["Age"] > 0]
+        assert not PreFilterAction().applies_to(filtered)
+
+
+class TestRegistry:
+    def test_default_names(self):
+        names = default_registry.names()
+        for expected in (
+            "Current Vis", "Correlation", "Distribution", "Occurrence",
+            "Temporal", "Geographic", "Enhance", "Filter", "Generalize",
+            "Index", "Pre-aggregate", "Pre-filter",
+        ):
+            assert expected in names
+
+    def test_applicable_filters_by_trigger(self, employees):
+        applicable = {a.name for a in default_registry.applicable(employees)}
+        assert "Correlation" in applicable
+        assert "Temporal" not in applicable  # no temporal columns
+        assert "Enhance" not in applicable  # no intent set
+
+    def test_custom_action_roundtrip(self, employees):
+        def my_action(ldf):
+            """Top variance measures."""
+            return VisList(["Age"], ldf)
+
+        register_action("My Action", my_action)
+        try:
+            assert "My Action" in default_registry
+            recs = employees.recommendations
+            assert "My Action" in recs.keys()
+            assert len(recs["My Action"]) == 1
+        finally:
+            remove_action("My Action")
+        assert "My Action" not in default_registry
+
+    def test_custom_action_condition(self, employees, tiny):
+        register_action(
+            "Conditional",
+            lambda ldf: VisList(["Age"], ldf),
+            condition=lambda ldf: "Age" in ldf.columns,
+        )
+        try:
+            applicable = {a.name for a in default_registry.applicable(employees)}
+            assert "Conditional" in applicable
+            applicable_tiny = {a.name for a in default_registry.applicable(tiny)}
+            assert "Conditional" not in applicable_tiny
+        finally:
+            remove_action("Conditional")
+
+    def test_custom_action_must_return_vislist(self, employees):
+        register_action("Broken", lambda ldf: "nope")
+        try:
+            from repro.core.actions.registry import default_registry as reg
+
+            action = next(a for a in reg if a.name == "Broken")
+            with pytest.raises(TypeError):
+                action.generate(employees)
+        finally:
+            remove_action("Broken")
+
+    def test_paper_influence_example(self, employees):
+        # §10.2 P3: "top ten dataframe columns with the most influence over a
+        # desired predictive variable" as a custom action.
+        def influence(ldf):
+            target = "MonthlyIncome"
+            visualizations = []
+            for other in ldf.metadata.measures:
+                if other != target:
+                    visualizations.append(Vis([other, target], ldf))
+            vl = VisList(visualizations=visualizations, source=ldf)
+            return vl.top_k(10)
+
+        register_action("Influence", influence,
+                        condition=lambda ldf: "MonthlyIncome" in ldf.columns)
+        try:
+            recs = employees.recommendations
+            assert "Influence" in recs.keys()
+            assert 1 <= len(recs["Influence"]) <= 10
+        finally:
+            remove_action("Influence")

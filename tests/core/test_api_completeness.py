@@ -1,0 +1,116 @@
+"""Coverage for remaining public-API corners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Clause, LuxDataFrame, Vis, VisList, config
+
+
+class TestVisExtras:
+    def test_title_override(self, employees):
+        vis = Vis(["Age"], employees, title="My custom title")
+        assert vis.title == "My custom title"
+
+    def test_intent_property_returns_copy(self, employees):
+        vis = Vis(["Age", "Education"], employees)
+        got = vis.intent
+        got.append(Clause("HourlyRate"))
+        assert len(vis.intent) == 2
+
+    def test_vislist_top_k_beyond_length(self, employees):
+        vl = VisList(["Education", ["Age", "HourlyRate"]], employees)
+        top = vl.top_k(100)
+        assert len(top) == len(vl)
+
+    def test_vislist_append(self, employees):
+        vl = VisList(visualizations=[], source=employees)
+        vl.append(Vis(["Age"], employees))
+        assert len(vl) == 1
+
+    def test_vislist_specs(self, employees):
+        vl = VisList(["Age", "Country=?"], employees)
+        assert len(vl.specs()) == len(vl)
+
+    def test_from_compiled_without_processing(self, employees):
+        from repro.core.compiler import compile_intent
+        from repro.core.intent import parse_intent
+
+        compiled = compile_intent(parse_intent(["Age"]), employees.metadata)[0]
+        vis = Vis.from_compiled(compiled, source=None, process=False)
+        assert vis.data is None
+
+
+class TestDataFrameExtras:
+    def test_iloc_tuple(self, tiny):
+        assert tiny.iloc[0:2, ["n"]].columns == ["n"]
+
+    def test_loc_list_of_labels(self, tiny):
+        indexed = tiny.dropna().set_index("city")
+        out = indexed.loc[["a", "b"]]
+        assert len(out) == 2
+
+    def test_rangeindex_slice(self):
+        from repro.dataframe import RangeIndex
+
+        idx = RangeIndex(10).slice(slice(2, 5))
+        assert len(idx) == 3
+
+    def test_describe_empty_numeric(self):
+        frame = LuxDataFrame({"s": ["a", "b"]})
+        assert frame.describe().columns == []
+
+    def test_setattr_column_update(self, tiny):
+        # ``df.existing = series`` routes to column assignment.
+        tiny.n = tiny["n"] * 10
+        assert tiny["n"].to_list() == [10, 20, 30, 40, 50]
+
+    def test_setattr_new_attribute_is_plain(self, tiny):
+        tiny.some_note = "hello"
+        assert tiny.some_note == "hello"
+        assert "some_note" not in tiny.columns
+
+    def test_content_hash_ignores_nothing(self, tiny):
+        h = tiny.content_hash()
+        renamed = tiny.rename(columns={"n": "m"})
+        assert renamed.content_hash() != h
+
+
+class TestConfigExtras:
+    def test_max_scatter_cap_changes_payload(self, employees):
+        config.max_scatter_points = 10
+        vis = Vis(["Age", "MonthlyIncome"], employees)
+        assert len(vis.data) == 10
+
+    def test_default_bin_size(self, employees):
+        config.default_bin_size = 7
+        vis = Vis(["Age"], employees)
+        assert len(vis.data) == 7
+
+    def test_executor_switch_is_per_call(self, employees):
+        config.executor = "sql"
+        v1 = Vis(["Education"], employees)
+        config.executor = "dataframe"
+        v2 = Vis(["Education"], employees)
+        d1 = {r["Education"]: r["count"] for r in v1.data}
+        d2 = {r["Education"]: r["count"] for r in v2.data}
+        assert d1 == d2
+
+
+class TestSeriesExtras:
+    def test_iloc_scalar(self, tiny):
+        assert tiny["n"].iloc_scalar(2) == 3
+
+    def test_rename(self, tiny):
+        s = tiny["n"].rename("count")
+        assert s.name == "count"
+        assert tiny["n"].name == "n"
+
+    def test_to_numpy_copies(self, tiny):
+        arr = tiny["n"].to_numpy()
+        arr[0] = 99
+        assert tiny["n"].to_list()[0] == 1
+
+    def test_notna(self, tiny):
+        assert tiny["pop"].notna().to_list() == [True, True, True, False, True]

@@ -1,0 +1,181 @@
+"""Unit tests for the three-stage intent compiler (§7.1.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Clause, config
+from repro.core.compiler import compile_intent, expand, infer_spec, lookup
+from repro.core.intent import parse_intent
+from repro.core.metadata import compute_metadata
+
+
+@pytest.fixture
+def metadata(employees):
+    return compute_metadata(employees)
+
+
+class TestExpand:
+    def test_single_clause_no_expansion(self, metadata):
+        combos = expand(parse_intent(["Age"]), metadata)
+        assert len(combos) == 1
+
+    def test_union_cross_product(self, metadata):
+        intent = parse_intent([["Age", "HourlyRate"], "Education"])
+        combos = expand(intent, metadata)
+        assert len(combos) == 2  # 2 x 1
+
+    def test_cross_product_size(self, metadata):
+        intent = parse_intent([["Age", "HourlyRate"], ["Education", "Department"]])
+        assert len(expand(intent, metadata)) == 4
+
+    def test_wildcard_expands_to_non_id_columns(self, metadata):
+        combos = expand(parse_intent(["?"]), metadata)
+        assert len(combos) == len(metadata.attributes)
+
+    def test_wildcard_with_type_constraint(self, metadata):
+        combos = expand([Clause("?", data_type="quantitative")], metadata)
+        assert len(combos) == len(metadata.measures)
+
+    def test_duplicate_axis_attributes_dropped(self, metadata):
+        intent = [Clause("?", data_type="quantitative")] * 2
+        combos = expand(intent, metadata)
+        m = len(metadata.measures)
+        assert len(combos) == m * (m - 1)  # no (A, A) pairs
+
+    def test_filter_value_wildcard_enumerates_uniques(self, metadata):
+        intent = parse_intent(["Age", "Department=?"])
+        combos = expand(intent, metadata)
+        assert len(combos) == metadata["Department"].cardinality
+
+    def test_filter_value_union(self, metadata):
+        intent = parse_intent(["Age", "Department=Sales|Eng"])
+        assert len(expand(intent, metadata)) == 2
+
+
+class TestLookup:
+    def test_fills_data_type(self, metadata):
+        combo = parse_intent(["Age"])
+        filled = lookup(combo, metadata)
+        assert filled[0].data_type == "quantitative"
+
+    def test_unknown_column_invalid(self, metadata):
+        assert lookup([Clause("Bogus")], metadata) is None
+
+    def test_id_columns_rejected_as_axis(self, employees):
+        employees["employee_id"] = list(range(len(employees)))
+        meta = compute_metadata(employees)
+        assert meta["employee_id"].data_type == "id"
+        assert lookup([Clause("employee_id")], meta) is None
+
+    def test_high_cardinality_nominal_rejected(self, employees):
+        employees["code"] = [f"c{i}" for i in range(len(employees))]
+        meta = compute_metadata(employees)
+        meta.override("code", "nominal")
+        config.max_cardinality_for_axis = 50
+        assert lookup([Clause("code")], meta) is None
+
+    def test_explicit_data_type_preserved(self, metadata):
+        filled = lookup([Clause("Age", data_type="nominal")], metadata)
+        assert filled[0].data_type == "nominal"
+
+
+class TestInfer:
+    def _compile_one(self, intent, metadata):
+        out = compile_intent(parse_intent(intent), metadata)
+        assert len(out) == 1
+        return out[0].spec
+
+    def test_quantitative_histogram(self, metadata):
+        spec = self._compile_one(["Age"], metadata)
+        assert spec.mark == "histogram"
+        assert spec.x.bin
+
+    def test_nominal_bar(self, metadata):
+        spec = self._compile_one(["Education"], metadata)
+        assert spec.mark == "bar"
+        assert spec.x.aggregate == "count"
+
+    def test_geographic_map(self, metadata):
+        spec = self._compile_one(["Country"], metadata)
+        assert spec.mark == "geoshape"
+
+    def test_two_measures_scatter(self, metadata):
+        spec = self._compile_one(["Age", "MonthlyIncome"], metadata)
+        assert spec.mark == "point"
+
+    def test_measure_dimension_bar_mean_default(self, metadata):
+        spec = self._compile_one(["Age", "Education"], metadata)
+        assert spec.mark == "bar"
+        assert spec.x.aggregate == "mean"
+        assert spec.y.field == "Education"
+
+    def test_q4_explicit_variance(self, metadata):
+        # Q4: Vis([Clause("MonthlyIncome", aggregation=numpy.var), "Attrition"])
+        import numpy
+
+        intent = [
+            Clause("MonthlyIncome", aggregation=numpy.var),
+            Clause("Attrition"),
+        ]
+        spec = compile_intent(intent, metadata)[0].spec
+        assert spec.x.aggregate == "var"
+
+    def test_two_dimensions_heatmap(self, metadata):
+        spec = self._compile_one(["Education", "Department"], metadata)
+        assert spec.mark == "rect"
+
+    def test_three_attrs_colored_scatter(self, metadata):
+        spec = self._compile_one(["Age", "MonthlyIncome", "Education"], metadata)
+        assert spec.mark == "point"
+        assert spec.color.field == "Education"
+
+    def test_dimension_measure_dimension_colored_bar(self, metadata):
+        spec = self._compile_one(["Education", "Age", "Attrition"], metadata)
+        assert spec.mark == "bar"
+        assert spec.color is not None
+
+    def test_filters_attached(self, metadata):
+        spec = self._compile_one(["Age", "Department=Sales"], metadata)
+        assert spec.filters == [("Department", "=", "Sales")]
+
+    def test_temporal_line(self, employees):
+        from repro.dataframe import date_range
+
+        employees["hired"] = date_range("2018-01-01", periods=len(employees)).column
+        meta = compute_metadata(employees)
+        spec = compile_intent(parse_intent(["hired"]), meta)[0].spec
+        assert spec.mark == "line"
+
+    def test_color_cardinality_cap(self, employees):
+        employees["many"] = [f"g{i % 45}" for i in range(len(employees))]
+        meta = compute_metadata(employees)
+        config.max_cardinality_for_color = 20
+        out = compile_intent(
+            parse_intent(["Age", "MonthlyIncome", "many"]), meta
+        )
+        assert out == []
+
+    def test_four_axes_rejected(self, metadata):
+        out = compile_intent(
+            parse_intent(["Age", "MonthlyIncome", "HourlyRate", "Education"]),
+            metadata,
+        )
+        assert out == []
+
+    def test_signature_dedup(self, metadata):
+        # The same vis reachable through two expansions appears once.
+        intent = [Clause(attribute=["Age", "Age"])]
+        out = compile_intent(intent, metadata)
+        assert len(out) == 1
+
+
+class TestCompileIntentCounts:
+    def test_q5_vislist_count(self, metadata):
+        rates = ["HourlyRate", "MonthlyIncome"]
+        out = compile_intent(parse_intent(["Education", rates]), metadata)
+        assert len(out) == 2
+
+    def test_q7_filter_wildcard_count(self, metadata):
+        out = compile_intent(parse_intent(["Age", "Country=?"]), metadata)
+        assert len(out) == metadata["Country"].cardinality

@@ -1,0 +1,168 @@
+"""Edge cases and failure injection across the always-on stack."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import LuxDataFrame, LuxWarning, Vis, VisList, config, register_action, remove_action
+from repro.core.optimizer.scheduler import RecommendationSet, run_actions
+
+
+class TestDegenerateFrames:
+    def test_empty_frame_recs(self):
+        frame = LuxDataFrame({})
+        recs = frame.recommendations
+        assert recs.keys() == []
+
+    def test_single_row_frame(self):
+        frame = LuxDataFrame({"a": [1.0], "b": ["x"]})
+        text = repr(frame)
+        assert isinstance(text, str)
+
+    def test_single_column_frame(self):
+        frame = LuxDataFrame({"value": list(np.arange(50.0))})
+        recs = frame.recommendations
+        assert "Distribution" in recs.keys()
+        assert len(recs["Distribution"]) == 1
+
+    def test_all_null_column(self):
+        frame = LuxDataFrame({"x": [None] * 20, "y": list(range(20))})
+        text = repr(frame)  # must not raise
+        assert isinstance(text, str)
+
+    def test_constant_column_scores_zero(self):
+        frame = LuxDataFrame({"c": [5.0] * 30, "d": list(np.arange(30.0))})
+        vis = Vis(["c", "d"], frame)
+        assert vis.compute_score() == 0.0
+
+    def test_unicode_column_names(self):
+        frame = LuxDataFrame({"prix €": [1.0, 2.0, 3.0], "catégorie": ["a", "b", "a"]})
+        recs = frame.recommendations
+        assert "Occurrence" in recs.keys()
+        vis = Vis(["prix €", "catégorie"], frame)
+        assert vis.data is not None
+
+    def test_whitespace_in_names(self):
+        frame = LuxDataFrame({"my col": [1.0, 2.0], "other col": ["a", "b"]})
+        vis = Vis(["my col", "other col"], frame)
+        assert vis.mark == "bar"
+
+    def test_duplicate_values_qcut_frame(self):
+        # Heavily tied distributions must not break the Distribution action.
+        frame = LuxDataFrame({"x": [1.0] * 95 + [2.0] * 5})
+        recs = frame.recommendations
+        assert isinstance(repr(frame), str)
+
+    def test_boolean_column(self):
+        frame = LuxDataFrame({"flag": [True, False, True] * 10, "v": list(range(30))})
+        assert frame.data_types["flag"] == "nominal"
+        vis = Vis(["flag"], frame)
+        assert vis.mark == "bar"
+
+    def test_datetime_metadata_minmax(self):
+        from repro.dataframe import date_range
+
+        frame = LuxDataFrame({"t": date_range("2020-01-01", periods=10).column})
+        meta = frame.metadata
+        assert meta["t"].min is not None
+        assert meta["t"].data_type == "temporal"
+
+
+class TestFailureInjection:
+    def test_broken_custom_action_yields_empty_tab(self, employees):
+        def broken(ldf):
+            raise RuntimeError("boom")
+
+        register_action("Broken", broken)
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                recs = employees.recommendations
+                assert "Broken" in recs.keys()
+                assert len(recs["Broken"]) == 0
+            assert any("Broken" in str(w.message) for w in caught)
+            # Other tabs are unaffected.
+            assert len(recs["Correlation"]) >= 1
+        finally:
+            remove_action("Broken")
+
+    def test_broken_trigger_skipped(self, employees):
+        register_action(
+            "BadTrigger",
+            lambda ldf: VisList(["Age"], ldf),
+            condition=lambda ldf: 1 / 0,
+        )
+        try:
+            recs = employees.recommendations
+            assert "BadTrigger" not in recs.keys()
+        finally:
+            remove_action("BadTrigger")
+
+    def test_broken_action_in_streaming_mode(self, employees):
+        register_action("BrokenStream", lambda ldf: 1 / 0)
+        try:
+            config.streaming = True
+            config.cost_based_scheduling = True
+            employees.expire_recommendations()
+            recs = employees.recommendations
+            recs.wait(timeout=60)
+            assert len(recs["BrokenStream"]) == 0
+        finally:
+            remove_action("BrokenStream")
+
+    def test_vis_with_stale_source_column(self, employees):
+        vis = Vis(["Age", "Education"], employees)
+        employees.drop("Age", inplace=True)
+        # Refreshing against the mutated frame reports the missing column.
+        from repro import IntentError
+
+        with pytest.raises(IntentError):
+            vis.refresh_source(employees)
+
+
+class TestRecommendationSetAPI:
+    def test_mapping_protocol(self, employees):
+        recs = employees.recommendations
+        names = recs.keys()
+        assert len(recs) == len(names)
+        assert names[0] in recs
+        assert dict(recs.items()).keys() == set(names)
+        assert list(iter(recs)) == names
+
+    def test_repr_states(self):
+        rs = RecommendationSet()
+        rs._expected = 0
+        rs._done.set()
+        assert "complete" in repr(rs)
+
+    def test_ready_nonblocking(self, employees):
+        recs = employees.recommendations
+        assert set(recs.ready) == set(recs.keys())
+
+
+class TestDisplayModes:
+    def test_lux_display_roundtrip(self, employees):
+        config.default_display = "lux"
+        lux_view = repr(employees)
+        config.default_display = "pandas"
+        employees.expire_recommendations()
+        pandas_view = repr(employees)
+        assert "===" in lux_view and "===" not in pandas_view
+
+    def test_streaming_repr_lists_ready_only(self, employees):
+        config.streaming = True
+        config.cost_based_scheduling = True
+        employees.expire_recommendations()
+        text = repr(employees)
+        assert "[Lux] actions:" in text
+        employees.recommendations.wait(timeout=60)
+
+    def test_top_k_respected_across_actions(self, employees):
+        config.top_k = 2
+        employees.expire_recommendations()
+        recs = employees.recommendations
+        for name in recs.keys():
+            assert len(recs[name]) <= 2

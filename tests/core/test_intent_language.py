@@ -1,0 +1,176 @@
+"""Unit tests for Clause, the intent parser, and the validator (§5, §7.1.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Clause, IntentError, LuxDataFrame
+from repro.core.intent import parse_clause, parse_intent
+from repro.core.metadata import compute_metadata
+from repro.core.validator import validate_intent
+
+
+class TestClause:
+    def test_axis(self):
+        c = Clause(attribute="Age")
+        assert c.is_axis and not c.is_filter
+
+    def test_filter(self):
+        c = Clause(attribute="Dept", filter_op="=", value="Sales")
+        assert c.is_filter
+
+    def test_union(self):
+        c = Clause(attribute=["A", "B"])
+        assert c.is_union
+
+    def test_wildcard(self):
+        assert Clause(attribute="?").is_wildcard
+        assert Clause(attribute="Country", value="?").is_wildcard
+
+    def test_aggregation_normalization(self):
+        assert Clause("Age", aggregation="avg").aggregation == "mean"
+        assert Clause("Age", aggregation=np.var).aggregation == "var"
+        assert Clause("Age").aggregation is None
+
+    def test_aggregation_specified_flag(self):
+        assert Clause("Age", aggregation="mean").aggregation_specified
+        assert not Clause("Age").aggregation_specified
+
+    def test_bad_aggregation(self):
+        with pytest.raises(ValueError):
+            Clause("Age", aggregation="frobnicate")
+
+    def test_bad_filter_op(self):
+        with pytest.raises(ValueError):
+            Clause("Age", filter_op="~=")
+
+    def test_copy_independent(self):
+        c = Clause(attribute=["A", "B"])
+        d = c.copy()
+        d.attribute.append("C")
+        assert c.attribute == ["A", "B"]
+
+    def test_equality_and_hash(self):
+        assert Clause("Age") == Clause("Age")
+        assert Clause("Age") != Clause("Age", aggregation="mean")
+        assert len({Clause("Age"), Clause("Age")}) == 1
+
+    def test_alternatives_union(self):
+        alts = Clause(attribute=["A", "B"]).alternatives(["A", "B", "C"])
+        assert [a.attribute for a in alts] == ["A", "B"]
+
+    def test_alternatives_wildcard(self):
+        alts = Clause(attribute="?").alternatives(["A", "B"])
+        assert [a.attribute for a in alts] == ["A", "B"]
+
+    def test_repr(self):
+        assert "Sales" in repr(Clause("Dept", filter_op="=", value="Sales"))
+        assert "aggregation=mean" in repr(Clause("Age", aggregation="mean"))
+
+
+class TestParser:
+    def test_plain_attribute(self):
+        c = parse_clause("Age")
+        assert c.attribute == "Age" and c.is_axis
+
+    def test_filter_equality(self):
+        c = parse_clause("Department=Sales")
+        assert c.is_filter and c.filter_op == "=" and c.value == "Sales"
+
+    def test_numeric_filter_value_parsed(self):
+        c = parse_clause("price>=100")
+        assert c.filter_op == ">=" and c.value == 100
+
+    def test_float_filter_value(self):
+        assert parse_clause("rate<0.5").value == 0.5
+
+    def test_not_equal(self):
+        assert parse_clause("x!=3").filter_op == "!="
+
+    def test_value_wildcard(self):
+        c = parse_clause("Country=?")
+        assert c.value == "?"
+
+    def test_value_union(self):
+        c = parse_clause("Dept=Sales|Support")
+        assert c.value == ["Sales", "Support"]
+
+    def test_attribute_union_string(self):
+        c = parse_clause("HourlyRate|DailyRate")
+        assert c.attribute == ["HourlyRate", "DailyRate"]
+
+    def test_list_element_is_union(self):
+        c = parse_clause(["A", "B"])
+        assert c.attribute == ["A", "B"]
+
+    def test_clause_passthrough_copies(self):
+        orig = Clause("Age")
+        parsed = parse_clause(orig)
+        assert parsed == orig and parsed is not orig
+
+    def test_empty_string_raises(self):
+        with pytest.raises(ValueError):
+            parse_clause("   ")
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            parse_clause(42)
+
+    def test_parse_intent_single(self):
+        assert len(parse_intent("Age")) == 1
+
+    def test_parse_intent_list(self):
+        clauses = parse_intent(["Age", "Dept=Sales"])
+        assert clauses[0].is_axis and clauses[1].is_filter
+
+    def test_parse_intent_none(self):
+        assert parse_intent(None) == []
+
+    def test_parse_intent_q5_shape(self):
+        # Q5: VisList(["EducationField", rates], df)
+        clauses = parse_intent(["EducationField", ["HourlyRate", "DailyRate"]])
+        assert clauses[1].attribute == ["HourlyRate", "DailyRate"]
+
+
+class TestValidator:
+    @pytest.fixture
+    def metadata(self, employees):
+        return compute_metadata(employees)
+
+    def test_valid_intent_passes(self, metadata):
+        validate_intent(parse_intent(["Age", "Department=Sales"]), metadata)
+
+    def test_unknown_attribute(self, metadata):
+        with pytest.raises(IntentError):
+            validate_intent(parse_intent(["NotAColumn"]), metadata)
+
+    def test_suggestion_for_typo(self, metadata):
+        with pytest.raises(IntentError) as err:
+            validate_intent(parse_intent(["Agee"]), metadata)
+        assert "Age" in str(err.value)
+
+    def test_unknown_filter_value(self, metadata):
+        with pytest.raises(IntentError) as err:
+            validate_intent(parse_intent(["Department=Slaes"]), metadata)
+        assert "Sales" in str(err.value)
+
+    def test_numeric_filters_unchecked(self, metadata):
+        validate_intent(parse_intent(["Age>1000"]), metadata)
+
+    def test_wildcards_pass(self, metadata):
+        validate_intent(parse_intent(["?", "Country=?"]), metadata)
+
+    def test_union_attribute_members_checked(self, metadata):
+        with pytest.raises(IntentError):
+            validate_intent([Clause(attribute=["Age", "Bogus"])], metadata)
+
+    def test_bad_data_type_constraint(self, metadata):
+        with pytest.raises(IntentError):
+            validate_intent([Clause("?", data_type="numerical")], metadata)
+
+    def test_intent_setter_validates(self, employees):
+        with pytest.raises(IntentError):
+            employees.intent = ["Bogus"]
+        employees.intent = ["Age"]
+        assert employees.intent[0].attribute == "Age"

@@ -1,0 +1,137 @@
+"""Unit tests for interestingness scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LuxDataFrame, Vis
+from repro.core.executor.df_exec import DataFrameExecutor
+from repro.core.interestingness import (
+    _dispersion,
+    _group_separation,
+    _pearson,
+    _skewness,
+    _unevenness,
+    score_vis,
+)
+
+
+@pytest.fixture
+def executor():
+    return DataFrameExecutor()
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        frame = LuxDataFrame({"a": [1.0, 2.0, 3.0, 4.0], "b": [2.0, 4.0, 6.0, 8.0]})
+        assert _pearson(frame, "a", "b") == pytest.approx(1.0)
+
+    def test_anticorrelation_absolute(self):
+        frame = LuxDataFrame({"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]})
+        assert _pearson(frame, "a", "b") == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        frame = LuxDataFrame({"a": rng.normal(0, 1, 2000), "b": rng.normal(0, 1, 2000)})
+        assert _pearson(frame, "a", "b") < 0.1
+
+    def test_constant_column_zero(self):
+        frame = LuxDataFrame({"a": [1.0, 1.0, 1.0], "b": [1.0, 2.0, 3.0]})
+        assert _pearson(frame, "a", "b") == 0.0
+
+    def test_nan_fallback_matches_corrcoef(self):
+        frame = LuxDataFrame({"a": [1.0, 2.0, None, 4.0, 5.0], "b": [2.0, 4.1, 9.9, 8.2, 9.8]})
+        x = np.array([1.0, 2.0, 4.0, 5.0])
+        y = np.array([2.0, 4.1, 8.2, 9.8])
+        expected = abs(np.corrcoef(x, y)[0, 1])
+        assert _pearson(frame, "a", "b") == pytest.approx(expected)
+
+    def test_cache_consistency_across_mutation(self):
+        frame = LuxDataFrame({"a": [1.0, 2.0, 3.0], "b": [2.0, 4.0, 6.0]})
+        assert _pearson(frame, "a", "b") == pytest.approx(1.0)
+        frame["b"] = [3.0, 1.0, 2.0]  # bumps _data_version -> cache invalid
+        assert _pearson(frame, "a", "b") < 1.0
+
+
+class TestShapeScores:
+    def test_skewness_high_for_lognormal(self):
+        rng = np.random.default_rng(0)
+        frame = LuxDataFrame({"x": rng.lognormal(0, 1, 3000)})
+        assert _skewness(frame, "x") > 0.5
+
+    def test_skewness_low_for_normal(self):
+        rng = np.random.default_rng(0)
+        frame = LuxDataFrame({"x": rng.normal(0, 1, 3000)})
+        assert _skewness(frame, "x") < 0.2
+
+    def test_unevenness_uniform_is_zero(self):
+        assert _unevenness(np.array([10.0, 10.0, 10.0])) == pytest.approx(0.0)
+
+    def test_unevenness_concentrated_is_one(self):
+        assert _unevenness(np.array([30.0, 0.0, 0.0])) == pytest.approx(1.0)
+
+    def test_unevenness_monotone(self):
+        a = _unevenness(np.array([12.0, 10.0, 8.0]))
+        b = _unevenness(np.array([25.0, 4.0, 1.0]))
+        assert b > a
+
+    def test_dispersion_zero_for_constant(self):
+        assert _dispersion(np.array([5.0, 5.0, 5.0])) == pytest.approx(0.0)
+
+    def test_group_separation_strong(self):
+        frame = LuxDataFrame(
+            {"y": [1.0, 1.1, 0.9, 9.0, 9.1, 8.9], "g": ["a", "a", "a", "b", "b", "b"]}
+        )
+        assert _group_separation(frame, "y", "g") > 0.95
+
+    def test_group_separation_none(self):
+        rng = np.random.default_rng(1)
+        frame = LuxDataFrame(
+            {"y": rng.normal(0, 1, 600), "g": rng.choice(["a", "b"], 600).tolist()}
+        )
+        assert _group_separation(frame, "y", "g") < 0.05
+
+
+class TestScoreVis:
+    def test_scores_bounded(self, employees, executor):
+        for intent in (["Age"], ["Education"], ["Age", "MonthlyIncome"],
+                       ["Age", "Education"], ["Country"]):
+            vis = Vis(intent, employees)
+            s = score_vis(vis.spec, employees, executor)
+            assert 0.0 <= s <= 1.0
+
+    def test_filter_deviation_detects_shifted_subset(self, executor):
+        # A filter that changes the Education mix should outscore one that
+        # leaves the distribution unchanged.
+        n = 900
+        education = (["HS"] * 300) + (["BS"] * 300) + (["MS"] * 300)
+        group = (["skewed"] * 300) + (["flat"] * 600)
+        # In the "skewed" subset all rows are HS; "flat" subsets mirror overall.
+        education = (["HS"] * 300) + (["HS"] * 100 + ["BS"] * 250 + ["MS"] * 250)
+        frame = LuxDataFrame({"Education": education, "grp": group})
+        vis_skew = Vis(["Education", "grp=skewed"], frame)
+        vis_flat = Vis(["Education", "grp=flat"], frame)
+        s_skew = score_vis(vis_skew.spec, frame, executor)
+        s_flat = score_vis(vis_flat.spec, frame, executor)
+        assert s_skew > s_flat
+
+    def test_colored_scatter_uses_separation(self, executor):
+        frame = LuxDataFrame(
+            {
+                "x": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+                "y": [1.0, 1.2, 0.8, 9.0, 9.2, 8.8],
+                "g": ["a", "a", "a", "b", "b", "b"],
+            }
+        )
+        vis = Vis(["x", "y", "g"], frame)
+        assert score_vis(vis.spec, frame, executor) > 0.9
+
+    def test_scoring_never_raises(self, executor):
+        # Failproofing: a broken spec scores 0 rather than raising.
+        from repro.vis.encoding import Encoding
+        from repro.vis.spec import VisSpec
+
+        spec = VisSpec("bar", [Encoding("x", "missing_col", "nominal")])
+        frame = LuxDataFrame({"a": [1]})
+        assert score_vis(spec, frame, executor) == 0.0

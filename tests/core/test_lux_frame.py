@@ -1,0 +1,138 @@
+"""Unit tests for LuxDataFrame display, export, and failproofing (§10.3)."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import LuxDataFrame, LuxSeries, LuxWarning, config
+from repro.core.frame import read_csv
+
+
+class TestAlwaysOnDisplay:
+    def test_repr_includes_lux_hint(self, employees):
+        text = repr(employees)
+        assert "[Lux] actions:" in text
+        assert "Correlation" in text
+
+    def test_repr_plain_under_pandas_condition(self, employees):
+        config.always_on = False
+        assert "[Lux]" not in repr(employees)
+
+    def test_lux_display_mode_shows_charts(self, employees):
+        config.default_display = "lux"
+        text = repr(employees)
+        assert "===" in text and "█" in text
+
+    def test_show_prints_dashboard(self, employees, capsys):
+        employees.show(charts_per_action=1)
+        out = capsys.readouterr().out
+        assert "=== " in out
+
+    def test_derived_frames_are_lux(self, employees):
+        assert isinstance(employees.head(), LuxDataFrame)
+        assert isinstance(employees[employees["Age"] > 30], LuxDataFrame)
+        assert isinstance(employees.groupby("Education").mean(), LuxDataFrame)
+
+    def test_column_access_gives_lux_series(self, employees):
+        assert isinstance(employees["Age"], LuxSeries)
+        assert isinstance(employees.Age, LuxSeries)
+
+    def test_empty_frame_fallback(self):
+        frame = LuxDataFrame({})
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            text = repr(frame)
+        assert isinstance(text, str)
+
+    def test_all_missing_column_failproof(self):
+        frame = LuxDataFrame({"x": [None, None, None]})
+        text = repr(frame)  # must not raise
+        assert isinstance(text, str)
+
+    def test_mixed_type_csv_failproof(self, tmp_path):
+        path = tmp_path / "dirty.csv"
+        path.write_text("a,b\n1,x\ntwo,y\n3.5,\n")
+        frame = read_csv(str(path))
+        assert isinstance(frame, LuxDataFrame)
+        text = repr(frame)
+        assert isinstance(text, str)
+
+
+class TestExport:
+    def test_export_records_vis(self, employees):
+        vis = employees.export("Distribution", 0)
+        assert vis.mark == "histogram"
+        assert len(employees.exported) == 1
+        assert employees.exported[0] is vis
+
+    def test_exported_accumulates(self, employees):
+        employees.export("Distribution", 0)
+        employees.export("Occurrence", 0)
+        assert len(employees.exported) == 2
+
+    def test_save_as_html(self, employees, tmp_path):
+        path = str(tmp_path / "widget.html")
+        employees.save_as_html(path)
+        html = open(path).read()
+        assert "Toggle Pandas/Lux" in html
+        assert "Correlation" in html
+
+
+class TestCurrentVis:
+    def test_current_vis_none_without_intent(self, employees):
+        assert employees.current_vis is None
+
+    def test_current_vis_matches_intent(self, employees):
+        employees.intent = ["Age", "MonthlyIncome"]
+        cv = employees.current_vis
+        assert cv is not None and cv[0].mark == "point"
+
+    def test_recommendations_include_current_vis(self, employees):
+        employees.intent = ["Age", "MonthlyIncome"]
+        assert "Current Vis" in employees.recommendations.keys()
+
+
+class TestLuxSeries:
+    def test_series_ops_preserve_luxness(self, employees):
+        out = employees["Age"] + 1
+        assert isinstance(out, LuxSeries)
+
+    def test_to_lux_frame(self, employees):
+        frame = employees["Age"].to_lux_frame()
+        assert isinstance(frame, LuxDataFrame)
+        assert frame.columns == ["Age"]
+
+    def test_unnamed_series_visualization(self):
+        s = LuxSeries([1.0, 2.0, 3.0, 4.0])
+        vis = s.visualization
+        assert vis is not None
+
+    def test_string_series_bar(self, employees):
+        vis = employees["Department"].visualization
+        assert vis.mark == "bar"
+
+
+class TestReadCsv:
+    def test_read_csv_returns_lux(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("Age,Dept\n30,Sales\n40,Eng\n")
+        frame = read_csv(str(path))
+        assert isinstance(frame, LuxDataFrame)
+        assert frame.data_types["Age"] == "quantitative"
+
+
+class TestIntentOnDerived:
+    def test_intent_survives_merge(self, employees):
+        other = LuxDataFrame({"Country": ["Japan", "Brazil"], "gdp": [5.0, 2.0]})
+        employees.intent = ["Age"]
+        merged = employees.merge(other, on="Country")
+        assert [c.attribute for c in merged.intent] == ["Age"]
+
+    def test_stale_intent_on_derived_is_failproof(self, employees):
+        employees.intent = ["Age"]
+        dropped = employees.drop("Age")
+        text = repr(dropped)  # Age is gone; display must still work
+        assert isinstance(text, str)

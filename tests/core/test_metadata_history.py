@@ -1,0 +1,158 @@
+"""Unit tests for metadata computation, type inference, and history (§6, §8.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LuxDataFrame
+from repro.core.history import History
+from repro.core.metadata import compute_metadata, infer_data_type
+
+
+class TestTypeInference:
+    def test_float_is_quantitative(self):
+        assert infer_data_type("x", "float64", 100, 200, []) == "quantitative"
+
+    def test_datetime_is_temporal(self):
+        assert infer_data_type("x", "datetime", 10, 20, []) == "temporal"
+
+    def test_string_is_nominal(self):
+        assert infer_data_type("x", "string", 3, 20, ["p", "q"]) == "nominal"
+
+    def test_bool_is_nominal(self):
+        assert infer_data_type("x", "bool", 2, 20, []) == "nominal"
+
+    def test_low_cardinality_int_is_nominal(self):
+        assert infer_data_type("rating", "int64", 5, 1000, []) == "nominal"
+
+    def test_high_cardinality_int_is_quantitative(self):
+        assert infer_data_type("count", "int64", 500, 1000, []) == "quantitative"
+
+    def test_geo_by_column_name(self):
+        assert infer_data_type("country", "string", 50, 100, ["x"]) == "geographic"
+        assert infer_data_type("neighbourhood", "string", 5, 100, ["x"]) == "geographic"
+
+    def test_geo_by_values(self):
+        values = ["France", "Germany", "Japan", "Brazil"]
+        assert infer_data_type("place", "string", 4, 100, values) == "geographic"
+
+    def test_id_detection(self):
+        assert infer_data_type("user_id", "int64", 995, 1000, []) == "id"
+
+    def test_id_requires_near_unique(self):
+        assert infer_data_type("user_id", "int64", 5, 1000, []) != "id"
+
+    def test_year_column_is_temporal(self):
+        assert infer_data_type("year", "int64", 30, 1000, []) == "temporal"
+
+
+class TestMetadata:
+    def test_stats(self, tiny):
+        meta = compute_metadata(tiny)
+        assert meta["n"].min == 1 and meta["n"].max == 5
+        assert meta["pop"].null_count == 1
+        assert meta["city"].cardinality == 3
+
+    def test_unique_values_stored(self, tiny):
+        meta = compute_metadata(tiny)
+        assert meta["city"].unique_values == ["a", "b", "c"]
+
+    def test_measures_and_dimensions(self, employees):
+        meta = compute_metadata(employees)
+        assert "Age" in meta.measures
+        assert "Education" in meta.dimensions
+        assert "Country" in meta.dimensions
+
+    def test_override(self, employees):
+        meta = compute_metadata(employees)
+        meta.override("Age", "nominal")
+        assert meta["Age"].data_type == "nominal"
+        with pytest.raises(ValueError):
+            meta.override("Age", "bogus")
+
+    def test_unique_cap(self):
+        frame = LuxDataFrame({"x": [f"v{i}" for i in range(2000)]})
+        meta = compute_metadata(frame)
+        assert meta["x"].unique_truncated
+        assert len(meta["x"].unique_values) == 1000
+        assert meta["x"].cardinality == 2000
+
+    def test_lux_frame_caches_metadata(self, employees):
+        m1 = employees.metadata
+        m2 = employees.metadata
+        assert m1 is m2
+
+    def test_mutation_expires_metadata(self, employees):
+        m1 = employees.metadata
+        employees["new"] = 1
+        assert employees.metadata is not m1
+        assert "new" in employees.metadata
+
+    def test_set_data_type_persists_across_refresh(self, employees):
+        employees.set_data_type({"Age": "nominal"})
+        employees["touch"] = 1  # expires metadata
+        assert employees.metadata["Age"].data_type == "nominal"
+
+
+class TestHistory:
+    def test_append_and_flags(self):
+        h = History()
+        h.append("filter")
+        assert h.was_filtered
+        assert not h.was_aggregated
+
+    def test_aggregation_flag(self):
+        h = History()
+        h.append("groupby_agg")
+        assert h.was_aggregated
+
+    def test_window(self):
+        h = History()
+        h.append("filter")
+        for _ in range(6):
+            h.append("setitem")
+        assert not h.was_filtered  # outside the 5-event window
+
+    def test_extend_from_merges_in_order(self):
+        parent = History()
+        parent.append("setitem")
+        child = History()
+        child.extend_from(parent)
+        child.append("filter")
+        assert child.ops() == ["setitem", "filter"]
+
+    def test_bounded(self):
+        h = History()
+        for _ in range(500):
+            h.append("setitem")
+        assert len(h) == History.MAX_EVENTS
+
+    def test_frame_records_operations(self, employees):
+        filtered = employees[employees["Age"] > 30]
+        assert filtered.history.was_filtered
+
+    def test_groupby_marks_aggregated(self, employees):
+        agg = employees.groupby("Education").mean()
+        assert agg.history.was_aggregated
+
+    def test_head_counts_as_filter(self, employees):
+        assert employees.head().history.was_filtered
+
+    def test_history_propagates_through_chains(self, employees):
+        out = employees[employees["Age"] > 30].head(3)
+        ops = out.history.ops()
+        assert "filter" in ops and "head" in ops
+
+    def test_mutation_recorded(self, employees):
+        employees["x"] = 1
+        assert "setitem" in employees.history.ops()
+
+    def test_parent_reference(self, employees):
+        child = employees[employees["Age"] > 30]
+        assert child.parent_frame is employees
+
+    def test_intent_propagates_to_derived(self, employees):
+        employees.intent = ["Age"]
+        child = employees[employees["Age"] > 30]
+        assert [c.attribute for c in child.intent] == ["Age"]

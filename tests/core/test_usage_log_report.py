@@ -1,0 +1,109 @@
+"""Unit tests for usage logging (lux-logger analogue) and HTML reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import usage_log
+from repro.core.usage_log import UsageLog
+from repro.vis.report import render_report
+
+
+@pytest.fixture(autouse=True)
+def _clean_log():
+    log = usage_log.get_log()
+    log.clear()
+    usage_log.enable()
+    yield
+    usage_log.disable()
+    log.clear()
+
+
+class TestUsageLog:
+    def test_print_events_recorded(self, employees):
+        repr(employees)
+        events = usage_log.get_log().events("print")
+        assert len(events) == 1
+        assert events[0].detail["rows"] == len(employees)
+
+    def test_intent_events_recorded(self, employees):
+        employees.intent = ["Age"]
+        assert len(usage_log.get_log().events("intent")) == 1
+
+    def test_export_events_recorded(self, employees):
+        employees.export("Distribution", 0)
+        events = usage_log.get_log().events("export")
+        assert events[0].detail["action"] == "Distribution"
+
+    def test_disabled_log_is_noop(self, employees):
+        usage_log.disable()
+        repr(employees)
+        assert len(usage_log.get_log()) == 0
+
+    def test_think_times(self):
+        log = UsageLog()
+        log.enabled = True
+        log.record("print")
+        log.record("print")
+        log.record("print")
+        gaps = log.think_times()
+        assert len(gaps) == 2
+        assert all(g >= 0 for g in gaps)
+
+    def test_summary(self, employees):
+        repr(employees)
+        repr(employees)
+        employees.intent = ["Age"]
+        summary = usage_log.get_log().summary()
+        assert summary["counts"]["print"] == 2
+        assert summary["counts"]["intent"] == 1
+        assert summary["n_gaps"] == 1
+
+    def test_jsonl_roundtrip(self, employees, tmp_path):
+        repr(employees)
+        employees.intent = ["Age"]
+        path = str(tmp_path / "log.jsonl")
+        usage_log.get_log().to_jsonl(path)
+        back = UsageLog.from_jsonl(path)
+        assert len(back) == len(usage_log.get_log())
+        kinds = [e.kind for e in back.events()]
+        assert "print" in kinds and "intent" in kinds
+
+    def test_bounded(self):
+        log = UsageLog()
+        log.enabled = True
+        log.MAX_EVENTS = 10
+        for _ in range(50):
+            log.record("print")
+        assert len(log) == 10
+
+
+class TestReport:
+    def test_render_report_structure(self, employees):
+        html = render_report({"Employees": employees}, title="Demo report")
+        assert "Demo report" in html
+        assert "Employees" in html
+        assert "Correlation" in html
+        assert "vega-lite" in html
+        assert "cardinality" in html  # summary table header
+
+    def test_to_report_writes_file(self, employees, tmp_path):
+        path = str(tmp_path / "report.html")
+        out = employees.to_report(path, title="HR overview")
+        assert out == path
+        content = open(path).read()
+        assert "HR overview" in content
+        assert "report-0-" in content  # chart divs present
+
+    def test_multi_frame_report(self, employees, tiny):
+        html = render_report({"A": employees, "B": tiny})
+        assert "<h2>A</h2>" in html and "<h2>B</h2>" in html
+
+    def test_report_is_json_safe(self, employees):
+        html = render_report({"E": employees})
+        # Extract the embedded spec payload and ensure it parses.
+        payload = html.split("const SPECS = ")[1].split(";\n")[0]
+        specs = json.loads(payload)
+        assert len(specs) > 0

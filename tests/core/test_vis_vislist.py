@@ -1,0 +1,120 @@
+"""Unit tests for Vis and VisList — the paper's Q1-Q7 queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Clause, IntentError, Vis, VisList, config
+
+
+class TestVis:
+    def test_q3_bar_chart(self, employees):
+        vis = Vis(["Age", "Education"], employees)
+        assert vis.mark == "bar"
+        assert vis.data is not None and len(vis.data) == 4
+
+    def test_q4_variance_aggregation(self, employees):
+        vis = Vis(
+            [Clause("MonthlyIncome", aggregation=np.var), "Attrition"],
+            employees,
+        )
+        assert vis.spec.x.aggregate == "var"
+        got = {r["Attrition"]: r["MonthlyIncome"] for r in vis.data}
+        sub = employees[employees["Attrition"] == "Yes"]
+        assert got["Yes"] == pytest.approx(sub["MonthlyIncome"].var())
+
+    def test_q2_axis_plus_filter(self, employees):
+        vis = Vis(["Age", "Department=Sales"], employees)
+        assert vis.spec.filters == [("Department", "=", "Sales")]
+        total = sum(r["count"] for r in vis.data)
+        assert total == len(employees[employees["Department"] == "Sales"])
+
+    def test_unattached_vis(self):
+        vis = Vis(["Age"])
+        assert vis.spec is None
+        assert "unattached" in repr(vis)
+
+    def test_refresh_source(self, employees):
+        vis = Vis(["Age"])
+        vis.refresh_source(employees)
+        assert vis.data is not None
+
+    def test_multi_vis_intent_rejected(self, employees):
+        with pytest.raises(IntentError, match="VisList"):
+            Vis(["Age", "Country=?"], employees)
+
+    def test_invalid_attribute_rejected(self, employees):
+        with pytest.raises(IntentError):
+            Vis(["Bogus"], employees)
+
+    def test_score_computed_lazily(self, employees):
+        vis = Vis(["Age", "MonthlyIncome"], employees)
+        assert vis.score is None
+        s = vis.compute_score()
+        assert 0.0 <= s <= 1.0
+        assert vis.compute_score() == s  # cached
+
+    def test_export_code(self, employees):
+        vis = Vis(["Age", "Education"], employees)
+        assert "alt.Chart" in vis.to_altair_code()
+        assert "plt." in vis.to_matplotlib_code()
+        d = vis.to_vegalite()
+        assert d["mark"] == "bar"
+        assert len(d["data"]["values"]) == 4
+
+    def test_ascii_render(self, employees):
+        assert "█" in Vis(["Age", "Education"], employees).to_ascii()
+
+    def test_renderers_require_source(self):
+        vis = Vis(["Age"])
+        with pytest.raises(IntentError):
+            vis.to_vegalite()
+
+
+class TestVisList:
+    def test_q5_union(self, employees):
+        rates = ["HourlyRate", "MonthlyIncome"]
+        vl = VisList(["Education", rates], employees)
+        assert len(vl) == 2
+        assert all(v.mark == "bar" for v in vl)
+
+    def test_q6_wildcard_pairs(self, employees):
+        any_q = Clause("?", data_type="quantitative")
+        vl = VisList([any_q, any_q], employees)
+        m = 3  # Age, MonthlyIncome, HourlyRate
+        assert len(vl) == m * (m - 1)
+
+    def test_q7_filter_wildcard(self, employees):
+        vl = VisList(["Age", "Country=?"], employees)
+        countries = employees.metadata["Country"].cardinality
+        assert len(vl) == countries
+        assert all(v.spec.filters for v in vl)
+
+    def test_all_processed(self, employees):
+        vl = VisList(["Age", "Country=?"], employees)
+        assert all(v.data is not None for v in vl)
+
+    def test_sort_by_score_descending(self, employees):
+        any_q = Clause("?", data_type="quantitative")
+        vl = VisList([any_q, any_q], employees).sort()
+        scores = [v.score for v in vl]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k(self, employees):
+        vl = VisList(["Age", "Country=?"], employees)
+        top = vl.top_k(2)
+        assert len(top) == 2
+
+    def test_empty_intent_raises(self, employees):
+        with pytest.raises(IntentError):
+            VisList(["Bogus"], employees)
+
+    def test_iteration_and_indexing(self, employees):
+        vl = VisList(["Education", ["Age", "HourlyRate"]], employees)
+        assert vl[0].mark == "bar"
+        assert len(list(vl)) == len(vl)
+
+    def test_repr(self, employees):
+        vl = VisList(["Age", "Country=?"], employees)
+        assert "visualizations" in repr(vl)

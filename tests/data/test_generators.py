@@ -1,0 +1,170 @@
+"""Unit tests for the synthetic dataset generators (DESIGN.md substitutions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro import LuxDataFrame
+from repro.data import (
+    MiniFaker,
+    make_airbnb,
+    make_communities,
+    make_covid_stringency,
+    make_hpi,
+    make_uci_like,
+    make_width_dataset,
+    sample_uci_sizes,
+)
+
+
+class TestMiniFaker:
+    def test_deterministic(self):
+        a = MiniFaker(1).names(10)
+        b = MiniFaker(1).names(10)
+        assert a == b
+
+    def test_words_cardinality_exact(self):
+        words = MiniFaker(0).words(5000, cardinality=137)
+        assert len(set(words)) == 137
+
+    def test_words_cardinality_one(self):
+        assert set(MiniFaker(0).words(10, cardinality=1)) == {"alpha"}
+
+    def test_dates_within_span(self):
+        dates = MiniFaker(0).dates(100, start="2020-01-01", span_days=10)
+        assert dates.min() >= np.datetime64("2020-01-01")
+        assert dates.max() < np.datetime64("2020-01-11")
+
+    def test_numeric_generators(self):
+        f = MiniFaker(0)
+        assert len(f.integers(10)) == 10
+        assert len(f.floats(10)) == 10
+        assert (f.lognormals(100) > 0).all()
+
+
+class TestAirbnb:
+    def test_schema(self):
+        df = make_airbnb(1000)
+        assert df.shape == (1000, 12)
+        types = df.data_types
+        assert types["price"] == "quantitative"
+        assert types["neighbourhood_group"] == "geographic"
+        assert types["room_type"] == "nominal"
+        assert types["id"] == "id"
+
+    def test_price_right_skewed(self):
+        df = make_airbnb(5000)
+        assert stats.skew(np.asarray(df["price"].to_list())) > 1.0
+
+    def test_deterministic(self):
+        assert make_airbnb(100, seed=5).equals(make_airbnb(100, seed=5))
+
+    def test_is_lux_frame(self):
+        assert isinstance(make_airbnb(10), LuxDataFrame)
+
+
+class TestCommunities:
+    def test_width(self):
+        df = make_communities(200)
+        assert df.shape == (200, 128)
+
+    def test_mostly_quantitative(self):
+        df = make_communities(200)
+        meta = df.metadata
+        assert len(meta.measures) == 126
+
+    def test_values_normalized(self):
+        df = make_communities(100)
+        col = df.column(df.columns[5])
+        assert col.min() >= 0.0 and col.max() <= 1.0
+
+    def test_correlated_blocks_exist(self):
+        df = make_communities(1000)
+        cols = [c for c in df.columns if c not in ("communityname", "state")]
+        a = np.asarray(df[cols[0]].to_list())
+        b = np.asarray(df[cols[1]].to_list())
+        # Same factor block with high loadings -> strong correlation.
+        assert abs(np.corrcoef(a, b)[0, 1]) > 0.5
+
+    def test_custom_width(self):
+        assert make_communities(50, n_cols=40).shape == (50, 40)
+
+
+class TestHpiCovid:
+    def test_hpi_negative_correlation(self):
+        df = make_hpi()
+        x = np.asarray(df["AvrgLifeExpectancy"].to_list())
+        y = np.asarray(df["Inequality"].to_list())
+        assert np.corrcoef(x, y)[0, 1] < -0.8
+
+    def test_hpi_g10_flag(self):
+        df = make_hpi()
+        assert set(df["G10"].unique()) == {"true", "false"}
+
+    def test_covid_stringency_bounds(self):
+        df = make_covid_stringency()
+        values = df["stringency"].to_list()
+        assert all(0 <= v <= 100 for v in values)
+
+    def test_covid_china_italy_strict(self):
+        df = make_covid_stringency()
+        strict = {r["Entity"]: r["stringency"] for r in df.to_records()}
+        assert strict["China"] > 75 and strict["Italy"] > 75
+
+    def test_join_compatibility(self):
+        hpi = make_hpi()
+        covid = make_covid_stringency()
+        merged = covid.merge(
+            hpi, left_on=["Entity", "Code"], right_on=["Country", "iso3"]
+        )
+        assert len(merged) >= 40  # nearly all countries join
+
+
+class TestWidthDataset:
+    def test_type_mix(self):
+        df = make_width_dataset(500, 100)
+        meta = df.metadata
+        quant = len(meta.measures)
+        nominal = len(meta.columns_of_type("nominal"))
+        temporal = len(meta.columns_of_type("temporal"))
+        geo = len(meta.columns_of_type("geographic"))
+        # 78/20/2 split (nominal columns may classify as geographic by name;
+        # none should here).
+        assert quant == 78
+        assert nominal + geo >= 18  # high-cardinality nominals are capped out
+        assert temporal == 2
+
+    def test_cardinality_geometric_series(self):
+        df = make_width_dataset(5000, 50)
+        nominal_cols = [c for c in df.columns if c.startswith("nominal_")]
+        cards = [df[c].nunique() for c in nominal_cols]
+        assert cards == sorted(cards)  # geometric series is increasing
+        assert cards[0] <= 5
+
+    def test_small_widths(self):
+        assert make_width_dataset(100, 3).shape == (100, 3)
+        assert make_width_dataset(100, 1).shape == (100, 1)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            make_width_dataset(10, 0)
+
+
+class TestUci:
+    def test_sample_sizes_bounds(self):
+        sizes = sample_uci_sizes(200, seed=1)
+        assert all(10 <= s.rows <= 10_000_000 for s in sizes)
+        assert all(2 <= s.cols <= 500 for s in sizes)
+
+    def test_long_tail(self):
+        sizes = sample_uci_sizes(500, seed=2)
+        rows = sorted(s.rows for s in sizes)
+        median = rows[len(rows) // 2]
+        assert rows[-1] > 20 * median  # heavy right tail
+
+    def test_make_uci_like(self):
+        size = sample_uci_sizes(1, seed=3)[0]
+        small = make_uci_like(type(size)(rows=50, cols=10))
+        assert small.shape == (50, 10)

@@ -1,0 +1,269 @@
+"""Unit tests for Column: the null-aware typed vector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe.column import Column
+from repro.dataframe.dtypes import BOOL, DATETIME, FLOAT64, INT64, STRING
+
+
+@pytest.fixture
+def nums() -> Column:
+    return Column.from_data([1.0, 2.0, None, 4.0])
+
+
+@pytest.fixture
+def words() -> Column:
+    return Column.from_data(["a", "b", None, "a"])
+
+
+class TestConstruction:
+    def test_from_list(self):
+        c = Column.from_data([1, 2, 3])
+        assert c.dtype is INT64
+        assert len(c) == 3
+
+    def test_full_scalar(self):
+        c = Column.full(3, "x")
+        assert c.to_list() == ["x", "x", "x"]
+
+    def test_full_none(self):
+        c = Column.full(2, None, "float64")
+        assert c.null_count() == 2
+
+    def test_from_column_copies(self):
+        a = Column.from_data([1, 2])
+        b = Column.from_data(a)
+        b.values[0] = 99
+        assert a[0] == 1
+
+    def test_getitem_returns_python_scalars(self):
+        c = Column.from_data([1, 2])
+        assert isinstance(c[0], int)
+        f = Column.from_data([1.5])
+        assert isinstance(f[0], float)
+        b = Column.from_data([True])
+        assert isinstance(b[0], bool)
+
+    def test_masked_getitem_is_none(self, nums):
+        assert nums[2] is None
+
+    def test_iteration(self, nums):
+        assert list(nums) == [1.0, 2.0, None, 4.0]
+
+
+class TestSelection:
+    def test_take(self, nums):
+        out = nums.take(np.array([3, 0]))
+        assert out.to_list() == [4.0, 1.0]
+
+    def test_take_negative_gives_missing(self, nums):
+        out = nums.take(np.array([0, -1]))
+        assert out.to_list() == [1.0, None]
+
+    def test_filter(self, nums):
+        out = nums.filter(np.array([True, False, True, False]))
+        assert out.to_list() == [1.0, None]
+
+    def test_slice(self, nums):
+        assert nums.slice(slice(1, 3)).to_list() == [2.0, None]
+
+    def test_concat_same_dtype(self):
+        a = Column.from_data([1, 2])
+        b = Column.from_data([3])
+        assert a.concat(b).to_list() == [1, 2, 3]
+
+    def test_concat_promotes_numeric(self):
+        a = Column.from_data([1, 2])
+        b = Column.from_data([1.5])
+        out = a.concat(b)
+        assert out.dtype is FLOAT64
+
+    def test_concat_falls_back_to_string(self):
+        a = Column.from_data([1])
+        b = Column.from_data(["x"])
+        out = a.concat(b)
+        assert out.dtype is STRING
+        assert out.to_list() == ["1", "x"]
+
+
+class TestCasting:
+    def test_astype_string(self, nums):
+        out = nums.astype("string")
+        assert out.to_list() == ["1.0", "2.0", None, "4.0"]
+
+    def test_astype_string_to_float(self):
+        c = Column.from_data(["1.5", "bad", None])
+        out = c.astype("float64")
+        assert out.to_list() == [1.5, None, None]
+
+    def test_astype_string_to_datetime(self):
+        c = Column.from_data(["2020-01-02", "junk"])
+        out = c.astype("datetime")
+        assert out.dtype is DATETIME
+        assert out.null_count() == 1
+
+    def test_to_float_has_nan_at_missing(self, nums):
+        f = nums.to_float()
+        assert np.isnan(f[2])
+
+    def test_to_float_string_raises(self, words):
+        with pytest.raises(TypeError):
+            words.to_float()
+
+
+class TestMissing:
+    def test_isna(self, nums):
+        assert nums.isna().tolist() == [False, False, True, False]
+
+    def test_fillna(self, nums):
+        assert nums.fillna(0.0).to_list() == [1.0, 2.0, 0.0, 4.0]
+
+    def test_fillna_string(self, words):
+        assert words.fillna("?").to_list() == ["a", "b", "?", "a"]
+
+    def test_dropna(self, nums):
+        assert nums.dropna().to_list() == [1.0, 2.0, 4.0]
+
+
+class TestReductions:
+    def test_sum_skips_missing(self, nums):
+        assert nums.sum() == 7.0
+
+    def test_mean(self, nums):
+        assert nums.mean() == pytest.approx(7 / 3)
+
+    def test_var_matches_numpy(self):
+        c = Column.from_data([1.0, 2.0, 3.0, 4.0])
+        assert c.var() == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+
+    def test_min_max(self, nums):
+        assert nums.min() == 1.0
+        assert nums.max() == 4.0
+
+    def test_min_int_type(self):
+        c = Column.from_data([3, 1, 2])
+        assert c.min() == 1 and isinstance(c.min(), int)
+
+    def test_min_string(self, words):
+        assert words.min() == "a"
+        assert words.max() == "b"
+
+    def test_count(self, nums):
+        assert nums.count() == 3
+
+    def test_empty_reductions(self):
+        c = Column.from_data([], "float64")
+        assert c.sum() == 0.0
+        assert np.isnan(c.mean())
+        assert c.min() is None
+
+    def test_median(self):
+        assert Column.from_data([1.0, 2.0, 9.0]).median() == 2.0
+
+
+class TestUniques:
+    def test_unique_order(self, words):
+        assert words.unique() == ["a", "b"]
+
+    def test_nunique(self, words):
+        assert words.nunique() == 2
+
+    def test_value_counts_sorted(self, words):
+        assert words.value_counts() == [("a", 2), ("b", 1)]
+
+    def test_factorize(self, words):
+        codes, labels = words.factorize()
+        assert codes.tolist() == [0, 1, -1, 0]
+        assert labels == ["a", "b"]
+
+    def test_factorize_numeric(self):
+        codes, labels = Column.from_data([5, 7, 5]).factorize()
+        assert codes.tolist() == [0, 1, 0]
+        assert labels == [5, 7]
+
+
+class TestOps:
+    def test_add_scalar(self):
+        out = Column.from_data([1, 2]) + 1
+        assert out.to_list() == [2, 3]
+
+    def test_add_columns_mask_propagates(self, nums):
+        out = nums + nums
+        assert out.to_list() == [2.0, 4.0, None, 8.0]
+
+    def test_truediv_is_float(self):
+        out = Column.from_data([4, 2]) / Column.from_data([2, 2])
+        assert out.dtype is FLOAT64
+        assert out.to_list() == [2.0, 1.0]
+
+    def test_compare(self, nums):
+        out = nums > 1.5
+        assert out.dtype is BOOL
+        assert out.values.tolist()[0:2] == [False, True]
+        assert out.mask[2]
+
+    def test_string_equality(self, words):
+        out = words == "a"
+        assert out.values.tolist() == [True, False, False, True]
+
+    def test_and_or_invert(self):
+        a = Column.from_data([True, False])
+        b = Column.from_data([True, True])
+        assert (a & b).values.tolist() == [True, False]
+        assert (a | b).values.tolist() == [True, True]
+        assert (~a).values.tolist() == [False, True]
+
+    def test_invert_requires_bool(self, nums):
+        with pytest.raises(TypeError):
+            ~nums
+
+    def test_isin(self, words):
+        out = words.isin(["a"])
+        assert out.values.tolist() == [True, False, False, True]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Column.from_data([1, 2]) + Column.from_data([1])
+
+    def test_datetime_compare_with_string(self):
+        c = Column.from_data(["2020-01-01", "2021-01-01"]).astype("datetime")
+        out = c > "2020-06-01"
+        assert out.values.tolist() == [False, True]
+
+
+class TestSorting:
+    def test_argsort_ascending(self):
+        c = Column.from_data([3.0, 1.0, 2.0])
+        assert c.argsort().tolist() == [1, 2, 0]
+
+    def test_argsort_descending(self):
+        c = Column.from_data([3.0, 1.0, 2.0])
+        assert c.argsort(ascending=False).tolist() == [0, 2, 1]
+
+    def test_argsort_missing_last(self, nums):
+        order = nums.argsort()
+        assert order[-1] == 2
+
+    def test_argsort_strings(self, words):
+        order = words.argsort()
+        assert order.tolist()[:3] == [0, 3, 1]
+        assert order[-1] == 2
+
+    def test_argsort_stable(self):
+        c = Column.from_data([1, 1, 0])
+        assert c.argsort().tolist() == [2, 0, 1]
+
+
+class TestEquals:
+    def test_equals_same(self, nums):
+        assert nums.equals(nums.copy())
+
+    def test_not_equal_different_mask(self, nums):
+        other = nums.fillna(0.0)
+        assert not nums.equals(other)
+
+    def test_not_equal_different_dtype(self):
+        assert not Column.from_data([1]).equals(Column.from_data([1.0]))

@@ -1,0 +1,149 @@
+"""Unit tests for the dtype system and coercion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import dtypes as dt
+from repro.dataframe.dtypes import BOOL, DATETIME, FLOAT64, INT64, STRING, coerce
+
+
+class TestLookup:
+    def test_canonical_names(self):
+        assert dt.lookup("int64") is INT64
+        assert dt.lookup("float64") is FLOAT64
+        assert dt.lookup("bool") is BOOL
+        assert dt.lookup("string") is STRING
+        assert dt.lookup("datetime") is DATETIME
+
+    def test_aliases(self):
+        assert dt.lookup("int") is INT64
+        assert dt.lookup("float") is FLOAT64
+        assert dt.lookup("str") is STRING
+        assert dt.lookup("object") is STRING
+        assert dt.lookup("datetime64[ns]") is DATETIME
+
+    def test_lookup_passthrough(self):
+        assert dt.lookup(INT64) is INT64
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeError):
+            dt.lookup("complex128")
+
+    def test_equality_with_string(self):
+        assert INT64 == "int64"
+        assert not (INT64 == "float64")
+
+    def test_hashable(self):
+        assert len({INT64, FLOAT64, INT64}) == 2
+
+
+class TestInference:
+    def test_ints(self):
+        assert dt.infer_dtype([1, 2, 3]) is INT64
+
+    def test_floats(self):
+        assert dt.infer_dtype([1.5, 2.5]) is FLOAT64
+
+    def test_mixed_numeric_promotes(self):
+        assert dt.infer_dtype([1, 2.5]) is FLOAT64
+
+    def test_bools(self):
+        assert dt.infer_dtype([True, False]) is BOOL
+
+    def test_strings_dominate(self):
+        assert dt.infer_dtype([1, "a"]) is STRING
+
+    def test_none_ignored(self):
+        assert dt.infer_dtype([None, 1, None]) is INT64
+
+    def test_all_none_defaults_float(self):
+        assert dt.infer_dtype([None, None]) is FLOAT64
+
+    def test_datetimes(self):
+        assert dt.infer_dtype([np.datetime64("2020-01-01")]) is DATETIME
+
+
+class TestCoerce:
+    def test_int_list(self):
+        values, mask, d = coerce([1, 2, 3])
+        assert d is INT64
+        assert values.dtype == np.int64
+        assert not mask.any()
+
+    def test_none_in_ints_keeps_int_container(self):
+        values, mask, d = coerce([1, None, 3], "int64")
+        assert d is INT64
+        assert mask.tolist() == [False, True, False]
+
+    def test_float_nan_is_missing(self):
+        values, mask, d = coerce([1.0, float("nan")])
+        assert d is FLOAT64
+        assert mask.tolist() == [False, True]
+
+    def test_string_coercion_stringifies(self):
+        values, mask, d = coerce([1, "a"], "string")
+        assert values.tolist() == ["1", "a"]
+        assert d is STRING
+
+    def test_datetime_from_strings(self):
+        values, mask, d = coerce(["2020-01-01", None], "datetime")
+        assert d is DATETIME
+        assert mask.tolist() == [False, True]
+        assert values[0] == np.datetime64("2020-01-01", "ns")
+
+    def test_bool_from_numbers(self):
+        values, mask, d = coerce([0, 1, 2], "bool")
+        assert values.tolist() == [False, True, True]
+
+    def test_ndarray_float_passthrough(self):
+        arr = np.array([1.0, np.nan])
+        values, mask, d = coerce(arr)
+        assert d is FLOAT64
+        assert mask.tolist() == [False, True]
+
+    def test_ndarray_int(self):
+        values, mask, d = coerce(np.array([1, 2], dtype=np.int32))
+        assert d is INT64
+        assert values.dtype == np.int64
+
+    def test_ndarray_object_goes_through_inference(self):
+        values, mask, d = coerce(np.array(["x", "y"], dtype=object))
+        assert d is STRING
+
+    def test_ndarray_unicode(self):
+        values, mask, d = coerce(np.array(["x", "y"]))
+        assert d is STRING
+        assert values.tolist() == ["x", "y"]
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            coerce(np.zeros((2, 2)))
+
+    def test_float_to_int_cast(self):
+        values, mask, d = coerce(np.array([1.0, 2.0]), "int64")
+        assert d is INT64
+        assert values.tolist() == [1, 2]
+
+    def test_int_to_float_cast(self):
+        values, mask, d = coerce(np.array([1, 2]), "float64")
+        assert d is FLOAT64
+
+
+class TestHelpers:
+    def test_fill_values(self):
+        assert np.isnan(dt.fill_value(FLOAT64))
+        assert dt.fill_value(INT64) == 0
+        assert dt.fill_value(STRING) is None
+        assert np.isnat(dt.fill_value(DATETIME))
+
+    def test_is_numeric(self):
+        assert dt.is_numeric(INT64) and dt.is_numeric(FLOAT64) and dt.is_numeric(BOOL)
+        assert not dt.is_numeric(STRING)
+        assert not dt.is_numeric(DATETIME)
+
+    def test_result_dtype_promotion(self):
+        assert dt.result_dtype(INT64, FLOAT64) is FLOAT64
+        assert dt.result_dtype(INT64, INT64) is INT64
+        assert dt.result_dtype(BOOL, BOOL) is INT64

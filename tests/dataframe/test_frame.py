@@ -1,0 +1,300 @@
+"""Unit tests for the DataFrame core."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, Index, RangeIndex, Series, concat
+
+
+@pytest.fixture
+def df() -> DataFrame:
+    return DataFrame(
+        {
+            "city": ["a", "b", "a", "c", None],
+            "pop": [1.0, 2.0, 3.0, None, 5.0],
+            "n": [1, 2, 3, 4, 5],
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_dict(self, df):
+        assert df.shape == (5, 3)
+        assert df.columns == ["city", "pop", "n"]
+
+    def test_from_records(self):
+        out = DataFrame([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert out.shape == (2, 2)
+        assert out["a"].to_list() == [1, 2]
+
+    def test_from_dataframe_copies(self, df):
+        other = DataFrame(df)
+        other["n"] = [9, 9, 9, 9, 9]
+        assert df["n"].to_list() == [1, 2, 3, 4, 5]
+
+    def test_column_order_override(self):
+        out = DataFrame({"a": [1], "b": [2]}, columns=["b", "a"])
+        assert out.columns == ["b", "a"]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_empty(self):
+        out = DataFrame({})
+        assert out.empty
+        assert len(out) == 0
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(TypeError):
+            DataFrame(42)
+
+
+class TestSelection:
+    def test_getitem_series(self, df):
+        s = df["pop"]
+        assert isinstance(s, Series)
+        assert s.name == "pop"
+
+    def test_getitem_missing_raises(self, df):
+        with pytest.raises(KeyError):
+            df["nope"]
+
+    def test_getitem_list(self, df):
+        sub = df[["n", "city"]]
+        assert sub.columns == ["n", "city"]
+
+    def test_dot_access(self, df):
+        assert df.pop_ if False else df.n.to_list() == [1, 2, 3, 4, 5]
+
+    def test_boolean_filter(self, df):
+        out = df[df["n"] >= 3]
+        assert len(out) == 3
+
+    def test_boolean_filter_masks_missing(self, df):
+        out = df[df["pop"] > 0]  # row with missing pop excluded
+        assert len(out) == 4
+
+    def test_slice(self, df):
+        assert len(df[1:3]) == 2
+
+    def test_iloc_int(self, df):
+        row = df.iloc[0]
+        assert row == {"city": "a", "pop": 1.0, "n": 1}
+
+    def test_iloc_negative(self, df):
+        assert df.iloc[-1]["n"] == 5
+
+    def test_iloc_slice(self, df):
+        assert len(df.iloc[0:2]) == 2
+
+    def test_iloc_bool_array(self, df):
+        assert len(df.iloc[np.array([True, False, True, False, False])]) == 2
+
+    def test_loc_label(self, df):
+        indexed = df.set_index("city")
+        assert indexed.loc["b"]["n"] == 2
+
+    def test_head_tail(self, df):
+        assert len(df.head(2)) == 2
+        assert df.tail(2)["n"].to_list() == [4, 5]
+
+    def test_contains(self, df):
+        assert "city" in df and "nope" not in df
+
+
+class TestMutation:
+    def test_setitem_list(self, df):
+        df["x"] = [0, 0, 0, 0, 0]
+        assert df.columns[-1] == "x"
+
+    def test_setitem_scalar_broadcast(self, df):
+        df["flag"] = 1
+        assert df["flag"].to_list() == [1] * 5
+
+    def test_setitem_series(self, df):
+        df["double"] = df["n"] * 2
+        assert df["double"].to_list() == [2, 4, 6, 8, 10]
+
+    def test_setitem_length_mismatch(self, df):
+        with pytest.raises(ValueError):
+            df["bad"] = [1, 2]
+
+    def test_delitem(self, df):
+        del df["city"]
+        assert "city" not in df.columns
+
+    def test_rename(self, df):
+        out = df.rename(columns={"pop": "population"})
+        assert "population" in out.columns
+        assert "pop" in df.columns
+
+    def test_rename_inplace(self, df):
+        assert df.rename(columns={"pop": "population"}, inplace=True) is None
+        assert "population" in df.columns
+
+    def test_drop(self, df):
+        out = df.drop("city")
+        assert out.columns == ["pop", "n"]
+
+    def test_drop_missing_raises(self, df):
+        with pytest.raises(KeyError):
+            df.drop("nope")
+
+    def test_dropna(self, df):
+        assert len(df.dropna()) == 3
+
+    def test_dropna_subset(self, df):
+        assert len(df.dropna(subset=["pop"])) == 4
+
+    def test_fillna(self, df):
+        out = df.fillna(0.0)
+        assert out["pop"].to_list()[3] == 0.0
+
+    def test_isna(self, df):
+        na = df.isna()
+        assert na["pop"].to_list() == [False, False, False, True, False]
+
+
+class TestSorting:
+    def test_sort_values(self, df):
+        out = df.sort_values("pop")
+        assert out["pop"].to_list()[:4] == [1.0, 2.0, 3.0, 5.0]
+        assert out["pop"].to_list()[4] is None
+
+    def test_sort_descending(self, df):
+        assert df.sort_values("n", ascending=False)["n"].to_list() == [5, 4, 3, 2, 1]
+
+    def test_sort_multi_key(self):
+        t = DataFrame({"g": ["b", "a", "b", "a"], "v": [2, 1, 1, 2]})
+        out = t.sort_values(["g", "v"])
+        assert out["g"].to_list() == ["a", "a", "b", "b"]
+        assert out["v"].to_list() == [1, 2, 1, 2]
+
+    def test_sort_mixed_directions(self):
+        t = DataFrame({"g": ["a", "a", "b"], "v": [1, 2, 0]})
+        out = t.sort_values(["g", "v"], ascending=[True, False])
+        assert out["v"].to_list() == [2, 1, 0]
+
+    def test_nlargest(self, df):
+        assert df.nlargest(2, "n")["n"].to_list() == [5, 4]
+
+
+class TestStats:
+    def test_mean(self, df):
+        assert df.mean()["n"] == 3.0
+
+    def test_describe_shape(self, df):
+        d = df.describe()
+        assert d.columns == ["pop", "n"]
+        assert len(d) == 6
+
+    def test_corr_identity_diagonal(self):
+        t = DataFrame({"a": [1.0, 2.0, 3.0], "b": [2.0, 4.0, 6.0]})
+        c = t.corr()
+        assert c["a"].to_list()[0] == pytest.approx(1.0)
+        assert c["b"].to_list()[0] == pytest.approx(1.0)
+
+    def test_nunique(self, df):
+        assert df.nunique() == {"city": 3, "pop": 4, "n": 5}
+
+    def test_count(self, df):
+        assert df.count() == {"city": 4, "pop": 4, "n": 5}
+
+
+class TestIndexOps:
+    def test_set_index(self, df):
+        out = df.set_index("city")
+        assert out.index.name == "city"
+        assert "city" not in out.columns
+
+    def test_reset_index(self, df):
+        out = df.set_index("city").reset_index()
+        assert out.columns[0] == "city"
+        assert out.index.is_default
+
+    def test_reset_index_drop(self, df):
+        out = df.set_index("city").reset_index(drop=True)
+        assert "city" not in out.columns
+
+    def test_rangeindex_semantics(self):
+        idx = RangeIndex(3)
+        assert list(idx) == [0, 1, 2]
+        assert idx.get_loc(1) == 1
+        with pytest.raises(KeyError):
+            idx.get_loc(9)
+
+    def test_labelled_index(self):
+        idx = Index(["x", "y"], name="k")
+        assert idx.get_loc("y") == 1
+        assert not idx.is_default
+
+
+class TestConversion:
+    def test_to_records_roundtrip(self, df):
+        out = DataFrame(df.to_records())
+        assert out.equals(df)
+
+    def test_to_dict(self, df):
+        assert df.to_dict()["n"] == [1, 2, 3, 4, 5]
+
+    def test_itertuples(self, df):
+        rows = list(df.itertuples())
+        assert rows[0] == ("a", 1.0, 1)
+
+    def test_equals(self, df):
+        assert df.equals(df.copy())
+        assert not df.equals(df.drop("n"))
+
+    def test_content_hash_stable(self, df):
+        assert df.content_hash() == df.copy().content_hash()
+
+    def test_content_hash_changes(self, df):
+        before = df.content_hash()
+        df["n"] = df["n"] * 2
+        assert df.content_hash() != before
+
+    def test_repr_contains_dims(self, df):
+        # Base DataFrame repr (not the Lux one) reports dimensions.
+        text = DataFrame({"a": [1]}).to_string()
+        assert "1 rows x 1 columns" in text
+
+
+class TestSample:
+    def test_sample_n(self, df):
+        assert len(df.sample(n=2, random_state=0)) == 2
+
+    def test_sample_frac(self, df):
+        assert len(df.sample(frac=0.4, random_state=0)) == 2
+
+    def test_sample_deterministic(self, df):
+        a = df.sample(n=3, random_state=1)
+        b = df.sample(n=3, random_state=1)
+        assert a.equals(b)
+
+    def test_sample_requires_one_arg(self, df):
+        with pytest.raises(ValueError):
+            df.sample()
+        with pytest.raises(ValueError):
+            df.sample(n=1, frac=0.5)
+
+    def test_sample_caps_at_length(self, df):
+        assert len(df.sample(n=100, random_state=0)) == 5
+
+
+class TestConcat:
+    def test_concat_stacks(self, df):
+        out = concat([df, df])
+        assert len(out) == 10
+
+    def test_concat_union_columns(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"y": [2.0]})
+        out = concat([a, b])
+        assert out.columns == ["x", "y"]
+        assert out["x"].to_list() == [1, None]
+
+    def test_concat_empty(self):
+        assert concat([]).empty

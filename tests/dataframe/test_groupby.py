@@ -1,0 +1,189 @@
+"""Unit tests for GroupBy aggregation kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.dataframe.groupby import normalize_aggfunc
+
+
+@pytest.fixture
+def sales() -> DataFrame:
+    return DataFrame(
+        {
+            "region": ["n", "s", "n", "s", "n", None],
+            "product": ["x", "x", "y", "y", "x", "x"],
+            "amount": [10.0, 20.0, 30.0, None, 50.0, 60.0],
+            "units": [1, 2, 3, 4, 5, 6],
+        }
+    )
+
+
+class TestSingleKey:
+    def test_mean(self, sales):
+        out = sales.groupby("region").mean()
+        assert out.index.to_list() == ["n", "s"]
+        assert out["amount"].to_list() == [30.0, 20.0]
+
+    def test_sum(self, sales):
+        out = sales.groupby("region").sum()
+        assert out["units"].to_list() == [9, 6]
+
+    def test_count_skips_missing_values(self, sales):
+        out = sales.groupby("region").count()
+        assert out["amount"].to_list() == [3, 1]
+
+    def test_min_max(self, sales):
+        out = sales.groupby("region").min()
+        assert out["units"].to_list() == [1, 2]
+        assert sales.groupby("region").max()["units"].to_list() == [5, 4]
+
+    def test_var_matches_numpy(self, sales):
+        out = sales.groupby("region").var()
+        expected = np.var([10.0, 30.0, 50.0], ddof=1)
+        assert out["amount"].to_list()[0] == pytest.approx(expected)
+
+    def test_var_single_element_group_is_missing(self, sales):
+        out = sales.groupby("region").var()
+        assert out["amount"].to_list()[1] is None
+
+    def test_median(self, sales):
+        out = sales.groupby("region").median()
+        assert out["amount"].to_list()[0] == 30.0
+
+    def test_first(self, sales):
+        out = sales.groupby("region").first()
+        assert out["product"].to_list() == ["x", "x"]
+
+    def test_std_is_sqrt_var(self, sales):
+        v = sales.groupby("region").var()["amount"].to_list()[0]
+        s = sales.groupby("region").std()["amount"].to_list()[0]
+        assert s == pytest.approx(np.sqrt(v))
+
+    def test_size(self, sales):
+        out = sales.groupby("region").size()
+        assert out.to_list() == [3, 2]
+
+    def test_size_frame(self, sales):
+        out = sales.groupby("region").size_frame()
+        assert out["count"].to_list() == [3, 2]
+        assert out["region"].to_list() == ["n", "s"]
+
+    def test_missing_key_rows_dropped(self, sales):
+        out = sales.groupby("region").sum()
+        assert len(out) == 2  # the None region row is excluded
+
+    def test_agg_dict(self, sales):
+        out = sales.groupby("region").agg({"amount": "mean", "units": "sum"})
+        assert out.columns == ["amount", "units"]
+
+    def test_agg_list(self, sales):
+        out = sales.groupby("region").agg(["mean", "sum"])
+        assert "amount_mean" in out.columns
+        assert "units_sum" in out.columns
+
+    def test_agg_numpy_callable(self, sales):
+        out = sales.groupby("region").agg({"amount": np.mean})
+        assert out["amount"].to_list() == [30.0, 20.0]
+
+    def test_index_is_labelled(self, sales):
+        out = sales.groupby("region").mean()
+        assert out.index.name == "region"
+        assert not out.index.is_default
+
+    def test_unknown_key_raises(self, sales):
+        with pytest.raises(KeyError):
+            sales.groupby("nope")
+
+
+class TestMultiKey:
+    def test_multikey_keys_as_columns(self, sales):
+        out = sales.groupby(["region", "product"]).mean()
+        assert out.columns[:2] == ["region", "product"]
+        assert out.index.is_default
+
+    def test_multikey_values(self, sales):
+        out = sales.groupby(["region", "product"]).sum()
+        rec = {
+            (r["region"], r["product"]): r["units"] for r in out.to_records()
+        }
+        assert rec[("n", "x")] == 6
+        assert rec[("n", "y")] == 3
+        assert rec[("s", "y")] == 4
+
+    def test_multikey_size_frame(self, sales):
+        out = sales.groupby(["region", "product"]).size_frame()
+        total = sum(out["count"].to_list())
+        assert total == 5  # None-region row dropped
+
+
+class TestColumnSubsetting:
+    def test_series_groupby_mean(self, sales):
+        s = sales.groupby("region")["amount"].mean()
+        assert s.to_list() == [30.0, 20.0]
+        assert s.index.to_list() == ["n", "s"]
+
+    def test_series_groupby_agg(self, sales):
+        s = sales.groupby("region")["units"].agg("max")
+        assert s.to_list() == [5, 4]
+
+    def test_groupby_list_subset(self, sales):
+        out = sales.groupby("region")[["units"]].sum()
+        assert out.columns == ["units"]
+
+    def test_missing_column_raises(self, sales):
+        with pytest.raises(KeyError):
+            sales.groupby("region")["nope"]
+
+
+class TestIteration:
+    def test_iter_groups(self, sales):
+        groups = dict(iter(sales.groupby("region")))
+        assert set(groups) == {"n", "s"}
+        assert len(groups["n"]) == 3
+
+    def test_ngroups(self, sales):
+        assert sales.groupby("region").ngroups == 2
+
+    def test_iter_multikey_tuple_keys(self, sales):
+        keys = [k for k, _ in sales.groupby(["region", "product"])]
+        assert ("n", "x") in keys
+
+
+class TestAggAliases:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [("avg", "mean"), ("average", "mean"), ("size", "count"), ("stdev", "std")],
+    )
+    def test_aliases(self, alias, expected):
+        assert normalize_aggfunc(alias) == expected
+
+    def test_numpy_functions(self):
+        assert normalize_aggfunc(np.var) == "var"
+        assert normalize_aggfunc(np.mean) == "mean"
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeError):
+            normalize_aggfunc("frobnicate")
+        with pytest.raises(TypeError):
+            normalize_aggfunc(lambda x: x)
+
+
+class TestGroupbySumLoopEquivalence:
+    def test_against_manual_loop(self):
+        rng = np.random.default_rng(3)
+        frame = DataFrame(
+            {
+                "k": rng.choice(["a", "b", "c", "d"], 500).tolist(),
+                "v": rng.normal(0, 1, 500),
+            }
+        )
+        out = frame.groupby("k").sum()
+        got = dict(zip(out.index.to_list(), out["v"].to_list()))
+        expected: dict[str, float] = {}
+        for k, v in zip(frame["k"].to_list(), frame["v"].to_list()):
+            expected[k] = expected.get(k, 0.0) + v
+        for k in expected:
+            assert got[k] == pytest.approx(expected[k])

@@ -1,0 +1,159 @@
+"""Unit tests for merge, pivot, crosstab, and melt."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, Series, crosstab, melt, merge, pivot_table
+
+
+@pytest.fixture
+def left() -> DataFrame:
+    return DataFrame({"k": ["a", "b", "c", "a"], "v": [1, 2, 3, 4]})
+
+
+@pytest.fixture
+def right() -> DataFrame:
+    return DataFrame({"k": ["a", "b", "d"], "w": [10.0, 20.0, 40.0]})
+
+
+class TestMerge:
+    def test_inner(self, left, right):
+        out = merge(left, right, on="k")
+        assert len(out) == 3
+        assert set(zip(out["k"].to_list(), out["w"].to_list())) == {
+            ("a", 10.0), ("b", 20.0), ("a", 10.0),
+        }
+
+    def test_left(self, left, right):
+        out = merge(left, right, how="left", on="k")
+        assert len(out) == 4
+        missing = [w for k, w in zip(out["k"], out["w"]) if k == "c"]
+        assert missing == [None]
+
+    def test_right(self, left, right):
+        out = merge(left, right, how="right", on="k")
+        assert len(out) == 4
+        d_row = [r for r in out.to_records() if r["k"] == "d"]
+        assert d_row[0]["v"] is None
+
+    def test_outer(self, left, right):
+        out = merge(left, right, how="outer", on="k")
+        assert len(out) == 5
+        assert set(out["k"].to_list()) == {"a", "b", "c", "d"}
+
+    def test_common_columns_default(self, left, right):
+        assert merge(left, right).equals(merge(left, right, on="k"))
+
+    def test_left_on_right_on(self):
+        a = DataFrame({"x": ["p", "q"], "v": [1, 2]})
+        b = DataFrame({"y": ["q", "p"], "w": [3, 4]})
+        out = merge(a, b, left_on="x", right_on="y")
+        assert len(out) == 2
+        assert "y" in out.columns  # both key columns kept when names differ
+
+    def test_suffixes(self):
+        a = DataFrame({"k": ["a"], "v": [1]})
+        b = DataFrame({"k": ["a"], "v": [2]})
+        out = merge(a, b, on="k")
+        assert set(out.columns) == {"k", "v_x", "v_y"}
+
+    def test_missing_keys_do_not_match(self):
+        a = DataFrame({"k": ["a", None], "v": [1, 2]})
+        b = DataFrame({"k": ["a", None], "w": [3, 4]})
+        assert len(merge(a, b, on="k")) == 1
+
+    def test_multi_key(self):
+        a = DataFrame({"k1": ["a", "a"], "k2": [1, 2], "v": [5, 6]})
+        b = DataFrame({"k1": ["a", "a"], "k2": [2, 3], "w": [7, 8]})
+        out = merge(a, b, on=["k1", "k2"])
+        assert len(out) == 1
+        assert out["v"].to_list() == [6]
+
+    def test_bad_how_raises(self, left, right):
+        with pytest.raises(ValueError):
+            merge(left, right, how="cross")
+
+    def test_missing_key_column_raises(self, left, right):
+        with pytest.raises(KeyError):
+            merge(left, right, on="zz")
+
+    def test_matches_nested_loop(self):
+        rng = np.random.default_rng(5)
+        a = DataFrame({"k": rng.integers(0, 10, 60), "v": np.arange(60)})
+        b = DataFrame({"k": rng.integers(0, 10, 40), "w": np.arange(40)})
+        out = merge(a, b, on="k")
+        expected = sorted(
+            (ka, va, wb)
+            for ka, va in zip(a["k"].to_list(), a["v"].to_list())
+            for kb, wb in zip(b["k"].to_list(), b["w"].to_list())
+            if ka == kb
+        )
+        got = sorted(zip(out["k"].to_list(), out["v"].to_list(), out["w"].to_list()))
+        assert got == expected
+
+
+class TestPivot:
+    def test_pivot_basic(self):
+        t = DataFrame(
+            {"r": ["x", "x", "y", "y"], "c": ["m", "t", "m", "t"], "v": [1, 2, 3, 4]}
+        )
+        out = t.pivot(index="r", columns="c", values="v")
+        assert out.index.to_list() == ["x", "y"]
+        assert out["m"].to_list() == [1.0, 3.0]
+        assert out["t"].to_list() == [2.0, 4.0]
+
+    def test_pivot_duplicate_raises(self):
+        t = DataFrame({"r": ["x", "x"], "c": ["m", "m"], "v": [1, 2]})
+        with pytest.raises(ValueError):
+            t.pivot(index="r", columns="c", values="v")
+
+    def test_pivot_table_mean(self):
+        t = DataFrame({"r": ["x", "x"], "c": ["m", "m"], "v": [1.0, 3.0]})
+        out = pivot_table(t, index="r", columns="c", values="v", aggfunc="mean")
+        assert out["m"].to_list() == [2.0]
+
+    def test_pivot_table_missing_combination_is_nan(self):
+        t = DataFrame({"r": ["x", "y"], "c": ["m", "t"], "v": [1, 2]})
+        out = t.pivot_table(index="r", columns="c", values="v")
+        assert out["t"].to_list()[0] is None
+
+    def test_pivot_index_labelled(self):
+        t = DataFrame({"r": ["x"], "c": ["m"], "v": [1]})
+        out = t.pivot(index="r", columns="c", values="v")
+        assert out.index.name == "r"
+
+
+class TestCrosstab:
+    def test_counts(self):
+        out = crosstab(Series(["a", "a", "b"]), Series(["x", "y", "x"]))
+        assert out["x"].to_list() == [1, 1]
+        assert out["y"].to_list() == [1, 0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crosstab(Series(["a"]), Series(["x", "y"]))
+
+    def test_missing_excluded(self):
+        out = crosstab(Series(["a", None]), Series(["x", "x"]))
+        assert sum(out["x"].to_list()) == 1
+
+
+class TestMelt:
+    def test_melt_shape(self):
+        t = DataFrame({"id": [1, 2], "a": [3, 4], "b": [5, 6]})
+        out = melt(t, id_vars=["id"])
+        assert out.shape == (4, 3)
+        assert out.columns == ["id", "variable", "value"]
+
+    def test_melt_values(self):
+        t = DataFrame({"id": [1, 2], "a": [3, 4]})
+        out = melt(t, id_vars=["id"], value_vars=["a"])
+        assert out["value"].to_list() == [3, 4]
+
+    def test_melt_var_names(self):
+        t = DataFrame({"a": [1], "b": [2]})
+        out = melt(t, var_name="key", value_name="val")
+        assert out.columns == ["key", "val"]
+        assert out["key"].to_list() == ["a", "b"]

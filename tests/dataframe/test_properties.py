@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) on core dataframe invariants."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataframe import DataFrame, Series, cut, merge, qcut, read_csv, to_csv
+
+keys = st.lists(
+    st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1, max_size=60
+)
+floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(ks=keys, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_groupby_sum_equals_loop(ks, data):
+    vs = data.draw(st.lists(floats, min_size=len(ks), max_size=len(ks)))
+    frame = DataFrame({"k": ks, "v": vs})
+    out = frame.groupby("k").sum()
+    got = dict(zip(out.index.to_list(), out["v"].to_list()))
+    expected: dict[str, float] = {}
+    for k, v in zip(ks, vs):
+        expected[k] = expected.get(k, 0.0) + v
+    assert set(got) == set(expected)
+    for k in expected:
+        assert got[k] == pytest.approx(expected[k], rel=1e-9, abs=1e-6)
+
+
+@given(ks=keys)
+@settings(max_examples=60, deadline=None)
+def test_groupby_sizes_sum_to_length(ks):
+    frame = DataFrame({"k": ks})
+    assert sum(frame.groupby("k").size().to_list()) == len(ks)
+
+
+@given(
+    lk=st.lists(st.integers(0, 5), min_size=0, max_size=30),
+    rk=st.lists(st.integers(0, 5), min_size=0, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_merge_matches_nested_loop(lk, rk):
+    a = DataFrame({"k": lk, "v": list(range(len(lk)))})
+    b = DataFrame({"k": rk, "w": list(range(len(rk)))})
+    out = merge(a, b, on="k") if lk or rk else None
+    if out is None:
+        return
+    expected = sorted(
+        (k1, v, w)
+        for k1, v in zip(lk, range(len(lk)))
+        for k2, w in zip(rk, range(len(rk)))
+        if k1 == k2
+    )
+    got = sorted(zip(out["k"].to_list(), out["v"].to_list(), out["w"].to_list()))
+    assert got == expected
+
+
+@given(vs=st.lists(floats, min_size=1, max_size=80))
+@settings(max_examples=60, deadline=None)
+def test_sort_is_a_permutation(vs):
+    frame = DataFrame({"v": vs})
+    out = frame.sort_values("v")
+    assert sorted(out["v"].to_list()) == sorted(vs)
+    values = out["v"].to_list()
+    assert all(values[i] <= values[i + 1] for i in range(len(values) - 1))
+
+
+@given(vs=st.lists(floats, min_size=4, max_size=100), q=st.integers(2, 5))
+@settings(max_examples=60, deadline=None)
+def test_qcut_is_a_partition(vs, q):
+    if len(set(vs)) < 2:
+        return
+    out = qcut(Series(vs), q)
+    labels = out.to_list()
+    # Every non-missing input lands in exactly one bin.
+    assert all(lab is not None for lab in labels)
+    assert out.nunique() <= q
+
+
+@given(vs=st.lists(floats, min_size=2, max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_cut_respects_bin_count(vs):
+    if len(set(vs)) < 2:
+        return
+    out = cut(Series(vs), 4)
+    assert out.nunique() <= 4
+
+
+@given(
+    ints=st.lists(st.integers(-1000, 1000), min_size=1, max_size=40),
+    words=st.lists(
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Lu", "Ll")),
+            min_size=1,
+            max_size=8,
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_csv_roundtrip(ints, words):
+    n = min(len(ints), len(words))
+    frame = DataFrame({"i": ints[:n], "s": words[:n]})
+    buf = io.StringIO()
+    to_csv(frame, buf)
+    buf.seek(0)
+    back = read_csv(buf, parse_dates=False)
+    assert back["i"].to_list() == frame["i"].to_list()
+    # Letter-only strings are not re-inferred as numbers, but missing-marker
+    # words ("NA", "null", ...) round-trip to missing.
+    from repro.dataframe.io import _MISSING
+
+    expected = [
+        None if v.lower() in _MISSING else v for v in frame["s"].to_list()
+    ]
+    assert back["s"].to_list() == expected
+
+
+@given(vs=st.lists(floats, min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_filter_complement_partitions_frame(vs):
+    frame = DataFrame({"v": vs})
+    cond = frame["v"] > 0
+    assert len(frame[cond]) + len(frame[~cond]) == len(frame)
+
+
+@given(vs=st.lists(st.integers(-50, 50), min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_value_counts_total(vs):
+    s = Series(vs)
+    assert sum(s.value_counts().to_list()) == len(vs)
+    assert s.nunique() == len(set(vs))
+
+
+@given(vs=st.lists(floats, min_size=2, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_mean_between_min_and_max(vs):
+    s = Series(vs)
+    assert s.min() - 1e-9 <= s.mean() <= s.max() + 1e-9

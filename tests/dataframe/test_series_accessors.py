@@ -1,0 +1,198 @@
+"""Unit tests for Series plus the .str and .dt accessors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Series, date_range, to_datetime
+
+
+class TestSeriesBasics:
+    def test_construction(self):
+        s = Series([1, 2, 3], name="x")
+        assert s.name == "x"
+        assert s.shape == (3,)
+
+    def test_arithmetic(self):
+        s = Series([1.0, 2.0])
+        assert (s + 1).to_list() == [2.0, 3.0]
+        assert (s * 2).to_list() == [2.0, 4.0]
+        assert (1 + s).to_list() == [2.0, 3.0]
+        assert (3 - s).to_list() == [2.0, 1.0]
+
+    def test_comparison_filters(self):
+        s = Series([1, 5, 3])
+        out = s[s > 2]
+        assert out.to_list() == [5, 3]
+
+    def test_map(self):
+        s = Series([1, 2, None])
+        assert s.map(lambda v: v * 10).to_list() == [10, 20, None]
+
+    def test_value_counts(self):
+        s = Series(["a", "b", "a"])
+        vc = s.value_counts()
+        assert vc.to_list() == [2, 1]
+        assert vc.index.to_list() == ["a", "b"]
+
+    def test_sort_values(self):
+        assert Series([3, 1, 2]).sort_values().to_list() == [1, 2, 3]
+
+    def test_head_tail(self):
+        s = Series(list(range(10)))
+        assert s.head(3).to_list() == [0, 1, 2]
+        assert s.tail(2).to_list() == [8, 9]
+
+    def test_isna_dropna_fillna(self):
+        s = Series([1.0, None])
+        assert s.isna().to_list() == [False, True]
+        assert s.dropna().to_list() == [1.0]
+        assert s.fillna(9.0).to_list() == [1.0, 9.0]
+
+    def test_any_all(self):
+        assert Series([True, False]).any()
+        assert not Series([True, False]).all()
+        with pytest.raises(TypeError):
+            Series([1, 2]).any()
+
+    def test_describe_numeric(self):
+        d = Series([1.0, 2.0, 3.0]).describe()
+        assert d["count"] == 3
+        assert d["mean"] == 2.0
+
+    def test_describe_categorical(self):
+        d = Series(["a", "a", "b"]).describe()
+        assert d["unique"] == 2
+        assert d["top"] == "a"
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Series([1]))
+
+    def test_to_frame(self):
+        f = Series([1, 2], name="v").to_frame()
+        assert f.columns == ["v"]
+
+    def test_equals(self):
+        assert Series([1, 2]).equals(Series([1, 2]))
+        assert not Series([1, 2]).equals(Series([2, 1]))
+
+    def test_astype(self):
+        assert Series([1, 2]).astype("string").to_list() == ["1", "2"]
+
+    def test_label_indexing(self):
+        from repro.dataframe import Index
+
+        s = Series([10, 20], index=Index(["a", "b"]))
+        assert s["b"] == 20
+
+
+class TestStringAccessor:
+    @pytest.fixture
+    def s(self) -> Series:
+        return Series(["Hello", "World", None])
+
+    def test_lower_upper(self, s):
+        assert s.str.lower().to_list() == ["hello", "world", None]
+        assert s.str.upper().to_list() == ["HELLO", "WORLD", None]
+
+    def test_len(self, s):
+        assert s.str.len().to_list() == [5, 5, None]
+
+    def test_contains(self, s):
+        assert s.str.contains("orl").to_list() == [False, True, None]
+
+    def test_contains_regex(self, s):
+        assert s.str.contains("^H", regex=True).to_list() == [True, False, None]
+
+    def test_contains_case_insensitive(self, s):
+        assert s.str.contains("hello", case=False).to_list() == [True, False, None]
+
+    def test_startswith_endswith(self, s):
+        assert s.str.startswith("He").to_list() == [True, False, None]
+        assert s.str.endswith("ld").to_list() == [False, True, None]
+
+    def test_replace(self, s):
+        assert s.str.replace("l", "L").to_list()[0] == "HeLLo"
+
+    def test_replace_regex(self, s):
+        assert s.str.replace("[lo]+", "_", regex=True).to_list()[0] == "He_"
+
+    def test_strip_slice(self):
+        s = Series(["  x  "])
+        assert s.str.strip().to_list() == ["x"]
+        assert s.str.slice(0, 3).to_list() == ["  x"]
+
+    def test_get(self):
+        s = Series(["a-b", "c"])
+        assert s.str.get("-", 1).to_list() == ["b", None]
+
+    def test_zfill(self):
+        assert Series(["7"]).str.zfill(3).to_list() == ["007"]
+
+    def test_accessor_requires_string(self):
+        with pytest.raises(AttributeError):
+            Series([1, 2]).str
+
+
+class TestDatetimeAccessor:
+    @pytest.fixture
+    def dates(self) -> Series:
+        return to_datetime(Series(["2020-03-15", "2021-12-01", None]))
+
+    def test_parse(self, dates):
+        assert dates.dtype.name == "datetime"
+        assert dates.isna().to_list() == [False, False, True]
+
+    def test_year_month_day(self, dates):
+        assert dates.dt.year.to_list() == [2020, 2021, None]
+        assert dates.dt.month.to_list() == [3, 12, None]
+        assert dates.dt.day.to_list() == [15, 1, None]
+
+    def test_weekday(self):
+        # 2020-03-15 was a Sunday (weekday 6 with Monday=0).
+        s = to_datetime(Series(["2020-03-15"]))
+        assert s.dt.weekday.to_list() == [6]
+
+    def test_hour(self):
+        s = to_datetime(Series(["2020-01-01T13:45:00"]))
+        assert s.dt.hour.to_list() == [13]
+
+    def test_us_format(self):
+        s = to_datetime(Series(["3/15/2020"]))
+        assert s.dt.month.to_list() == [3]
+
+    def test_bare_year(self):
+        s = to_datetime(Series(["1999"]))
+        assert s.dt.year.to_list() == [1999]
+
+    def test_strftime(self):
+        s = to_datetime(Series(["2020-03-15"]))
+        assert s.dt.strftime("%Y/%m").to_list() == ["2020/03"]
+
+    def test_accessor_requires_datetime(self):
+        with pytest.raises(AttributeError):
+            Series([1]).dt
+
+    def test_unparseable_becomes_missing(self):
+        s = to_datetime(Series(["not a date"]))
+        assert s.isna().to_list() == [True]
+
+
+class TestDateRange:
+    def test_daily(self):
+        s = date_range("2020-01-01", periods=3)
+        assert s.dt.day.to_list() == [1, 2, 3]
+
+    def test_weekly(self):
+        s = date_range("2020-01-01", periods=2, freq="W")
+        assert s.dt.day.to_list() == [1, 8]
+
+    def test_hourly(self):
+        s = date_range("2020-01-01", periods=25, freq="H")
+        assert s.dt.hour.to_list()[-1] == 0
+
+    def test_bad_freq(self):
+        with pytest.raises(ValueError):
+            date_range("2020-01-01", periods=1, freq="Y")

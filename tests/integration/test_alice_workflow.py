@@ -1,0 +1,145 @@
+"""Integration test: the full example workflow of §3 (Alice, HPI + COVID).
+
+Follows the paper's Figures 1-4 step by step: always-on overview, intent
+steering, load + join of the stringency data, qcut binning, and the final
+outlier investigation with export.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LuxDataFrame, Vis, config
+from repro.data import make_covid_stringency, make_hpi
+from repro.dataframe import qcut
+
+
+@pytest.fixture
+def df() -> LuxDataFrame:
+    return make_hpi()
+
+
+class TestFigure1AlwaysOnOverview:
+    def test_print_shows_overview_actions(self, df):
+        recs = df.recommendations
+        names = recs.keys()
+        assert "Correlation" in names
+        assert "Distribution" in names
+        assert "Geographic" in names
+
+    def test_correlation_surfaces_inequality_vs_life(self, df):
+        # §3: "negative correlation between AvrgLifeExpectancy and Inequality".
+        top = df.recommendations["Correlation"][0]
+        assert {top.spec.x.field, top.spec.y.field} == {
+            "AvrgLifeExpectancy",
+            "Inequality",
+        }
+        assert top.score > 0.7
+
+    def test_geographic_action_builds_choropleths(self, df):
+        geo = df.recommendations["Geographic"]
+        assert all(v.mark == "geoshape" for v in geo)
+
+
+class TestFigure2IntentSteering:
+    def test_intent_display(self, df):
+        df.intent = ["AvrgLifeExpectancy", "Inequality"]
+        recs = df.recommendations
+        current = recs["Current Vis"][0]
+        assert current.mark == "point"
+
+    def test_enhance_includes_g10_breakdown(self, df):
+        df.intent = ["AvrgLifeExpectancy", "Inequality"]
+        enhance = df.recommendations["Enhance"]
+        colors = {v.spec.color.field for v in enhance if v.spec.color is not None}
+        assert "G10" in colors
+        assert "Region" in colors
+
+    def test_g10_separation_is_visible(self, df):
+        # G10 countries cluster at low inequality / high life expectancy.
+        g10 = df[df["G10"] == "true"]
+        rest = df[df["G10"] == "false"]
+        assert g10["Inequality"].mean() < rest["Inequality"].mean()
+        assert g10["AvrgLifeExpectancy"].mean() > rest["AvrgLifeExpectancy"].mean()
+
+
+class TestFigure3LoadJoinCleanVisualize:
+    def test_step1_load_and_join(self, df):
+        covid = make_covid_stringency()
+        result = covid.merge(df, left_on=["Entity", "Code"], right_on=["Country", "iso3"])
+        assert isinstance(result, LuxDataFrame)
+        assert len(result) > 30
+        assert "stringency" in result.columns
+
+    def test_step2_intent_on_stringency(self, df):
+        covid = make_covid_stringency()
+        result = covid.merge(df, left_on=["Entity", "Code"], right_on=["Country", "iso3"])
+        result.intent = ["stringency"]
+        current = result.recommendations["Current Vis"][0]
+        assert current.mark == "histogram"
+
+    def test_stringency_right_skewed(self):
+        # Fig. 3 left: "the histogram of stringency is heavily right-skewed".
+        covid = make_covid_stringency()
+        values = np.asarray(
+            [v for v in covid["stringency"].to_list() if v is not None]
+        )
+        from scipy import stats
+
+        assert stats.skew(values) > 0.5
+
+    def test_step3_qcut_binning(self, df):
+        covid = make_covid_stringency()
+        result = covid.merge(df, left_on=["Entity", "Code"], right_on=["Country", "iso3"])
+        result["stringency_level"] = qcut(
+            result["stringency"], 2, labels=["Low", "High"]
+        )
+        # Exactly the paper's call: result.drop(columns=["stringency"]).
+        result = result.drop(columns=["stringency"])
+        assert "stringency_level" in result.columns
+        assert result.data_types["stringency_level"] == "nominal"
+
+
+class TestFigure4OutlierInvestigation:
+    @pytest.fixture
+    def result(self, df) -> LuxDataFrame:
+        covid = make_covid_stringency()
+        merged = covid.merge(df, left_on=["Entity", "Code"], right_on=["Country", "iso3"])
+        merged["stringency_level"] = qcut(
+            merged["stringency"], 2, labels=["Low", "High"]
+        )
+        return merged.drop("stringency")
+
+    def test_enhance_shows_stringency_breakdown(self, result):
+        result.intent = ["AvrgLifeExpectancy", "Inequality"]
+        enhance = result.recommendations["Enhance"]
+        colors = {v.spec.color.field for v in enhance if v.spec.color is not None}
+        assert "stringency_level" in colors
+
+    def test_outlier_filter_finds_praised_countries(self, result):
+        # Fig. 4 left: high-inequality + strict-response outliers include the
+        # countries praised for early response despite limited resources.
+        outliers = result[
+            (result["Inequality"] > 0.35) & (result["stringency_level"] == "High")
+        ]
+        names = set(outliers["Country"].to_list())
+        assert {"Afghanistan", "Pakistan", "Rwanda"} <= names
+
+    def test_export_to_vis_and_code(self, result):
+        result.intent = ["AvrgLifeExpectancy", "Inequality"]
+        vis = result.export("Current Vis", 0)
+        assert vis in list(result.exported)
+        code = vis.to_altair_code()
+        assert "Inequality" in code and "AvrgLifeExpectancy" in code
+        mpl = vis.to_matplotlib_code()
+        assert "plt.scatter" in mpl
+
+
+class TestSmallFilteredFrameShowsParent:
+    def test_prefilter_recommendation(self, df):
+        tiny = df[df["HappyPlanetIndex"] > df["HappyPlanetIndex"].max() - 0.01]
+        assert len(tiny) <= 5
+        recs = tiny.recommendations
+        assert "Pre-filter" in recs.keys()
+        assert len(recs["Pre-filter"]) >= 1

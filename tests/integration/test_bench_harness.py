@@ -1,0 +1,91 @@
+"""Integration tests for the benchmark harness (conditions + notebooks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import config
+from repro.bench import (
+    CONDITIONS,
+    build_airbnb_notebook,
+    build_communities_notebook,
+    condition,
+    fit_power_law,
+    format_table,
+    recall_at_k,
+)
+
+
+class TestConditions:
+    def test_condition_restores(self):
+        before = config.snapshot()
+        with condition("no-opt"):
+            assert not config.lazy_maintain
+        assert config.snapshot() == before
+
+    def test_all_conditions_valid(self):
+        for name in CONDITIONS:
+            with condition(name):
+                pass
+
+
+class TestWorkloadShapes:
+    def test_airbnb_cell_counts_match_table3(self):
+        counts = build_airbnb_notebook(100).counts()
+        assert counts == {"print_df": 14, "print_series": 7, "code": 17}
+
+    def test_communities_cell_counts_match_table3(self):
+        counts = build_communities_notebook(100).counts()
+        assert counts == {"print_df": 14, "print_series": 4, "code": 25}
+
+
+class TestNotebookRuns:
+    @pytest.mark.parametrize("cond", ["pandas", "all-opt", "wflow"])
+    def test_airbnb_runs(self, cond):
+        result = build_airbnb_notebook(800, seed=1).run(cond)
+        assert len(result.timings) == 38
+        assert result.total() > 0
+
+    def test_communities_runs_small(self):
+        result = build_communities_notebook(150, seed=1).run("all-opt")
+        assert result.count("print_df") == 14
+
+    def test_pandas_condition_is_fastest(self):
+        # Compare against the synchronous wflow condition (all-opt streams
+        # laggard actions in the background, making wall-clock comparisons
+        # on a shared CPU noisy).
+        nb = build_airbnb_notebook(2000, seed=0)
+        t_pandas = nb.run("pandas").total("print_df")
+        t_lux = nb.run("wflow").total("print_df")
+        assert t_pandas < t_lux  # always-on costs something
+
+    def test_overhead_definition(self):
+        # Table 3 overhead = all-opt minus pandas, per cell type.
+        nb = build_airbnb_notebook(1000, seed=0)
+        all_opt = nb.run("all-opt").by_kind()
+        pandas = nb.run("pandas").by_kind()
+        overhead = {k: all_opt[k] - pandas[k] for k in all_opt}
+        assert overhead["print_df"] > 0
+        # Non-Lux operations incur (almost) zero overhead under all-opt.
+        assert overhead["code"] < 0.5 * pandas["code"] + 0.2
+
+
+class TestMeasureHelpers:
+    def test_power_law_recovers_exponent(self):
+        xs = [10, 20, 40, 80, 160]
+        ys = [x**2.5 * 3.0 for x in xs]
+        p, c = fit_power_law(xs, ys)
+        assert p == pytest.approx(2.5, abs=0.01)
+        assert c == pytest.approx(3.0, rel=0.05)
+
+    def test_recall_at_k(self):
+        assert recall_at_k([1, 2, 3], [1, 2, 3], 3) == 1.0
+        assert recall_at_k([1, 2, 9], [1, 2, 3], 3) == pytest.approx(2 / 3)
+        assert recall_at_k([9, 8, 7], [1, 2, 3], 3) == 0.0
+
+    def test_recall_shorter_exact(self):
+        assert recall_at_k([1, 2], [1], 15) == 1.0
+
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 0.001]], title="T")
+        assert "T" in text and "2.500" in text
