@@ -1,0 +1,152 @@
+"""Shared-scan ablation: candidate-set execution with the cache on vs off.
+
+Measures one recommendation pass — a 40+-candidate set mixing group-by
+bars/lines, histograms, heatmaps, and filtered variants, the workload every
+user action triggers — executed through ``DataFrameExecutor.execute_many``
+under two conditions:
+
+- ``cache-on``:  ``config.computation_cache = True`` (the default); filter
+  masks, materialized subframes, group-key factorizations, float views, and
+  bin edges are each computed once per frame version.
+- ``cache-off``: ``config.computation_cache = False``; every candidate
+  re-scans the frame, as the seed executor did.
+
+Run directly (CI smoke-tests ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_shared_scan.py [--quick] [--rows N]
+
+The acceptance bar for the shared-scan PR is a >= 1.5x speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import config
+from repro.core.executor.cache import computation_cache
+from repro.core.executor.df_exec import DataFrameExecutor
+from repro.dataframe import DataFrame
+from repro.vis.encoding import Encoding
+from repro.vis.spec import VisSpec
+
+N_MEASURES = 6
+N_DIMS = 3
+
+
+def build_frame(rows: int, seed: int = 0) -> DataFrame:
+    rng = np.random.default_rng(seed)
+    data: dict = {
+        f"q{i}": rng.normal(0, 1, rows) for i in range(N_MEASURES)
+    }
+    for j, card in zip(range(N_DIMS), (6, 12, 24)):
+        data[f"d{j}"] = rng.choice(
+            [f"v{v}" for v in range(card)], rows
+        ).tolist()
+    return DataFrame(data)
+
+
+def build_candidates() -> list[VisSpec]:
+    """A realistic 40+-candidate recommendation pass over one frame."""
+    q = "quantitative"
+    specs: list[VisSpec] = []
+    # Group-by bars: every dim x measure pair shares the dim factorization.
+    for j in range(N_DIMS):
+        for i in range(N_MEASURES):
+            specs.append(VisSpec("bar", [
+                Encoding("y", f"d{j}", "nominal"),
+                Encoding("x", f"q{i}", q, aggregate="mean"),
+            ]))
+    # Occurrence count bars.
+    for j in range(N_DIMS):
+        specs.append(VisSpec("bar", [
+            Encoding("y", f"d{j}", "nominal"),
+            Encoding("x", "", q, aggregate="count"),
+        ]))
+    # Histograms: share each measure's float view and bin edges.
+    for i in range(N_MEASURES):
+        specs.append(VisSpec("histogram", [
+            Encoding("x", f"q{i}", q, bin=True, bin_size=10),
+            Encoding("y", "", q, aggregate="count"),
+        ]))
+    # Nominal heatmaps: 2-D groupings over shared per-key factorizations.
+    specs.append(VisSpec("rect", [
+        Encoding("x", "d0", "nominal"),
+        Encoding("y", "d1", "nominal"),
+        Encoding("color", "", q, aggregate="count"),
+    ]))
+    specs.append(VisSpec("rect", [
+        Encoding("x", "d1", "nominal"),
+        Encoding("y", "d2", "nominal"),
+        Encoding("color", "", q, aggregate="count"),
+    ]))
+    # Filtered variants: every pair below shares one mask + subframe.
+    for value in ("v0", "v1", "v2"):
+        for i in range(2):
+            specs.append(VisSpec("bar", [
+                Encoding("y", "d1", "nominal"),
+                Encoding("x", f"q{i}", q, aggregate="mean"),
+            ], filters=[("d0", "=", value)]))
+            specs.append(VisSpec("histogram", [
+                Encoding("x", f"q{i}", q, bin=True, bin_size=10),
+                Encoding("y", "", q, aggregate="count"),
+            ], filters=[("d0", "=", value)]))
+    return specs
+
+
+def run_pass(frame: DataFrame, cached: bool) -> tuple[float, int]:
+    """One timed candidate-set execution; returns (seconds, n_candidates)."""
+    config.computation_cache = cached
+    computation_cache.clear()
+    specs = build_candidates()
+    executor = DataFrameExecutor()
+    start = time.perf_counter()
+    executor.execute_many(specs, frame)
+    elapsed = time.perf_counter() - start
+    assert all(s.data is not None for s in specs)
+    return elapsed, len(specs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=50_000,
+                        help="frame size (default 50k)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timed rounds per condition; best is reported")
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke run for CI (8k rows, 2 rounds)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.rows, args.rounds = 8_000, 2
+
+    snapshot = config.snapshot()
+    try:
+        frame = build_frame(args.rows)
+        n_candidates = len(build_candidates())
+        print(f"shared-scan ablation: {n_candidates} candidates, "
+              f"{args.rows} rows, best of {args.rounds}")
+
+        best = {}
+        for cached in (True, False):  # warm order is irrelevant: cache cleared
+            times = []
+            for _ in range(args.rounds):
+                elapsed, _n = run_pass(frame, cached)
+                times.append(elapsed)
+            best[cached] = min(times)
+            label = "cache-on " if cached else "cache-off"
+            print(f"  {label}: {best[cached] * 1e3:9.1f} ms")
+
+        speedup = best[False] / best[True] if best[True] > 0 else float("inf")
+        print(f"  speedup : {speedup:9.2f}x  (target >= 1.50x)")
+        # Exit status gates CI at the stated acceptance bar.
+        return 0 if speedup >= 1.5 else 1
+    finally:
+        config.restore(snapshot)
+        computation_cache.clear()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

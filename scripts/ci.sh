@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests plus a shared-scan perf-path smoke run.
+#
+# The benchmark invocation is deliberately part of CI: it executes the full
+# 40+-candidate batch path under both cache conditions, so regressions in
+# the hottest path (executor caching, batch execution) fail fast even when
+# no unit test exercises the exact combination.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== shared-scan smoke =="
+python benchmarks/bench_shared_scan.py --quick

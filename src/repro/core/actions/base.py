@@ -57,11 +57,12 @@ class Action(ABC):
         from ..vis import Vis
 
         executor = get_executor()
-        out = []
-        for cand in cands[: config.top_k]:
-            if cand.spec.data is None:
-                executor.execute(cand.spec, ldf)
-            out.append(Vis.from_compiled(cand, source=ldf, process=False))
+        chosen = cands[: config.top_k]
+        pending = [c.spec for c in chosen if c.spec.data is None]
+        if pending:
+            # Batch the display pass so the candidates share scans.
+            executor.execute_many(pending, ldf)
+        out = [Vis.from_compiled(c, source=ldf, process=False) for c in chosen]
         return VisList(visualizations=out, source=ldf)
 
     def estimated_cost(self, metadata: Metadata) -> float:

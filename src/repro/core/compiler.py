@@ -143,10 +143,6 @@ def lookup(combo: list[Clause], metadata: Metadata) -> list[Clause] | None:
 # ----------------------------------------------------------------------
 # Stage 3: Infer
 # ----------------------------------------------------------------------
-def _default_bin_size(clause: Clause) -> int:
-    return clause.bin_size if clause.bin_size > 0 else config.default_bin_size
-
-
 def infer_spec(combo: list[Clause], metadata: Metadata) -> VisSpec | None:
     """Infer mark, channels, and transforms for one complete clause list."""
     axes = [c for c in combo if c.is_axis]
@@ -168,9 +164,10 @@ def infer_spec(combo: list[Clause], metadata: Metadata) -> VisSpec | None:
 def _infer_univariate(axis: Clause, filters: list) -> VisSpec:
     attr = str(axis.attribute)
     if axis.data_type == "quantitative" and not axis.aggregation_specified:
-        bins = _default_bin_size(axis)
+        # 0 when the clause left it unset: consumers resolve the sentinel
+        # lazily through Encoding.resolved_bin_size against the config.
         encs = [
-            Encoding("x", attr, "quantitative", bin=True, bin_size=bins),
+            Encoding("x", attr, "quantitative", bin=True, bin_size=axis.bin_size),
             Encoding("y", "", "quantitative", aggregate="count"),
         ]
         return VisSpec("histogram", encs, filters=filters)

@@ -37,6 +37,16 @@ class Config:
     #: optimisation); synchronous when False so results are deterministic.
     streaming: bool = False
 
+    #: Worker count of the shared thread pool that streams laggard actions.
+    action_pool_workers: int = 2
+
+    #: Shared-scan computation cache: memoize filter masks, group-key
+    #: factorizations, float conversions, and histogram bin edges per
+    #: (frame, ``_data_version``) so one recommendation pass performs each
+    #: relational primitive once.  Disable for honest ablations
+    #: (``benchmarks/bench_shared_scan.py`` measures both conditions).
+    computation_cache: bool = True
+
     #: Rows above which approximate scoring kicks in (paper samples when the
     #: dataframe exceeds the cache size).
     sampling_start: int = 10_000

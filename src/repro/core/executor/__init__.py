@@ -1,6 +1,19 @@
-"""Execution engines: dataframe (columnar) and SQL (sqlite3) backends."""
+"""Execution engines: dataframe (columnar) and SQL (sqlite3) backends.
+
+Both backends share the cross-visualization computation cache in
+:mod:`.cache`, which memoizes relational primitives per
+``(frame, _data_version)`` so one recommendation pass scans each input
+column once (see the module docstring for the invalidation contract).
+"""
 
 from .base import Executor, get_executor
+from .cache import ComputationCache, computation_cache
 from .df_exec import DataFrameExecutor
 
-__all__ = ["DataFrameExecutor", "Executor", "get_executor"]
+__all__ = [
+    "ComputationCache",
+    "DataFrameExecutor",
+    "Executor",
+    "computation_cache",
+    "get_executor",
+]

@@ -4,12 +4,20 @@ The paper's execution engine (§8.1) performs the relational operations of
 Table 2 either as dataframe operations (``DataFrameExecutor``) or as SQL
 queries (``SQLExecutor``); both implement this interface and are swappable
 through ``config.executor``.
+
+Recommendation passes execute whole candidate *sets* against one frame, so
+the interface also exposes :meth:`Executor.execute_many`, the batch entry
+point used by ``rank_candidates`` and the actions.  Backends override it to
+share work across the batch (``DataFrameExecutor`` shares filter masks,
+materialized subframes, group-key factorizations, and float conversions via
+the :mod:`~repro.core.executor.cache` computation cache); the default simply
+executes sequentially.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any
+from typing import Any, Sequence
 
 from ...dataframe import DataFrame
 from ...vis.spec import VisSpec
@@ -25,6 +33,16 @@ class Executor(ABC):
     @abstractmethod
     def execute(self, spec: VisSpec, frame: DataFrame) -> list[dict[str, Any]]:
         """Compute the records behind ``spec`` and attach them to it."""
+
+    def execute_many(
+        self, specs: Sequence[VisSpec], frame: DataFrame
+    ) -> list[list[dict[str, Any]]]:
+        """Execute a batch of specs against one frame.
+
+        Results align with ``specs`` and each spec's ``data`` is attached,
+        exactly as if :meth:`execute` had been called per spec.
+        """
+        return [self.execute(spec, frame) for spec in specs]
 
     @abstractmethod
     def apply_filters(

@@ -1,0 +1,322 @@
+"""Cross-visualization computation cache: the shared-scan optimization.
+
+One recommendation pass executes dozens of candidate visualizations over
+the *same* frame, and each candidate independently repeats the same
+relational primitives: evaluating filter masks, factorizing group-key
+columns, converting columns to float, and deriving histogram bin edges.
+The :class:`ComputationCache` memoizes those primitives per frame so the
+whole candidate set performs each scan exactly once — the in-process
+analogue of the shared-scan execution in the HTAP literature (Polynesia,
+arXiv:2103.00798).
+
+Invalidation contract
+---------------------
+Entries are keyed on *(frame identity, content version)*:
+
+- **Identity** is held through a ``weakref`` to the frame, never through a
+  bare ``id()``.  A raw-id key is unsafe: once the frame is collected its
+  id can be recycled by an unrelated frame, silently aliasing cached
+  vectors onto the wrong data.  The weakref both proves the original
+  object is still alive and evicts the slot the moment it dies.
+- **Version** is the frame's ``_data_version`` counter.  Every in-place
+  mutation bumps it (``DataFrame._notify_mutation`` on the substrate,
+  ``LuxDataFrame._expire`` under the paper's *wflow* rules), so a slot
+  recorded at version *v* is unreachable after any mutation.
+  ``LuxDataFrame._expire`` additionally calls :meth:`ComputationCache.
+  invalidate` to free the slot's memory eagerly rather than waiting for
+  LRU pressure.
+
+All public methods honor ``config.computation_cache``: when the toggle is
+off they compute the requested primitive directly without reading or
+writing the store, so ablation benchmarks measure the true uncached cost.
+
+Thread safety: slot bookkeeping runs under an ``RLock``; the primitives
+themselves are computed outside the lock, so concurrent streaming actions
+may occasionally duplicate a computation but can never observe a torn
+entry.  Cached arrays are marked read-only before they are shared.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Any, Callable, TYPE_CHECKING
+
+import numpy as np
+
+from ...dataframe.groupby import _Grouping
+from ...vis.spec import filter_signature
+from ..config import config
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...dataframe import DataFrame
+
+__all__ = ["ComputationCache", "computation_cache", "filter_signature"]
+
+
+class _FrameSlot:
+    """All memoized primitives for one (frame, version) pair."""
+
+    __slots__ = (
+        "ref",
+        "version",
+        "floats",
+        "factorized",
+        "groupings",
+        "standardized",
+        "edges",
+        "masks",
+    )
+
+    def __init__(self, ref: "weakref.ref", version: int) -> None:
+        self.ref = ref
+        self.version = version
+        #: column name -> read-only float64 view (NaN at missing slots)
+        self.floats: dict[str, np.ndarray] = {}
+        #: column name -> (codes, labels) from factorize()
+        self.factorized: dict[str, tuple[np.ndarray, list[Any]]] = {}
+        #: key tuple -> prepared _Grouping (the group-by's expensive half);
+        #: LRU-bounded: each entry pins ~9 bytes per frame row and distinct
+        #: key tuples grow with every new intent, unlike the per-column dicts
+        self.groupings: "OrderedDict[tuple[str, ...], _Grouping]" = OrderedDict()
+        #: column name -> standardized vector (or None when unusable)
+        self.standardized: dict[str, np.ndarray | None] = {}
+        #: (column name, bin count) -> histogram bin edges
+        self.edges: dict[tuple[str, int], np.ndarray] = {}
+        #: filter signature -> boolean row mask (LRU-bounded)
+        self.masks: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+
+class ComputationCache:
+    """Memoizes per-frame relational primitives across a candidate set."""
+
+    def __init__(
+        self, max_frames: int = 8, max_masks: int = 64, max_groupings: int = 32
+    ) -> None:
+        self._slots: "OrderedDict[int, _FrameSlot]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._max_frames = max_frames
+        self._max_masks = max_masks
+        self._max_groupings = max_groupings
+
+    # ------------------------------------------------------------------
+    # Slot bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return bool(config.computation_cache)
+
+    def _slot(self, frame: "DataFrame") -> _FrameSlot | None:
+        """The live slot for ``frame``, creating/replacing as needed."""
+        key = id(frame)
+        version = getattr(frame, "_data_version", 0)
+        with self._lock:
+            slot = self._slots.get(key)
+            if slot is not None and slot.ref() is frame and slot.version == version:
+                self._slots.move_to_end(key)
+                return slot
+            try:
+                ref = weakref.ref(frame, lambda _, key=key: self._evict(key))
+            except TypeError:  # pragma: no cover - all repo frames weakref
+                return None
+            slot = _FrameSlot(ref, version)
+            self._slots[key] = slot
+            self._slots.move_to_end(key)
+            while len(self._slots) > self._max_frames:
+                self._slots.popitem(last=False)
+            return slot
+
+    def _evict(self, key: int) -> None:
+        with self._lock:
+            self._slots.pop(key, None)
+
+    def invalidate(self, frame: "DataFrame") -> None:
+        """Eagerly drop ``frame``'s slot (called on ``_data_version`` bumps)."""
+        self._evict(id(frame))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._slots.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Rough occupancy counters, summed across slots (introspection)."""
+        with self._lock:
+            return {
+                "frames": len(self._slots),
+                "floats": sum(len(s.floats) for s in self._slots.values()),
+                "groupings": sum(len(s.groupings) for s in self._slots.values()),
+                "masks": sum(len(s.masks) for s in self._slots.values()),
+            }
+
+    # ------------------------------------------------------------------
+    # Memoized primitives
+    # ------------------------------------------------------------------
+    def to_float(self, frame: "DataFrame", name: str) -> np.ndarray:
+        """``frame.column(name).to_float()``, computed once per version.
+
+        The returned array is shared and read-only; fancy indexing (the way
+        every caller consumes it) copies, so downstream code is unaffected.
+        """
+        slot = self._slot(frame) if self.enabled else None
+        if slot is None:
+            return frame.column(name).to_float()
+        out = slot.floats.get(name)
+        if out is None:
+            out = frame.column(name).to_float()
+            out.setflags(write=False)
+            slot.floats[name] = out
+        return out
+
+    def factorize(
+        self, frame: "DataFrame", name: str
+    ) -> tuple[np.ndarray, list[Any]]:
+        """``frame.column(name).factorize()``, computed once per version."""
+        slot = self._slot(frame) if self.enabled else None
+        if slot is None:
+            return frame.column(name).factorize()
+        out = slot.factorized.get(name)
+        if out is None:
+            codes, labels = frame.column(name).factorize()
+            codes.setflags(write=False)
+            out = (codes, labels)
+            slot.factorized[name] = out
+        return out
+
+    def grouping(self, frame: "DataFrame", keys: tuple[str, ...]) -> _Grouping:
+        """A prepared :class:`_Grouping` (factorized + combined group ids).
+
+        This is the expensive half of every group-by; per-key factorizations
+        route through :meth:`factorize` so single-column and multi-column
+        groupings over the same key share one scan.
+        """
+        keys = tuple(keys)
+        slot = self._slot(frame) if self.enabled else None
+        if slot is None:
+            return _Grouping(frame, keys)
+        with self._lock:
+            out = slot.groupings.get(keys)
+            if out is not None:
+                slot.groupings.move_to_end(keys)
+                return out
+        out = _Grouping(
+            frame, keys, factorize=lambda name: self.factorize(frame, name)
+        )
+        with self._lock:
+            existing = slot.groupings.get(keys)
+            if existing is not None:
+                return existing
+            slot.groupings[keys] = out
+            while len(slot.groupings) > self._max_groupings:
+                slot.groupings.popitem(last=False)
+        return out
+
+    def standardized(self, frame: "DataFrame", name: str) -> np.ndarray | None:
+        """Zero-mean vector scaled so pairwise Pearson is a dot product.
+
+        Returns None when NaNs or zero variance make the fast path invalid
+        (callers fall back to pairwise-complete correlation).
+        """
+        slot = self._slot(frame) if self.enabled else None
+        if slot is None:
+            return self._compute_standardized(frame, name)
+        marker = slot.standardized.get(name, _MISSING)
+        if marker is _MISSING:
+            marker = self._compute_standardized(frame, name)
+            if marker is not None:
+                marker.setflags(write=False)
+            slot.standardized[name] = marker
+        return marker
+
+    def _compute_standardized(
+        self, frame: "DataFrame", name: str
+    ) -> np.ndarray | None:
+        v = self.to_float(frame, name)
+        if np.isnan(v).any():
+            return None
+        std = v.std()
+        if std == 0 or len(v) < 3:
+            return None
+        return (v - v.mean()) / (std * np.sqrt(len(v)))
+
+    def bin_edges(
+        self,
+        frame: "DataFrame",
+        name: str,
+        bins: int,
+        valid_values: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Histogram bin edges over the column's valid values.
+
+        Callers that already hold the NaN-filtered values pass them via
+        ``valid_values`` so the uncached path converts the column once,
+        not twice.
+        """
+        slot = self._slot(frame) if self.enabled else None
+        if slot is None:
+            return self._compute_edges(frame, name, bins, valid_values)
+        key = (name, int(bins))
+        out = slot.edges.get(key)
+        if out is None:
+            out = self._compute_edges(frame, name, bins, valid_values)
+            out.setflags(write=False)
+            slot.edges[key] = out
+        return out
+
+    def _compute_edges(
+        self,
+        frame: "DataFrame",
+        name: str,
+        bins: int,
+        valid_values: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if valid_values is None:
+            valid_values = self.to_float(frame, name)
+            valid_values = valid_values[~np.isnan(valid_values)]
+        return np.histogram_bin_edges(valid_values, bins=bins)
+
+    def filter_mask(
+        self,
+        frame: "DataFrame",
+        filters: Any,
+        compute: Callable[[], np.ndarray],
+    ) -> np.ndarray:
+        """The boolean row mask for a filter clause list.
+
+        Only the mask is stored, never the materialized subframe: a
+        subframe is a full row copy and pinning it process-wide would
+        retain GBs on large static frames.  Batch executors that want
+        subframe sharing hold the subframe locally for the duration of
+        their batch (see ``DataFrameExecutor.execute_many``).
+        """
+        slot = self._slot(frame) if self.enabled else None
+        if slot is None:
+            return compute()
+        sig = filter_signature(filters)
+        # Unlike the plain-dict sections, the LRU bookkeeping here is a
+        # structural mutation (move_to_end / popitem), so reads and writes
+        # both run under the lock; only the mask evaluation runs outside.
+        # The bound matters: a long session generates unboundedly many
+        # distinct signatures, each costing one byte per frame row.
+        with self._lock:
+            out = slot.masks.get(sig)
+            if out is not None:
+                slot.masks.move_to_end(sig)
+                return out
+        out = compute()
+        out.setflags(write=False)
+        with self._lock:
+            existing = slot.masks.get(sig)
+            if existing is not None:
+                return existing
+            slot.masks[sig] = out
+            while len(slot.masks) > self._max_masks:
+                slot.masks.popitem(last=False)
+        return out
+
+
+#: Sentinel distinguishing "not cached yet" from a cached None.
+_MISSING = object()
+
+#: The process-wide cache shared by executors, scoring, and the optimizer.
+computation_cache = ComputationCache()

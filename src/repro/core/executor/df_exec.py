@@ -12,11 +12,26 @@ Heatmap            2-D bin + count
 Color heatmap      2-D bin + count + group-by aggregation
 Choropleth         Group-by aggregation keyed on a geo column
 =================  =========================================
+
+Shared-scan execution
+---------------------
+A recommendation pass runs dozens of these operations over one frame, so
+every relational primitive routes through the process-wide
+:data:`~repro.core.executor.cache.computation_cache`: filter masks,
+group-key factorizations (via prepared ``_Grouping`` objects), ``to_float``
+views, and histogram bin edges are each computed once per
+``(frame, _data_version)`` and shared across the whole candidate set.
+:meth:`DataFrameExecutor.execute_many` is the batch entry point — it
+groups specs by filter signature so each distinct filter materializes
+exactly one subframe, held only for the batch (subframes are full row
+copies and are deliberately never pinned in the process-wide cache).
+Stale entries are impossible by construction: the cache keys on the frame's
+``_data_version``, which every in-place mutation bumps.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -26,6 +41,7 @@ from ...vis.spec import VisSpec
 from ..config import config
 from ..errors import ExecutorError
 from .base import Executor
+from .cache import computation_cache as _cache, filter_signature
 
 __all__ = ["DataFrameExecutor"]
 
@@ -36,11 +52,10 @@ class DataFrameExecutor(Executor):
     name = "dataframe"
 
     # ------------------------------------------------------------------
-    def apply_filters(
-        self, frame: DataFrame, filters: list[tuple[str, str, Any]]
-    ) -> DataFrame:
-        if not filters:
-            return frame
+    @staticmethod
+    def _filter_mask(
+        frame: DataFrame, filters: list[tuple[str, str, Any]]
+    ) -> np.ndarray:
         mask = np.ones(len(frame), dtype=bool)
         for attr, op, value in filters:
             if attr not in frame:
@@ -61,11 +76,23 @@ class DataFrameExecutor(Executor):
             else:  # pragma: no cover - parser rejects other ops
                 raise ExecutorError(f"unsupported filter op {op!r}")
             mask &= cmp.values & ~cmp.mask
+        return mask
+
+    def apply_filters(
+        self, frame: DataFrame, filters: list[tuple[str, str, Any]]
+    ) -> DataFrame:
+        if not filters:
+            return frame
+        mask = _cache.filter_mask(
+            frame, filters, lambda: self._filter_mask(frame, filters)
+        )
+        # Only the mask is cached; the subframe is materialized per call so
+        # nothing pins full row copies process-wide.  Batch callers share
+        # the subframe locally instead (see execute_many).
         return frame[mask]
 
     # ------------------------------------------------------------------
-    def execute(self, spec: VisSpec, frame: DataFrame) -> list[dict[str, Any]]:
-        frame = self.apply_filters(frame, spec.filters)
+    def _handler(self, mark: str):
         handler = {
             "histogram": self._execute_histogram,
             "bar": self._execute_grouped,
@@ -75,12 +102,47 @@ class DataFrameExecutor(Executor):
             "point": self._execute_scatter,
             "tick": self._execute_scatter,
             "rect": self._execute_heatmap,
-        }.get(spec.mark)
+        }.get(mark)
         if handler is None:  # pragma: no cover - spec ctor rejects others
-            raise ExecutorError(f"no handler for mark {spec.mark!r}")
-        records = handler(spec, frame)
+            raise ExecutorError(f"no handler for mark {mark!r}")
+        return handler
+
+    def execute(self, spec: VisSpec, frame: DataFrame) -> list[dict[str, Any]]:
+        frame = self.apply_filters(frame, spec.filters)
+        records = self._handler(spec.mark)(spec, frame)
         spec.data = records
         return records
+
+    def execute_many(
+        self, specs: Sequence[VisSpec], frame: DataFrame
+    ) -> list[list[dict[str, Any]]]:
+        """Batch execution sharing one scan per relational primitive.
+
+        Specs are grouped by filter signature so each distinct filter
+        evaluates its mask and materializes its subframe exactly once, then
+        every handler runs against the shared subframe — whose group-by
+        factorizations, float views, and bin edges are in turn shared
+        through the computation cache.  Falls back to the sequential path
+        when ``config.computation_cache`` is off so ablations stay honest.
+        """
+        if not _cache.enabled:
+            return [self.execute(spec, frame) for spec in specs]
+        results: list[list[dict[str, Any]] | None] = [None] * len(specs)
+        by_filter: dict[tuple, list[int]] = {}
+        for i, spec in enumerate(specs):
+            by_filter.setdefault(filter_signature(spec.filters), []).append(i)
+        for indices in by_filter.values():
+            # One materialization per distinct filter, held only for the
+            # batch: same-filter candidates share the subframe (and, via
+            # its live cache slot, its factorizations and float views)
+            # without the process-wide cache pinning any row copies.
+            subframe = self.apply_filters(frame, specs[indices[0]].filters)
+            for i in indices:
+                spec = specs[i]
+                records = self._handler(spec.mark)(spec, subframe)
+                spec.data = records
+                results[i] = records
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Histogram: bin + count
@@ -91,11 +153,14 @@ class DataFrameExecutor(Executor):
         enc = spec.x if spec.x is not None and spec.x.bin else spec.y
         if enc is None or enc.field not in frame:
             raise ExecutorError("histogram requires a binned axis")
-        values = frame.column(enc.field).to_float()
+        values = _cache.to_float(frame, enc.field)
         values = values[~np.isnan(values)]
         if len(values) == 0:
             return []
-        counts, edges = np.histogram(values, bins=enc.bin_size)
+        edges = _cache.bin_edges(
+            frame, enc.field, enc.resolved_bin_size, valid_values=values
+        )
+        counts, edges = np.histogram(values, bins=edges)
         centers = (edges[:-1] + edges[1:]) / 2
         return [
             {enc.field: float(c), "count": int(n)}
@@ -122,6 +187,11 @@ class DataFrameExecutor(Executor):
             return measure, measure
         return dim, measure
 
+    @staticmethod
+    def _groupby(frame: DataFrame, keys: list[str]) -> GroupBy:
+        """A GroupBy whose factorization pass is shared via the cache."""
+        return GroupBy.from_grouping(frame, _cache.grouping(frame, tuple(keys)))
+
     def _execute_grouped(
         self, spec: VisSpec, frame: DataFrame
     ) -> list[dict[str, Any]]:
@@ -138,7 +208,7 @@ class DataFrameExecutor(Executor):
         keys = [dim.field]
         if color is not None and color.field and color.field_type != "quantitative":
             keys.append(color.field)
-        grouped = GroupBy(frame, keys)
+        grouped = self._groupby(frame, keys)
         if measure is None or measure.aggregate == "count" or not measure.field:
             records = grouped.size_frame("count").to_records()
         elif len(keys) == 1:
@@ -163,7 +233,7 @@ class DataFrameExecutor(Executor):
         if geo is None or geo.field not in frame:
             raise ExecutorError("geoshape requires a geographic field")
         measure = spec.color if spec.color is not None else spec.y
-        grouped = GroupBy(frame, [geo.field])
+        grouped = self._groupby(frame, [geo.field])
         if measure is None or not measure.field or measure.aggregate == "count":
             series = grouped.size()
             return _series_records(series, [geo.field], "count")
@@ -203,7 +273,7 @@ class DataFrameExecutor(Executor):
         if x.field_type == "quantitative" and y.field_type == "quantitative":
             return self._numeric_heatmap(spec, frame, x, y, color)
         keys = [x.field, y.field]
-        grouped = GroupBy(frame, keys)
+        grouped = self._groupby(frame, keys)
         if color is not None and color.field and color.aggregate not in (None, "count"):
             return grouped.agg({color.field: color.aggregate}).to_records()
         return grouped.size_frame("count").to_records()
@@ -216,19 +286,21 @@ class DataFrameExecutor(Executor):
         y: Encoding,
         color: Encoding | None,
     ) -> list[dict[str, Any]]:
-        xv = frame.column(x.field).to_float()
-        yv = frame.column(y.field).to_float()
+        xv = _cache.to_float(frame, x.field)
+        yv = _cache.to_float(frame, y.field)
         ok = ~(np.isnan(xv) | np.isnan(yv))
         xv, yv = xv[ok], yv[ok]
         if len(xv) == 0:
             return []
-        bins = max(x.bin_size, y.bin_size, config.default_bin_size)
+        # Per-axis bins; resolved_bin_size honors an explicit setting even
+        # below config.default_bin_size (0-sentinel, like Clause.bin_size).
+        bins = [x.resolved_bin_size, y.resolved_bin_size]
         counts, xe, ye = np.histogram2d(xv, yv, bins=bins)
         records = []
         xc = (xe[:-1] + xe[1:]) / 2
         yc = (ye[:-1] + ye[1:]) / 2
         if color is not None and color.field and color.field in frame:
-            cv = frame.column(color.field).to_float()[ok]
+            cv = _cache.to_float(frame, color.field)[ok]
             sums, _, _ = np.histogram2d(xv, yv, bins=[xe, ye], weights=np.nan_to_num(cv))
         else:
             sums = None

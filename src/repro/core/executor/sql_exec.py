@@ -122,7 +122,7 @@ def translate_vis_to_sql(spec: VisSpec, frame: DataFrame) -> str:
         if enc is None:
             raise ExecutorError("histogram requires a binned axis")
         q = _quote(enc.field)
-        b = enc.bin_size
+        b = enc.resolved_bin_size
         not_null = f"{q} IS NOT NULL"
         where_h = f"{where} AND {not_null}" if where else f" WHERE {not_null}"
         # Fixed-width binning via integer bucket arithmetic (bin + count).

@@ -5,9 +5,11 @@ working unchanged, while two hooks implement the paper's machinery:
 
 - ``_init_derived`` propagates intent + history to derived frames and marks
   derivation flags (filtered / aggregated);
-- ``_notify_mutation`` expires metadata, recommendations, and the cached
-  sample whenever the frame's content changes (the *wflow* expiry rules:
-  inplace ops, column updates via bracket/dot assignment, label changes).
+- ``_notify_mutation`` expires metadata, recommendations, the cached
+  sample, and the executor's shared computation cache whenever the frame's
+  content changes (the *wflow* expiry rules: inplace ops, column updates
+  via bracket/dot assignment, label changes), bumping ``_data_version`` so
+  every version-keyed cache entry becomes unreachable.
 
 Printing the frame (``repr``) triggers lazy recomputation of metadata and
 recommendations; unmodified re-prints hit the memoized results.
@@ -25,6 +27,7 @@ from ..vis.html import render_widget
 from .clause import Clause
 from .config import config
 from .errors import LuxWarning
+from .executor.cache import computation_cache
 from .history import History
 from . import usage_log
 from .intent import parse_intent
@@ -141,11 +144,18 @@ class LuxDataFrame(DataFrame):
             self._refresh_all()
 
     def _expire(self) -> None:
-        """Expire cached metadata/recommendations/sample (wflow rules)."""
+        """Expire cached metadata/recommendations/sample (wflow rules).
+
+        Bumping ``_data_version`` is what makes every version-keyed cache
+        (the row sample, the executor's computation cache) unreachable; the
+        explicit ``invalidate`` below just frees the executor cache's memory
+        eagerly instead of waiting for LRU pressure.
+        """
         self._metadata_fresh = False
         self._recs_fresh = False
         self._sample_cache = None
         self._data_version += 1
+        computation_cache.invalidate(self)
 
     def expire_recommendations(self) -> None:
         self._recs_fresh = False

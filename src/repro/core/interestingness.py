@@ -10,6 +10,10 @@ structure of the spec, following Lux's published heuristics:
 - filtered visualization ............. L2 deviation of the filtered
   distribution from the unfiltered one (the SeeDB-style measure)
 - colored scatter .................... between-group separation of y by color
+
+Column access (float conversion, factorization, standardized vectors for
+Pearson) routes through the executor's shared computation cache, so scoring
+a whole candidate set reads each column once per frame version.
 """
 
 from __future__ import annotations
@@ -23,8 +27,23 @@ from scipy import stats
 from ..dataframe import DataFrame
 from ..vis.spec import VisSpec
 from .executor.base import Executor
+from .executor.cache import computation_cache as _cache
 
-__all__ = ["score_vis"]
+__all__ = ["needs_executed_data", "score_vis"]
+
+#: Marks whose score reads executor-processed records (group-by outputs).
+_EXECUTED_MARKS = ("bar", "line", "area", "geoshape", "rect")
+
+
+def needs_executed_data(spec: VisSpec) -> bool:
+    """Whether :func:`score_vis` requires processed records for ``spec``.
+
+    Rankers batch-execute exactly these specs up front (via
+    ``Executor.execute_many``) so scoring never falls back to one-at-a-time
+    execution; statistical scores (scatter, histogram) read columns
+    directly and need no processing.
+    """
+    return bool(spec.filters) or spec.mark in _EXECUTED_MARKS
 
 
 def _clamp(x: float) -> float:
@@ -34,58 +53,20 @@ def _clamp(x: float) -> float:
 
 
 def _paired_valid(frame: DataFrame, a: str, b: str) -> tuple[np.ndarray, np.ndarray]:
-    xa = frame.column(a).to_float()
-    xb = frame.column(b).to_float()
+    xa = _cache.to_float(frame, a)
+    xb = _cache.to_float(frame, b)
     ok = ~(np.isnan(xa) | np.isnan(xb))
     return xa[ok], xb[ok]
 
 
-class _StandardizedCache:
-    """Per-frame cache of standardized column vectors for fast correlation.
-
-    The Correlation action scores O(m^2) attribute pairs; standardizing each
-    column once reduces every pairwise Pearson to a dot product.  Entries
-    key on (frame identity, content version) so wflow expiry invalidates
-    them naturally.
-    """
-
-    def __init__(self, limit: int = 4) -> None:
-        self._store: dict[int, tuple[int, dict[str, Any]]] = {}
-        self._limit = limit
-
-    def _frame_slot(self, frame: DataFrame) -> dict[str, Any]:
-        key = id(frame)
-        version = getattr(frame, "_data_version", 0)
-        slot = self._store.get(key)
-        if slot is None or slot[0] != version:
-            if len(self._store) >= self._limit:
-                self._store.pop(next(iter(self._store)))
-            slot = (version, {})
-            self._store[key] = slot
-        return slot[1]
-
-    def standardized(self, frame: DataFrame, name: str) -> np.ndarray | None:
-        """Unit-variance, zero-mean vector; None when NaNs/constant block it."""
-        cols = self._frame_slot(frame)
-        if name not in cols:
-            v = frame.column(name).to_float()
-            if np.isnan(v).any():
-                cols[name] = None
-            else:
-                std = v.std()
-                if std == 0 or len(v) < 3:
-                    cols[name] = None
-                else:
-                    cols[name] = (v - v.mean()) / (std * np.sqrt(len(v)))
-        return cols[name]
-
-
-_std_cache = _StandardizedCache()
-
-
 def _pearson(frame: DataFrame, a: str, b: str) -> float:
-    za = _std_cache.standardized(frame, a)
-    zb = _std_cache.standardized(frame, b)
+    # Standardized vectors (computed once per frame version by the shared
+    # computation cache) reduce the Correlation action's O(m^2) pairwise
+    # Pearson scores to dot products.  The cache keys on a weakref to the
+    # frame rather than a raw id(), so a collected frame's recycled id can
+    # never alias another frame's vectors.
+    za = _cache.standardized(frame, a)
+    zb = _cache.standardized(frame, b)
     if za is not None and zb is not None:
         return _clamp(abs(float(np.dot(za, zb))))
     # Fallback: pairwise-complete observations when NaNs are present.
@@ -96,7 +77,7 @@ def _pearson(frame: DataFrame, a: str, b: str) -> float:
 
 
 def _skewness(frame: DataFrame, attr: str) -> float:
-    v = frame.column(attr).to_float()
+    v = _cache.to_float(frame, attr)
     v = v[~np.isnan(v)]
     if len(v) < 3 or v.std() == 0:
         return 0.0
@@ -130,8 +111,8 @@ def _dispersion(values: np.ndarray) -> float:
 
 def _group_separation(frame: DataFrame, measure: str, color: str) -> float:
     """Between-group variance fraction of ``measure`` explained by ``color``."""
-    y = frame.column(measure).to_float()
-    codes, _ = frame.column(color).factorize()
+    y = _cache.to_float(frame, measure)
+    codes, _ = _cache.factorize(frame, color)
     ok = ~np.isnan(y) & (codes >= 0)
     y, codes = y[ok], codes[ok]
     if len(y) < 3 or y.var() == 0:
@@ -213,7 +194,9 @@ def score_vis(
                 executor.execute(spec, frame)
             return _filter_deviation(spec, frame, executor)
 
-        subset = executor.apply_filters(frame, spec.filters)
+        # This branch is only reached for unfiltered specs (the filtered
+        # case returned above), so the frame is already the full subset.
+        subset = frame
         x, y, color = spec.x, spec.y, spec.color
         if spec.mark in ("point", "tick"):
             if (

@@ -45,7 +45,7 @@ def estimate_vis_cost(spec: VisSpec, metadata: Metadata, n_rows: int | None = No
         return cost + max(cols, 1) * n
     if spec.mark == "histogram":
         enc = x if x is not None and x.bin else y
-        bins = enc.bin_size if enc is not None else 10
+        bins = enc.resolved_bin_size if enc is not None else 10
         return cost + n + bins
     if spec.mark in ("bar", "line", "area", "geoshape"):
         dim = None
@@ -58,9 +58,15 @@ def estimate_vis_cost(spec: VisSpec, metadata: Metadata, n_rows: int | None = No
             return cost + n + c1 * c2
         return cost + n + c1
     if spec.mark == "rect":
-        if x is not None and y is not None and x.field_type == "quantitative":
-            bins = max(x.bin_size, 10)
-            extra = bins * bins
+        if (
+            x is not None
+            and y is not None
+            and x.field_type == "quantitative"
+            and y.field_type == "quantitative"
+        ):
+            # Matches the executor: the numeric 2-D binning path only runs
+            # when BOTH axes are quantitative; otherwise it's a group-by.
+            extra = x.resolved_bin_size * y.resolved_bin_size
         else:
             extra = _cardinality(metadata, x.field if x else "") * _cardinality(
                 metadata, y.field if y else ""

@@ -14,7 +14,7 @@ from ...dataframe import DataFrame
 from ..compiler import CompiledVis
 from ..config import config
 from ..executor.base import get_executor
-from ..interestingness import score_vis
+from ..interestingness import needs_executed_data, score_vis
 from ..vis import Vis
 from ..vislist import VisList
 from .cost_model import prune_is_beneficial
@@ -26,30 +26,62 @@ def get_sample(frame: DataFrame) -> DataFrame:
     """The cached row sample used for approximate scoring.
 
     Frames at or below ``config.sampling_start`` rows are returned as-is.
-    LuxDataFrames cache the sample until their next mutation.
+    The sample is cached as ``(_data_version, sample)`` and is only reused
+    while both the length cap and the content version still match: a plain
+    DataFrame has no ``_sample_cache``-clearing hook (unlike LuxDataFrame's
+    wflow expiry), so without the version key a same-length in-place
+    mutation would silently keep scoring on stale rows.
     """
     n = len(frame)
     if not config.sampling or n <= config.sampling_start:
         return frame
     cap = min(config.sampling_cap, n)
+    version = getattr(frame, "_data_version", 0)
     cached = getattr(frame, "_sample_cache", None)
-    if cached is not None and len(cached) == cap:
-        return cached
+    if cached is not None:
+        cached_version, sample = cached
+        if cached_version == version and len(sample) == cap:
+            return sample
     sample = frame.sample(n=cap, random_state=config.random_seed)
     try:
-        frame._sample_cache = sample
+        frame._sample_cache = (version, sample)
     except AttributeError:
         pass
     return sample
+
+
+def _prefetch_for_scoring(
+    candidates: Sequence[CompiledVis], frame: DataFrame, executor
+) -> None:
+    """Batch-execute the specs whose scores need processed records.
+
+    One ``execute_many`` call lets same-filter candidates share a single
+    materialized subframe (and every candidate share factorizations etc.).
+    Failures fall through silently: ``score_vis`` executes lazily with its
+    own per-spec failproofing, so one broken spec cannot sink the batch.
+    """
+    pending = [
+        c.spec
+        for c in candidates
+        if c.spec.data is None and needs_executed_data(c.spec)
+    ]
+    if not pending:
+        return
+    try:
+        executor.execute_many(pending, frame)
+    except Exception:
+        pass
 
 
 def _exact_scored(
     candidates: Sequence[CompiledVis], frame: DataFrame
 ) -> list[tuple[float, CompiledVis]]:
     executor = get_executor()
-    scored = []
     for cand in candidates:
         cand.spec.data = None
+    _prefetch_for_scoring(candidates, frame, executor)
+    scored = []
+    for cand in candidates:
         score = score_vis(cand.spec, frame, executor)
         scored.append((score, cand))
     return scored
@@ -78,9 +110,13 @@ def rank_candidates(
     )
 
     if use_prune:
-        approx: list[tuple[float, CompiledVis]] = []
+        # Pass 1 (approximate, on the sample) is batched exactly like pass
+        # 2: one execute_many shares each scan across the candidate set.
         for cand in candidates:
             cand.spec.data = None
+        _prefetch_for_scoring(candidates, sample, executor)
+        approx: list[tuple[float, CompiledVis]] = []
+        for cand in candidates:
             approx.append((score_vis(cand.spec, sample, executor), cand))
         approx.sort(key=lambda sc: -sc[0])
         survivors = [cand for _, cand in approx[:k]]
@@ -89,12 +125,14 @@ def rank_candidates(
         scored = _exact_scored(candidates, frame)
 
     scored.sort(key=lambda sc: -sc[0])
-    visualizations = []
-    for score, cand in scored[:k]:
-        # Exact display data for everything shown (pass 2 guarantee).
-        if cand.spec.data is None:
-            executor.execute(cand.spec, frame)
-        visualizations.append(
-            Vis.from_compiled(cand, source=frame, score=score, process=False)
-        )
+    top = scored[:k]
+    # Exact display data for everything shown (pass 2 guarantee), computed
+    # as one shared-scan batch so the top-k repeat no filter/group-by work.
+    pending = [cand.spec for _, cand in top if cand.spec.data is None]
+    if pending:
+        executor.execute_many(pending, frame)
+    visualizations = [
+        Vis.from_compiled(cand, source=frame, score=score, process=False)
+        for score, cand in top
+    ]
     return VisList(visualizations=visualizations, source=frame)

@@ -27,6 +27,38 @@ __all__ = ["RecommendationSet", "drain_all", "schedule_actions"]
 #: benchmarks can fence background work between measured conditions.
 _LIVE: "weakref.WeakSet[RecommendationSet]" = weakref.WeakSet()
 
+#: One process-wide pool for laggard actions, created lazily and sized by
+#: ``config.action_pool_workers``.  Reusing it avoids paying thread spin-up
+#: on every print and bounds steady-state background parallelism globally
+#: instead of per-call (during a resize, a retired pool may briefly drain
+#: its queue alongside the new one).
+_POOL: ThreadPoolExecutor | None = None
+_POOL_SIZE: int = 0
+_POOL_LOCK = threading.Lock()
+
+
+def _pool_submit(fn: Callable[[], None]) -> None:
+    """Submit to the shared pool, atomically with (re)creating it.
+
+    Resizes (``config.action_pool_workers`` changes after first use) retire
+    the old pool without waiting; submission happens under the same lock as
+    any retirement, so a concurrently resized pool can never raise
+    "cannot schedule new futures after shutdown" and strand a
+    RecommendationSet short of its expected put count.
+    """
+    global _POOL, _POOL_SIZE
+    workers = max(int(config.action_pool_workers), 1)
+    with _POOL_LOCK:
+        if _POOL is not None and _POOL_SIZE != workers:
+            _POOL.shutdown(wait=False)
+            _POOL = None
+        if _POOL is None:
+            _POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="lux-action"
+            )
+            _POOL_SIZE = workers
+        _POOL.submit(fn)
+
 
 def drain_all(timeout: float | None = 120.0) -> None:
     """Block until every in-flight streaming recommendation completes."""
@@ -48,13 +80,18 @@ class RecommendationSet:
         self._lock = threading.Lock()
         self._done = threading.Event()
         self._expected = 0
+        self._received = 0
 
     def _put(self, name: str, vislist: "VisList") -> None:
+        # Completion counts *puts*, not dict entries: two actions sharing a
+        # name dedupe in ``_results``, and a size check would leave ``_done``
+        # unset forever, hanging every ``wait()``-backed accessor.
         with self._lock:
             self._results[name] = vislist
             if name not in self._order:
                 self._order.append(name)
-            if len(self._results) >= self._expected:
+            self._received += 1
+            if self._received >= self._expected:
                 self._done.set()
 
     # Mapping-style access -------------------------------------------------
@@ -137,12 +174,10 @@ def run_actions(
     result._put(first.name, _generate_safely(first, ldf))
     if not rest:
         return result
-    pool = ThreadPoolExecutor(max_workers=2, thread_name_prefix="lux-action")
     for action in rest:
-        pool.submit(
+        _pool_submit(
             lambda a=action: result._put(a.name, _generate_safely(a, ldf))
         )
-    pool.shutdown(wait=False)
     return result
 
 

@@ -75,6 +75,12 @@ class DataFrame:
         "_column_order",
     }
 
+    #: Content-version counter, bumped by every in-place mutation.  Caches
+    #: that hold derived per-frame state (row samples, the executor's
+    #: computation cache) key on it to detect staleness even for plain
+    #: frames that have no richer expiry hooks.
+    _data_version: int = 0
+
     def __init__(
         self,
         data: Any = None,
@@ -148,7 +154,12 @@ class DataFrame:
         """Hook for subclasses; base frames carry no extra state."""
 
     def _notify_mutation(self, op: str) -> None:
-        """Hook for subclasses; called after any in-place change."""
+        """Hook called after any in-place change; bumps ``_data_version``.
+
+        Subclasses overriding this must keep the version bump (LuxDataFrame
+        does so via its ``_expire`` rules).
+        """
+        object.__setattr__(self, "_data_version", self._data_version + 1)
 
     # ------------------------------------------------------------------
     # Core protocol

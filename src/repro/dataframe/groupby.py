@@ -60,9 +60,19 @@ def normalize_aggfunc(fn: Any) -> str:
 
 
 class _Grouping:
-    """Factorized key columns: group ids per row plus per-group key values."""
+    """Factorized key columns: group ids per row plus per-group key values.
 
-    def __init__(self, frame: DataFrame, keys: Sequence[str]) -> None:
+    ``factorize`` optionally overrides how key columns are encoded; the
+    executor's shared-scan cache passes a memoized factorizer here so one
+    recommendation pass factorizes each key column exactly once.
+    """
+
+    def __init__(
+        self,
+        frame: DataFrame,
+        keys: Sequence[str],
+        factorize: Callable[[str], tuple[np.ndarray, list[Any]]] | None = None,
+    ) -> None:
         self.keys = list(keys)
         for k in self.keys:
             if k not in frame:
@@ -70,7 +80,10 @@ class _Grouping:
         codes_list: list[np.ndarray] = []
         labels_list: list[list[Any]] = []
         for k in self.keys:
-            codes, labels = frame.column(k).factorize()
+            if factorize is not None:
+                codes, labels = factorize(k)
+            else:
+                codes, labels = frame.column(k).factorize()
             codes_list.append(codes)
             labels_list.append(labels)
         valid = np.ones(len(frame), dtype=bool)
@@ -124,6 +137,27 @@ class GroupBy:
         if value_columns is None:
             value_columns = [c for c in frame.columns if c not in self.keys]
         self._value_columns = list(value_columns)
+
+    @classmethod
+    def from_grouping(
+        cls,
+        frame: DataFrame,
+        grouping: _Grouping,
+        value_columns: Sequence[str] | None = None,
+    ) -> "GroupBy":
+        """Build a GroupBy around an already-prepared :class:`_Grouping`.
+
+        Lets the executor's computation cache reuse one factorization pass
+        across every visualization grouping on the same keys.
+        """
+        out = cls.__new__(cls)
+        out._frame = frame
+        out._grouping = grouping
+        out.keys = list(grouping.keys)
+        if value_columns is None:
+            value_columns = [c for c in frame.columns if c not in out.keys]
+        out._value_columns = list(value_columns)
+        return out
 
     # ------------------------------------------------------------------
     # Column subsetting: ``df.groupby("k")["v"]``

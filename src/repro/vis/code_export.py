@@ -33,7 +33,7 @@ def _alt_channel(enc: Encoding) -> str:
         shorthand = f"{enc.field}:{shorthand_type}"
     args = [repr(shorthand)]
     if enc.bin:
-        args.append(f"bin=alt.Bin(maxbins={enc.bin_size})")
+        args.append(f"bin=alt.Bin(maxbins={enc.resolved_bin_size})")
     if enc.sort:
         args.append(f"sort={enc.sort!r}")
     ctor = {"x": "X", "y": "Y", "color": "Color", "size": "Size",
@@ -88,7 +88,7 @@ def to_matplotlib_code(spec: VisSpec) -> str:
     x, y, color = spec.x, spec.y, spec.color
     if spec.mark == "histogram" and x is not None:
         lines += [
-            f"plt.hist(df[{x.field!r}].dropna(), bins={x.bin_size})",
+            f"plt.hist(df[{x.field!r}].dropna(), bins={x.resolved_bin_size})",
             f"plt.xlabel({x.field!r})",
             "plt.ylabel('Record Count')",
         ]

@@ -17,6 +17,17 @@ CHANNELS = ("x", "y", "color", "size", "row", "column")
 #: Lux's semantic data types (§8.1) mapped onto Vega-Lite field types.
 FIELD_TYPES = ("quantitative", "nominal", "temporal", "geographic", "ordinal")
 
+def _default_bins() -> int:
+    """The configured default bin count (imported lazily so the vis layer
+    stays importable without the core package)."""
+    try:
+        from ..core.config import config
+
+        return int(config.default_bin_size)
+    except Exception:  # pragma: no cover - core is always importable here
+        return 10
+
+
 _VEGA_TYPE = {
     "quantitative": "quantitative",
     "nominal": "nominal",
@@ -44,7 +55,8 @@ class Encoding:
     bin:
         Whether the field is binned before encoding.
     bin_size:
-        Number of bins when ``bin`` is set.
+        Number of bins when ``bin`` is set; 0 (the default) defers to the
+        consumer's default bin count (``config.default_bin_size``).
     sort:
         Optional sort direction for discrete axes ("ascending"/"descending").
     """
@@ -54,7 +66,7 @@ class Encoding:
     field_type: str
     aggregate: str | None = None
     bin: bool = False
-    bin_size: int = 10
+    bin_size: int = 0
     sort: str | None = None
 
     def __post_init__(self) -> None:
@@ -65,6 +77,19 @@ class Encoding:
 
     def with_channel(self, channel: str) -> "Encoding":
         return replace(self, channel=channel)
+
+    @property
+    def resolved_bin_size(self) -> int:
+        """The effective bin count: the explicit setting, else the config
+        default.
+
+        Every consumer (executors, renderers, code export) resolves the
+        0-sentinel through this one property so displayed data and exported
+        specs always agree on the bin count.
+        """
+        if self.bin_size > 0:
+            return self.bin_size
+        return _default_bins()
 
     @property
     def title(self) -> str:
@@ -87,7 +112,7 @@ class Encoding:
             if self.aggregate:
                 out["aggregate"] = "mean" if self.aggregate == "avg" else self.aggregate
         if self.bin:
-            out["bin"] = {"maxbins": self.bin_size}
+            out["bin"] = {"maxbins": self.resolved_bin_size}
         if self.sort:
             out["sort"] = self.sort
         out["title"] = self.title

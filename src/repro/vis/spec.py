@@ -13,7 +13,17 @@ from typing import Any, Iterable, Sequence
 from .encoding import Encoding
 from .marks import MARKS
 
-__all__ = ["VisSpec"]
+__all__ = ["VisSpec", "filter_signature"]
+
+
+def filter_signature(filters: Any) -> tuple:
+    """Hashable identity of a filter clause list (order-insensitive).
+
+    The single definition shared by spec dedup (:meth:`VisSpec.signature`)
+    and the executor's shared-scan cache, so the two identities can never
+    drift apart.
+    """
+    return tuple(sorted((a, op, repr(v)) for a, op, v in filters))
 
 
 class VisSpec:
@@ -106,8 +116,11 @@ class VisSpec:
     def signature(self) -> tuple:
         """Hashable identity used for caching and deduplication."""
         encs = tuple(
-            (e.channel, e.field, e.field_type, e.aggregate, e.bin, e.bin_size)
+            # resolved_bin_size, not the raw field: an explicit size equal
+            # to the config default and an unset size (0-sentinel) render
+            # identically and must dedupe identically.
+            (e.channel, e.field, e.field_type, e.aggregate, e.bin,
+             e.resolved_bin_size)
             for e in sorted(self.encodings, key=lambda e: e.channel)
         )
-        filts = tuple(sorted((a, op, repr(v)) for a, op, v in self.filters))
-        return (self.mark, encs, filts)
+        return (self.mark, encs, filter_signature(self.filters))

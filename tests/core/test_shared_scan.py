@@ -1,0 +1,325 @@
+"""Shared-scan execution: ComputationCache, execute_many, and the cache fixes.
+
+Covers the cross-visualization computation cache (correct results, version-
+keyed invalidation, weakref keying), batch/sequential equivalence across all
+eight mark handlers, and the regression fixes that rode along: duplicate-
+action-name streaming completion, stale-sample invalidation on plain
+frames, and explicit numeric-heatmap bin sizes.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro import LuxDataFrame, config
+from repro.core.compiler import compile_intent
+from repro.core.executor.base import get_executor
+from repro.core.executor.cache import ComputationCache, computation_cache
+from repro.core.executor.df_exec import DataFrameExecutor
+from repro.core.executor.sql_exec import SQLExecutor
+from repro.core.intent import parse_intent
+from repro.core.interestingness import _pearson
+from repro.core.metadata import compute_metadata
+from repro.core.optimizer.sampling import get_sample
+from repro.core.optimizer.scheduler import run_actions
+from repro.dataframe import DataFrame
+from repro.vis.encoding import Encoding
+from repro.vis.spec import VisSpec
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    computation_cache.clear()
+    yield
+    computation_cache.clear()
+
+
+def _all_mark_specs() -> list[VisSpec]:
+    """One spec per mark handler (the eight rows of Table 2), plus variants."""
+    q = "quantitative"
+    specs = [
+        # histogram: bin + count
+        VisSpec("histogram", [
+            Encoding("x", "Age", q, bin=True, bin_size=10),
+            Encoding("y", "", q, aggregate="count"),
+        ]),
+        # bar: group-by mean
+        VisSpec("bar", [
+            Encoding("y", "Education", "nominal"),
+            Encoding("x", "Age", q, aggregate="mean"),
+        ]),
+        # bar: group-by count
+        VisSpec("bar", [
+            Encoding("y", "Department", "nominal"),
+            Encoding("x", "", q, aggregate="count"),
+        ]),
+        # line: 2-D colored group-by
+        VisSpec("line", [
+            Encoding("x", "Education", "nominal"),
+            Encoding("y", "Age", q, aggregate="mean"),
+            Encoding("color", "Attrition", "nominal"),
+        ]),
+        # area: group-by sum
+        VisSpec("area", [
+            Encoding("x", "Department", "nominal"),
+            Encoding("y", "MonthlyIncome", q, aggregate="sum"),
+        ]),
+        # geoshape: choropleth mean
+        VisSpec("geoshape", [
+            Encoding("x", "Country", "geographic"),
+            Encoding("color", "Age", q, aggregate="mean"),
+        ]),
+        # point: scatter selection
+        VisSpec("point", [
+            Encoding("x", "Age", q),
+            Encoding("y", "MonthlyIncome", q),
+        ]),
+        # tick: 1-D selection
+        VisSpec("tick", [Encoding("x", "HourlyRate", q)]),
+        # rect: nominal heatmap (2-D group-by count)
+        VisSpec("rect", [
+            Encoding("x", "Education", "nominal"),
+            Encoding("y", "Department", "nominal"),
+            Encoding("color", "", q, aggregate="count"),
+        ]),
+        # rect: numeric heatmap (2-D bin + count + color aggregate)
+        VisSpec("rect", [
+            Encoding("x", "Age", q, bin_size=6),
+            Encoding("y", "MonthlyIncome", q, bin_size=6),
+            Encoding("color", "HourlyRate", q, aggregate="mean"),
+        ]),
+    ]
+    filtered = []
+    for spec in specs:
+        filtered.append(
+            VisSpec(spec.mark, spec.encodings, filters=[("Department", "=", "Sales")])
+        )
+        filtered.append(
+            VisSpec(spec.mark, spec.encodings, filters=[("Age", ">", 40)])
+        )
+    return specs + filtered
+
+
+class TestExecuteManyEquivalence:
+    def test_batch_identical_to_sequential_all_marks(self, employees):
+        """execute_many == per-spec execute for every handler, ± filters."""
+        sequential = _all_mark_specs()
+        batch = _all_mark_specs()
+
+        config.computation_cache = False
+        expected = [DataFrameExecutor().execute(s, employees) for s in sequential]
+
+        config.computation_cache = True
+        computation_cache.clear()
+        got = DataFrameExecutor().execute_many(batch, employees)
+
+        assert len(got) == len(expected)
+        for spec, a, b in zip(batch, expected, got):
+            assert a == b, f"mismatch for {spec!r}"
+            assert spec.data is b
+
+    def test_execute_many_with_cache_disabled(self, employees):
+        specs = _all_mark_specs()
+        config.computation_cache = False
+        got = DataFrameExecutor().execute_many(specs, employees)
+        assert all(r is not None for r in got)
+        assert all(s.data is r for s, r in zip(specs, got))
+
+    def test_repeated_execute_hits_cache(self, employees):
+        spec = _all_mark_specs()[1]
+        ex = DataFrameExecutor()
+        first = ex.execute(spec, employees)
+        spec.data = None
+        second = ex.execute(spec, employees)
+        assert first == second
+        assert computation_cache.stats()["groupings"] >= 1
+
+    def test_sql_executor_default_batch_path(self, employees):
+        spec = VisSpec("bar", [
+            Encoding("y", "Education", "nominal"),
+            Encoding("x", "Age", "quantitative", aggregate="mean"),
+        ])
+        spec2 = VisSpec("bar", list(spec.encodings))
+        a = SQLExecutor().execute(spec, employees)
+        [b] = SQLExecutor().execute_many([spec2], employees)
+        assert a == b
+
+
+class TestComputationCache:
+    def test_mutation_invalidates(self, employees):
+        ex = DataFrameExecutor()
+        spec = VisSpec("bar", [
+            Encoding("y", "Education", "nominal"),
+            Encoding("x", "Age", "quantitative", aggregate="mean"),
+        ])
+        before = ex.execute(spec, employees)
+        employees["Age"] = np.asarray(employees["Age"].to_list()) + 100.0
+        spec.data = None
+        after = ex.execute(spec, employees)
+        mean_before = np.mean([r["Age"] for r in before])
+        mean_after = np.mean([r["Age"] for r in after])
+        assert mean_after == pytest.approx(mean_before + 100.0, rel=1e-6)
+
+    def test_filter_mask_cached_but_subframe_not_pinned(self, employees):
+        ex = DataFrameExecutor()
+        filters = [("Department", "=", "Sales")]
+        a = ex.apply_filters(employees, filters)
+        b = ex.apply_filters(employees, filters)
+        # The mask is cached (one entry), the subframe deliberately is not:
+        # pinning row copies process-wide would retain GBs on large frames.
+        assert a is not b
+        assert a.equals(b)
+        assert computation_cache.stats()["masks"] == 1
+        employees["new"] = 1
+        c = ex.apply_filters(employees, filters)
+        assert len(c) == len(a)
+
+    def test_mask_lru_bounded(self):
+        frame = DataFrame({"v": np.arange(1000, dtype=float)})
+        ex = DataFrameExecutor()
+        for i in range(200):
+            ex.apply_filters(frame, [("v", ">", float(i))])
+        assert computation_cache.stats()["masks"] <= 64
+
+    def test_plain_frame_mutation_bumps_version(self):
+        frame = DataFrame({"a": [1, 2, 3]})
+        v0 = frame._data_version
+        frame["a"] = [4, 5, 6]
+        assert frame._data_version == v0 + 1
+
+    def test_slot_evicted_when_frame_collected(self):
+        cache = ComputationCache()
+        frame = DataFrame({"a": [1.0, 2.0, 3.0]})
+        cache.to_float(frame, "a")
+        assert cache.stats()["frames"] == 1
+        del frame
+        gc.collect()
+        assert cache.stats()["frames"] == 0
+
+    def test_cached_arrays_are_readonly(self, employees):
+        arr = computation_cache.to_float(employees, "Age")
+        with pytest.raises(ValueError):
+            arr[0] = 0.0
+
+    def test_toggle_bypasses_store(self, employees):
+        config.computation_cache = False
+        computation_cache.to_float(employees, "Age")
+        computation_cache.grouping(employees, ("Education",))
+        assert computation_cache.stats()["frames"] == 0
+
+    def test_pearson_stale_after_inplace_mutation_of_plain_frame(self):
+        """Regression: plain frames mutated in place must re-standardize."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(0, 1, 500)
+        frame = DataFrame({"x": x, "y": x + rng.normal(0, 0.01, 500)})
+        high = _pearson(frame, "x", "y")
+        assert high > 0.9
+        frame["y"] = rng.normal(0, 1, 500)  # same length, new content
+        low = _pearson(frame, "x", "y")
+        assert low < 0.5
+
+
+class TestStreamingCompletion:
+    def test_duplicate_action_names_complete(self, employees):
+        """Regression: two actions sharing a name must not hang wait()."""
+        from repro.core.actions.base import Action
+
+        class Named(Action):
+            name = "Twin"
+
+            def applies_to(self, ldf):
+                return True
+
+            def candidates(self, ldf):
+                return []
+
+        config.streaming = True
+        result = run_actions([Named(), Named(), Named()], employees, employees.metadata)
+        assert result.wait(timeout=10.0), "RecommendationSet never completed"
+        assert "Twin" in result.keys()
+
+    def test_duplicate_names_synchronous(self, employees):
+        from repro.core.actions.base import Action
+
+        class Named(Action):
+            name = "Twin"
+
+            def applies_to(self, ldf):
+                return True
+
+            def candidates(self, ldf):
+                return []
+
+        config.streaming = False
+        result = run_actions([Named(), Named()], employees, employees.metadata)
+        assert result.wait(timeout=1.0)
+        assert len(result) == 1
+
+
+class TestSampleInvalidation:
+    def test_plain_frame_sample_refreshes_after_inplace_mutation(self):
+        """Regression: same-length mutation must not reuse a stale sample."""
+        n = 5_000
+        config.sampling_start = 100
+        config.sampling_cap = 500
+        frame = DataFrame({"v": np.zeros(n)})
+        first = get_sample(frame)
+        assert float(np.asarray(first["v"].to_list()).sum()) == 0.0
+        frame["v"] = np.ones(n)  # same length: the old cap check passed
+        second = get_sample(frame)
+        assert second is not first
+        assert float(np.asarray(second["v"].to_list()).sum()) == len(second)
+
+    def test_lux_frame_sample_still_cached_until_mutation(self):
+        n = 5_000
+        config.sampling_start = 100
+        config.sampling_cap = 500
+        frame = LuxDataFrame({"v": np.arange(n, dtype=float)})
+        assert get_sample(frame) is get_sample(frame)
+
+
+class TestHeatmapBins:
+    def _spec(self, bx: int, by: int) -> VisSpec:
+        return VisSpec("rect", [
+            Encoding("x", "Age", "quantitative", bin_size=bx),
+            Encoding("y", "MonthlyIncome", "quantitative", bin_size=by),
+            Encoding("color", "", "quantitative", aggregate="count"),
+        ])
+
+    def test_explicit_small_bins_honored(self, employees):
+        """Regression: bin_size below the default was silently overridden."""
+        records = DataFrameExecutor().execute(self._spec(4, 4), employees)
+        assert 0 < len({r["Age"] for r in records}) <= 4
+        assert 0 < len({r["MonthlyIncome"] for r in records}) <= 4
+        assert sum(r["count"] for r in records) == len(employees)
+
+    def test_per_axis_bin_sizes(self, employees):
+        records = DataFrameExecutor().execute(self._spec(3, 12), employees)
+        assert len({r["Age"] for r in records}) <= 3
+        assert len({r["MonthlyIncome"] for r in records}) > 3
+
+    def test_unset_bin_size_follows_config_default(self, employees):
+        """Encodings without an explicit bin_size track the config knob."""
+        config.default_bin_size = 5
+        records = DataFrameExecutor().execute(self._spec(0, 0), employees)
+        assert 0 < len({r["Age"] for r in records}) <= 5
+        config.default_bin_size = 15
+        spec = self._spec(0, 0)
+        records = DataFrameExecutor().execute(spec, employees)
+        assert len({r["Age"] for r in records}) > 5
+
+
+class TestRankingUsesBatch:
+    def test_rank_candidates_display_data_exact(self, employees):
+        from repro.core.optimizer.sampling import rank_candidates
+
+        meta = compute_metadata(employees)
+        cands = compile_intent(
+            parse_intent(["?", "Education"]), meta
+        ) + compile_intent(parse_intent(["?"]), meta)
+        out = rank_candidates(cands, employees, k=5)
+        assert len(out) > 0
+        assert all(v.data is not None for v in out)
