@@ -12,10 +12,9 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from conftest import run_report, emit, scaled
-from repro import Clause, config
+from repro import config
 from repro.bench import condition, format_table, recall_at_k
 from repro.core.actions import CorrelationAction, OccurrenceAction
 from repro.core.optimizer.sampling import rank_candidates

@@ -9,7 +9,6 @@ of all-opt over no-opt).
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import run_report, AIRBNB_ROWS, COMMUNITIES_ROWS, emit
 from repro.bench import (

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from conftest import run_report, AIRBNB_ROWS, COMMUNITIES_ROWS, emit
 from repro.bench import CONDITIONS, condition, format_table

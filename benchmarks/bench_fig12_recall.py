@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from conftest import run_report, emit, scaled
-from repro import Clause, config
+from repro import config
 from repro.bench import format_table, recall_at_k
 from repro.core.actions import (
     CorrelationAction,

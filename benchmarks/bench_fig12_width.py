@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from conftest import run_report, emit, scaled
 from repro.bench import condition, fit_power_law, format_table

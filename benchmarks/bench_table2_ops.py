@@ -11,7 +11,6 @@ from __future__ import annotations
 import pytest
 
 from conftest import run_report, emit, scaled
-from repro import Clause, config
 from repro.core.compiler import compile_intent
 from repro.core.executor.df_exec import DataFrameExecutor
 from repro.core.executor.sql_exec import SQLExecutor

@@ -8,7 +8,6 @@ cells incur (near) zero overhead.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import run_report, emit, scaled
 from repro.bench import build_airbnb_notebook, build_communities_notebook, format_table

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from conftest import run_report, emit, scaled
 from repro.bench import condition, format_table

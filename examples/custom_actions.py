@@ -13,7 +13,6 @@ Run:  python examples/custom_actions.py
 
 from __future__ import annotations
 
-import numpy as np
 
 import repro
 from repro import Vis, VisList, register_action, remove_action

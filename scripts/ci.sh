@@ -1,17 +1,31 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 tests plus a shared-scan perf-path smoke run.
+# CI entry point: lint gate, tier-1 tests, and the shared-scan perf gate.
 #
 # The benchmark invocation is deliberately part of CI: it executes the full
-# 40+-candidate batch path under both cache conditions, so regressions in
-# the hottest path (executor caching, batch execution) fail fast even when
-# no unit test exercises the exact combination.
+# 40+-candidate batch path under all three conditions (uncached, cached,
+# parallel), verifies parallel results are bit-identical to serial, checks
+# the cache byte budget, and gates the speedup trajectory against the
+# committed baseline (benchmarks/baselines/BENCH_shared_scan.json) — so
+# regressions in the hottest path fail fast even when no unit test
+# exercises the exact combination.  The run's BENCH_shared_scan.json is
+# left in the repo root for the workflow to upload as an artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== lint =="
+if python -m ruff --version >/dev/null 2>&1; then
+  python -m ruff check .
+  python -m ruff format --check .
+else
+  # Containers without ruff (it is not a runtime dependency) skip the
+  # gate locally; the GitHub Actions workflow always installs it.
+  echo "ruff not installed; skipping lint gate"
+fi
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
-echo "== shared-scan smoke =="
-python benchmarks/bench_shared_scan.py --quick
+echo "== shared-scan benchmark gate =="
+python benchmarks/bench_shared_scan.py --quick --out BENCH_shared_scan.json

@@ -16,7 +16,6 @@ from ..compiler import CompiledVis, compile_intent
 from ..clause import Clause
 from ..config import config
 from ..metadata import Metadata
-from ..optimizer.cost_model import estimate_action_cost
 from ..optimizer.sampling import rank_candidates
 from ..vislist import VisList
 

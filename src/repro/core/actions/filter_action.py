@@ -8,7 +8,7 @@ other actions.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING
 
 from ..clause import Clause
 from ..compiler import CompiledVis

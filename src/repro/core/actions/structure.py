@@ -8,7 +8,7 @@ Series visualizations reuse the univariate machinery and live on LuxSeries.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING
 
 from ...vis.encoding import Encoding
 from ...vis.spec import VisSpec

@@ -13,7 +13,7 @@ The grammar::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import Any, Sequence
 
 __all__ = ["Clause", "FILTER_OPS", "WILDCARD"]
 

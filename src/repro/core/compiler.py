@@ -17,11 +17,9 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from ..vis.encoding import Encoding
-from ..vis.marks import infer_mark
 from ..vis.spec import VisSpec
 from .clause import WILDCARD, Clause
 from .config import config
-from .errors import IntentError
 from .metadata import Metadata
 
 __all__ = ["CompiledVis", "compile_intent"]

@@ -9,8 +9,9 @@ all-opt / pandas).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
 __all__ = ["Config", "config"]
 
@@ -37,8 +38,13 @@ class Config:
     #: optimisation); synchronous when False so results are deterministic.
     streaming: bool = False
 
-    #: Worker count of the shared thread pool that streams laggard actions.
-    action_pool_workers: int = 2
+    #: Worker count of the process-wide shared pool (``repro.core.pool``)
+    #: that both streams laggard actions and fans out batch execution.
+    #: Defaults to the host's core count so a recommendation pass can use
+    #: all available hardware; resizes apply on the next submission.
+    action_pool_workers: int = field(
+        default_factory=lambda: max(2, os.cpu_count() or 1)
+    )
 
     #: Shared-scan computation cache: memoize filter masks, group-key
     #: factorizations, float conversions, and histogram bin edges per
@@ -46,6 +52,23 @@ class Config:
     #: relational primitive once.  Disable for honest ablations
     #: (``benchmarks/bench_shared_scan.py`` measures both conditions).
     computation_cache: bool = True
+
+    #: Byte budget for the computation cache, in mebibytes; 0 disables the
+    #: bound.  Accounting is exact (``ndarray.nbytes`` per cached vector,
+    #: i.e. rows x dtype width per entry), so on 10M-row frames the cache
+    #: degrades to fewer memoized scans instead of pinning gigabytes.
+    computation_cache_budget_mb: int = 64
+
+    #: Fan ``DataFrameExecutor.execute_many`` out across the shared pool.
+    #: Each filter group's subframe materializes once; specs then execute
+    #: concurrently against the per-slot-locked computation cache.  The
+    #: serial batch path is used when off, when the batch has a single
+    #: spec, or from inside a pool worker (deadlock rule).
+    parallel_execute: bool = True
+
+    #: Frames smaller than this execute batches serially: thread fan-out
+    #: overhead outweighs scan sharing on tiny frames.
+    parallel_min_rows: int = 2_000
 
     #: Rows above which approximate scoring kicks in (paper samples when the
     #: dataframe exceeds the cache size).

@@ -10,8 +10,16 @@ the interface also exposes :meth:`Executor.execute_many`, the batch entry
 point used by ``rank_candidates`` and the actions.  Backends override it to
 share work across the batch (``DataFrameExecutor`` shares filter masks,
 materialized subframes, group-key factorizations, and float conversions via
-the :mod:`~repro.core.executor.cache` computation cache); the default simply
-executes sequentially.
+the :mod:`~repro.core.executor.cache` computation cache, and fans the batch
+out over the shared worker pool under ``config.parallel_execute``); the
+default simply executes sequentially.
+
+The batch contract, which parallel backends must also honor: results align
+with ``specs``, each spec's ``data`` is attached exactly as if
+:meth:`Executor.execute` had run per spec, and an overridden ``execute_many``
+must be safe to call concurrently from multiple threads against the same
+frame (the streaming scheduler runs actions — each issuing its own batch —
+on pool workers).
 """
 
 from __future__ import annotations
@@ -20,9 +28,24 @@ from abc import ABC, abstractmethod
 from typing import Any, Sequence
 
 from ...dataframe import DataFrame
-from ...vis.spec import VisSpec
+from ...vis.spec import VisSpec, filter_signature
 
-__all__ = ["Executor", "get_executor"]
+__all__ = ["Executor", "get_executor", "group_indices_by_filter"]
+
+
+def group_indices_by_filter(specs: Sequence[VisSpec]) -> list[list[int]]:
+    """Partition batch indices by filter signature, preserving order.
+
+    The shared-scan unit of work: every index list shares one mask
+    evaluation and one materialized subframe.  Kept on the interface layer
+    because any batching backend needs the same partition (the dataframe
+    executor parallelizes across it; a future distributed backend would
+    shard by it).
+    """
+    by_filter: "dict[tuple, list[int]]" = {}
+    for i, spec in enumerate(specs):
+        by_filter.setdefault(filter_signature(spec.filters), []).append(i)
+    return list(by_filter.values())
 
 
 class Executor(ABC):

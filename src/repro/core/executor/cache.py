@@ -26,14 +26,40 @@ Entries are keyed on *(frame identity, content version)*:
   invalidate` to free the slot's memory eagerly rather than waiting for
   LRU pressure.
 
+Byte budget
+-----------
+The cache is bounded by **bytes**, not entry counts
+(``config.computation_cache_budget_mb``): every cached vector accounts its
+exact ``ndarray.nbytes`` (rows x dtype width), groupings account their
+``group_ids`` + ``valid`` arrays (~9 bytes/row).  When an insertion pushes
+the total over budget, entries are evicted least-recently-used first,
+cheapest-to-recompute sections first, coldest frame slots first — so on a
+10M-row frame the cache degrades to fewer memoized scans instead of
+pinning gigabytes the way a fixed 64-masks bound would.
+
+Sample links
+------------
+:meth:`link_sample` registers a row sample cut by ``get_sample`` together
+with its parent frame and row indices.  While both stay unmutated, the
+sample's floats, factorizations, and filter masks are *derived* from the
+parent's cached vectors by fancy indexing — so the approximate scoring
+pass (pass 1, on the sample) performs its scans on the parent and thereby
+pre-warms the exact pass (pass 2, on the full frame).  Derived values are
+bit-identical to direct computation for floats and masks; factorizations
+reuse the parent's label table (a valid factorization with the parent's
+label order), which downstream groupings compact to observed groups.
+
 All public methods honor ``config.computation_cache``: when the toggle is
 off they compute the requested primitive directly without reading or
 writing the store, so ablation benchmarks measure the true uncached cost.
 
-Thread safety: slot bookkeeping runs under an ``RLock``; the primitives
-themselves are computed outside the lock, so concurrent streaming actions
-may occasionally duplicate a computation but can never observe a torn
-entry.  Cached arrays are marked read-only before they are shared.
+Thread safety: the slot map is guarded by a cache-wide lock, but each
+frame slot carries **its own lock** so concurrent filter groups fanned out
+by ``DataFrameExecutor.execute_many`` contend per-frame, not globally.
+Primitives are computed outside any lock with an insert-time recheck, so
+concurrent workers may occasionally duplicate a computation but can never
+observe a torn entry; lock order is always cache lock -> slot lock.
+Cached arrays are marked read-only before they are shared.
 """
 
 from __future__ import annotations
@@ -55,12 +81,48 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["ComputationCache", "computation_cache", "filter_signature"]
 
 
+def _grouping_nbytes(grouping: _Grouping) -> int:
+    return int(grouping.group_ids.nbytes + grouping.valid.nbytes)
+
+
+def _factorized_nbytes(entry: tuple[np.ndarray, list[Any]]) -> int:
+    codes, labels = entry
+    return int(codes.nbytes) + 8 * len(labels)
+
+
+def _array_nbytes(value: np.ndarray | None) -> int:
+    return 0 if value is None else int(value.nbytes)
+
+
 class _FrameSlot:
-    """All memoized primitives for one (frame, version) pair."""
+    """All memoized primitives for one (frame, version) pair.
+
+    Every section is an LRU ``OrderedDict`` and every entry is byte-
+    accounted in ``nbytes``; the slot's own ``lock`` guards all of it, so
+    two frames never contend on one another's bookkeeping.
+    """
+
+    #: Eviction order under byte pressure: cheapest to recompute first.
+    #: A mask is one vectorized comparison, edges are O(1) after the float
+    #: view exists; groupings (a full factorize + unique pass) go last.
+    SECTIONS = ("masks", "edges", "standardized", "floats", "factorized", "groupings")
+
+    _SIZERS: dict[str, Callable[[Any], int]] = {
+        "masks": _array_nbytes,
+        "edges": _array_nbytes,
+        "standardized": _array_nbytes,
+        "floats": _array_nbytes,
+        "factorized": _factorized_nbytes,
+        "groupings": _grouping_nbytes,
+    }
 
     __slots__ = (
         "ref",
         "version",
+        "lock",
+        "nbytes",
+        "hits",
+        "misses",
         "floats",
         "factorized",
         "groupings",
@@ -72,33 +134,88 @@ class _FrameSlot:
     def __init__(self, ref: "weakref.ref", version: int) -> None:
         self.ref = ref
         self.version = version
+        self.lock = threading.Lock()
+        self.nbytes = 0
+        self.hits = 0
+        self.misses = 0
         #: column name -> read-only float64 view (NaN at missing slots)
-        self.floats: dict[str, np.ndarray] = {}
+        self.floats: "OrderedDict[str, np.ndarray]" = OrderedDict()
         #: column name -> (codes, labels) from factorize()
-        self.factorized: dict[str, tuple[np.ndarray, list[Any]]] = {}
-        #: key tuple -> prepared _Grouping (the group-by's expensive half);
-        #: LRU-bounded: each entry pins ~9 bytes per frame row and distinct
-        #: key tuples grow with every new intent, unlike the per-column dicts
+        self.factorized: "OrderedDict[str, tuple[np.ndarray, list[Any]]]" = (
+            OrderedDict()
+        )
+        #: key tuple -> prepared _Grouping (the group-by's expensive half)
         self.groupings: "OrderedDict[tuple[str, ...], _Grouping]" = OrderedDict()
         #: column name -> standardized vector (or None when unusable)
-        self.standardized: dict[str, np.ndarray | None] = {}
+        self.standardized: "OrderedDict[str, np.ndarray | None]" = OrderedDict()
         #: (column name, bin count) -> histogram bin edges
-        self.edges: dict[tuple[str, int], np.ndarray] = {}
-        #: filter signature -> boolean row mask (LRU-bounded)
+        self.edges: "OrderedDict[tuple[str, int], np.ndarray]" = OrderedDict()
+        #: filter signature -> boolean row mask
         self.masks: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+    # The caller holds ``self.lock`` for all three helpers below.
+    def _get(self, section: str, key: Any) -> Any:
+        store: OrderedDict = getattr(self, section)
+        if key in store:
+            store.move_to_end(key)
+            self.hits += 1
+            return store[key]
+        self.misses += 1
+        return _MISSING
+
+    def _put(self, section: str, key: Any, value: Any) -> Any:
+        """Insert unless a concurrent worker won the race; returns winner."""
+        store: OrderedDict = getattr(self, section)
+        existing = store.get(key, _MISSING)
+        if existing is not _MISSING:
+            # The winner's entry is in active use right now: refresh its
+            # recency so byte pressure doesn't evict it from the LRU front.
+            store.move_to_end(key)
+            return existing
+        store[key] = value
+        self.nbytes += self._SIZERS[section](value)
+        return value
+
+    def _evict_one(self) -> bool:
+        """Drop the LRU entry of the first non-empty section; False if empty."""
+        for section in self.SECTIONS:
+            store: OrderedDict = getattr(self, section)
+            if store:
+                _, value = store.popitem(last=False)
+                self.nbytes -= self._SIZERS[section](value)
+                return True
+        return False
+
+
+class _SampleLink:
+    """A registered sample -> parent relationship (see ``link_sample``)."""
+
+    __slots__ = ("sample_ref", "parent_ref", "indices", "sample_version", "parent_version")
+
+    def __init__(
+        self,
+        sample_ref: "weakref.ref",
+        parent_ref: "weakref.ref",
+        indices: np.ndarray,
+        sample_version: int,
+        parent_version: int,
+    ) -> None:
+        self.sample_ref = sample_ref
+        self.parent_ref = parent_ref
+        self.indices = indices
+        self.sample_version = sample_version
+        self.parent_version = parent_version
 
 
 class ComputationCache:
     """Memoizes per-frame relational primitives across a candidate set."""
 
-    def __init__(
-        self, max_frames: int = 8, max_masks: int = 64, max_groupings: int = 32
-    ) -> None:
+    def __init__(self, max_frames: int = 8, budget_bytes: int | None = None) -> None:
         self._slots: "OrderedDict[int, _FrameSlot]" = OrderedDict()
+        self._links: dict[int, _SampleLink] = {}
         self._lock = threading.RLock()
         self._max_frames = max_frames
-        self._max_masks = max_masks
-        self._max_groupings = max_groupings
+        self._budget_override = budget_bytes
 
     # ------------------------------------------------------------------
     # Slot bookkeeping
@@ -106,6 +223,12 @@ class ComputationCache:
     @property
     def enabled(self) -> bool:
         return bool(config.computation_cache)
+
+    def budget_bytes(self) -> int:
+        """The active byte budget; 0 means unbounded."""
+        if self._budget_override is not None:
+            return self._budget_override
+        return max(int(config.computation_cache_budget_mb), 0) << 20
 
     def _slot(self, frame: "DataFrame") -> _FrameSlot | None:
         """The live slot for ``frame``, creating/replacing as needed."""
@@ -130,6 +253,7 @@ class ComputationCache:
     def _evict(self, key: int) -> None:
         with self._lock:
             self._slots.pop(key, None)
+            self._links.pop(key, None)
 
     def invalidate(self, frame: "DataFrame") -> None:
         """Eagerly drop ``frame``'s slot (called on ``_data_version`` bumps)."""
@@ -138,16 +262,120 @@ class ComputationCache:
     def clear(self) -> None:
         with self._lock:
             self._slots.clear()
+            self._links.clear()
 
     def stats(self) -> dict[str, int]:
-        """Rough occupancy counters, summed across slots (introspection)."""
+        """Occupancy / traffic counters, summed across slots (introspection)."""
         with self._lock:
-            return {
-                "frames": len(self._slots),
-                "floats": sum(len(s.floats) for s in self._slots.values()),
-                "groupings": sum(len(s.groupings) for s in self._slots.values()),
-                "masks": sum(len(s.masks) for s in self._slots.values()),
-            }
+            slots = list(self._slots.values())
+            links = len(self._links)
+        return {
+            "frames": len(slots),
+            "floats": sum(len(s.floats) for s in slots),
+            "groupings": sum(len(s.groupings) for s in slots),
+            "masks": sum(len(s.masks) for s in slots),
+            "bytes": sum(s.nbytes for s in slots),
+            "hits": sum(s.hits for s in slots),
+            "misses": sum(s.misses for s in slots),
+            "links": links,
+        }
+
+    def _store(self, slot: _FrameSlot, section: str, key: Any, value: Any) -> Any:
+        """Insert ``value`` and enforce the budget; returns the cached winner.
+
+        Entries whose size alone exceeds the whole budget are handed back
+        *uncached*: storing one would evict every smaller entry and then be
+        evicted itself, degrading the cache to zero hits (the 10M-row case,
+        where one float64 view is 80MB against the 64MiB default budget).
+        """
+        budget = self.budget_bytes()
+        if budget and _FrameSlot._SIZERS[section](value) > budget:
+            return value
+        with slot.lock:
+            value = slot._put(section, key, value)
+        self._enforce_budget()
+        return value
+
+    def _enforce_budget(self) -> None:
+        """Evict LRU entries until total bytes fit the configured budget.
+
+        Walks frame slots coldest-first; within a slot, sections are
+        evicted cheapest-to-recompute first (``_FrameSlot.SECTIONS``).  A
+        slot emptied by eviction is dropped unless it is the hottest one
+        (the slot serving the current pass keeps its identity so in-flight
+        lookups re-fill it rather than recreate it).
+        """
+        budget = self.budget_bytes()
+        if budget <= 0:
+            return
+        with self._lock:
+            total = sum(s.nbytes for s in self._slots.values())
+            if total <= budget:
+                return
+            for key in list(self._slots):
+                slot = self._slots.get(key)
+                if slot is None:  # pragma: no cover - concurrent weakref death
+                    continue
+                with slot.lock:
+                    while total > budget and slot._evict_one():
+                        total = sum(s.nbytes for s in self._slots.values())
+                    if slot.nbytes == 0 and key != next(reversed(self._slots)):
+                        self._slots.pop(key, None)
+                if total <= budget:
+                    return
+
+    # ------------------------------------------------------------------
+    # Sample links (pre-warming the parent frame's slot)
+    # ------------------------------------------------------------------
+    def link_sample(
+        self, sample: "DataFrame", parent: "DataFrame", indices: np.ndarray
+    ) -> None:
+        """Register ``sample`` as ``parent.iloc[indices]``, immutably cut.
+
+        While both frames stay at their registration versions, primitives
+        requested on the sample are derived from the parent's cached
+        vectors (computing them on the parent first), so a sampled ranking
+        pass pre-warms the full-frame pass that follows it.
+        """
+        if sample is parent:
+            return
+        key = id(sample)
+        try:
+            sample_ref = weakref.ref(sample, lambda _, k=key: self._unlink(k))
+            parent_ref = weakref.ref(parent)
+        except TypeError:  # pragma: no cover - all repo frames weakref
+            return
+        indices = np.asarray(indices, dtype=np.int64)
+        indices.setflags(write=False)
+        link = _SampleLink(
+            sample_ref,
+            parent_ref,
+            indices,
+            getattr(sample, "_data_version", 0),
+            getattr(parent, "_data_version", 0),
+        )
+        with self._lock:
+            self._links[key] = link
+
+    def _unlink(self, key: int) -> None:
+        with self._lock:
+            self._links.pop(key, None)
+
+    def _parent_view(
+        self, frame: "DataFrame"
+    ) -> "tuple[DataFrame, np.ndarray] | None":
+        """(parent, row indices) when ``frame`` is a still-valid sample cut."""
+        link = self._links.get(id(frame))
+        if link is None or link.sample_ref() is not frame:
+            return None
+        parent = link.parent_ref()
+        if parent is None:
+            return None
+        if getattr(frame, "_data_version", 0) != link.sample_version:
+            return None
+        if getattr(parent, "_data_version", 0) != link.parent_version:
+            return None
+        return parent, link.indices
 
     # ------------------------------------------------------------------
     # Memoized primitives
@@ -161,27 +389,44 @@ class ComputationCache:
         slot = self._slot(frame) if self.enabled else None
         if slot is None:
             return frame.column(name).to_float()
-        out = slot.floats.get(name)
-        if out is None:
+        with slot.lock:
+            out = slot._get("floats", name)
+        if out is not _MISSING:
+            return out
+        view = self._parent_view(frame)
+        if view is not None:
+            parent, idx = view
+            out = self.to_float(parent, name)[idx]
+        else:
             out = frame.column(name).to_float()
-            out.setflags(write=False)
-            slot.floats[name] = out
-        return out
+        out.setflags(write=False)
+        return self._store(slot, "floats", name, out)
 
     def factorize(
         self, frame: "DataFrame", name: str
     ) -> tuple[np.ndarray, list[Any]]:
-        """``frame.column(name).factorize()``, computed once per version."""
+        """``frame.column(name).factorize()``, computed once per version.
+
+        For a linked sample the codes are sliced from the parent's
+        factorization (reusing its label table), so the scan happens on —
+        and stays cached for — the parent.
+        """
         slot = self._slot(frame) if self.enabled else None
         if slot is None:
             return frame.column(name).factorize()
-        out = slot.factorized.get(name)
-        if out is None:
+        with slot.lock:
+            out = slot._get("factorized", name)
+        if out is not _MISSING:
+            return out
+        view = self._parent_view(frame)
+        if view is not None:
+            parent, idx = view
+            parent_codes, labels = self.factorize(parent, name)
+            codes = parent_codes[idx]
+        else:
             codes, labels = frame.column(name).factorize()
-            codes.setflags(write=False)
-            out = (codes, labels)
-            slot.factorized[name] = out
-        return out
+        codes.setflags(write=False)
+        return self._store(slot, "factorized", name, (codes, labels))
 
     def grouping(self, frame: "DataFrame", keys: tuple[str, ...]) -> _Grouping:
         """A prepared :class:`_Grouping` (factorized + combined group ids).
@@ -194,39 +439,34 @@ class ComputationCache:
         slot = self._slot(frame) if self.enabled else None
         if slot is None:
             return _Grouping(frame, keys)
-        with self._lock:
-            out = slot.groupings.get(keys)
-            if out is not None:
-                slot.groupings.move_to_end(keys)
-                return out
+        with slot.lock:
+            out = slot._get("groupings", keys)
+        if out is not _MISSING:
+            return out
         out = _Grouping(
             frame, keys, factorize=lambda name: self.factorize(frame, name)
         )
-        with self._lock:
-            existing = slot.groupings.get(keys)
-            if existing is not None:
-                return existing
-            slot.groupings[keys] = out
-            while len(slot.groupings) > self._max_groupings:
-                slot.groupings.popitem(last=False)
-        return out
+        return self._store(slot, "groupings", keys, out)
 
     def standardized(self, frame: "DataFrame", name: str) -> np.ndarray | None:
         """Zero-mean vector scaled so pairwise Pearson is a dot product.
 
         Returns None when NaNs or zero variance make the fast path invalid
-        (callers fall back to pairwise-complete correlation).
+        (callers fall back to pairwise-complete correlation).  Never
+        derived from a sample link: standardization constants (mean, std)
+        differ between a sample and its parent.
         """
         slot = self._slot(frame) if self.enabled else None
         if slot is None:
             return self._compute_standardized(frame, name)
-        marker = slot.standardized.get(name, _MISSING)
-        if marker is _MISSING:
-            marker = self._compute_standardized(frame, name)
-            if marker is not None:
-                marker.setflags(write=False)
-            slot.standardized[name] = marker
-        return marker
+        with slot.lock:
+            out = slot._get("standardized", name)
+        if out is not _MISSING:
+            return out
+        out = self._compute_standardized(frame, name)
+        if out is not None:
+            out.setflags(write=False)
+        return self._store(slot, "standardized", name, out)
 
     def _compute_standardized(
         self, frame: "DataFrame", name: str
@@ -250,18 +490,20 @@ class ComputationCache:
 
         Callers that already hold the NaN-filtered values pass them via
         ``valid_values`` so the uncached path converts the column once,
-        not twice.
+        not twice.  Never derived from a sample link: edges depend on the
+        subset's min/max, not just its rows.
         """
         slot = self._slot(frame) if self.enabled else None
         if slot is None:
             return self._compute_edges(frame, name, bins, valid_values)
         key = (name, int(bins))
-        out = slot.edges.get(key)
-        if out is None:
-            out = self._compute_edges(frame, name, bins, valid_values)
-            out.setflags(write=False)
-            slot.edges[key] = out
-        return out
+        with slot.lock:
+            out = slot._get("edges", key)
+        if out is not _MISSING:
+            return out
+        out = self._compute_edges(frame, name, bins, valid_values)
+        out.setflags(write=False)
+        return self._store(slot, "edges", key, out)
 
     def _compute_edges(
         self,
@@ -279,9 +521,13 @@ class ComputationCache:
         self,
         frame: "DataFrame",
         filters: Any,
-        compute: Callable[[], np.ndarray],
+        compute: Callable[["DataFrame"], np.ndarray],
     ) -> np.ndarray:
         """The boolean row mask for a filter clause list.
+
+        ``compute`` receives the frame to evaluate against: for a linked
+        sample the mask is computed on the *parent* and sliced down, so
+        pass 1 leaves the full-frame mask warm for pass 2.
 
         Only the mask is stored, never the materialized subframe: a
         subframe is a full row copy and pinning it process-wide would
@@ -291,28 +537,20 @@ class ComputationCache:
         """
         slot = self._slot(frame) if self.enabled else None
         if slot is None:
-            return compute()
+            return compute(frame)
         sig = filter_signature(filters)
-        # Unlike the plain-dict sections, the LRU bookkeeping here is a
-        # structural mutation (move_to_end / popitem), so reads and writes
-        # both run under the lock; only the mask evaluation runs outside.
-        # The bound matters: a long session generates unboundedly many
-        # distinct signatures, each costing one byte per frame row.
-        with self._lock:
-            out = slot.masks.get(sig)
-            if out is not None:
-                slot.masks.move_to_end(sig)
-                return out
-        out = compute()
+        with slot.lock:
+            out = slot._get("masks", sig)
+        if out is not _MISSING:
+            return out
+        view = self._parent_view(frame)
+        if view is not None:
+            parent, idx = view
+            out = self.filter_mask(parent, filters, compute)[idx]
+        else:
+            out = compute(frame)
         out.setflags(write=False)
-        with self._lock:
-            existing = slot.masks.get(sig)
-            if existing is not None:
-                return existing
-            slot.masks[sig] = out
-            while len(slot.masks) > self._max_masks:
-                slot.masks.popitem(last=False)
-        return out
+        return self._store(slot, "masks", sig, out)
 
 
 #: Sentinel distinguishing "not cached yet" from a cached None.

@@ -27,10 +27,27 @@ exactly one subframe, held only for the batch (subframes are full row
 copies and are deliberately never pinned in the process-wide cache).
 Stale entries are impossible by construction: the cache keys on the frame's
 ``_data_version``, which every in-place mutation bumps.
+
+Parallel batch execution
+------------------------
+Under ``config.parallel_execute`` the batch fans out across the shared
+worker pool (:mod:`repro.core.pool`): the work queue holds one item per
+spec, each filter group materializes its subframe exactly once behind a
+per-group lock, and the *calling thread drains the queue alongside the
+pool helpers* — so a saturated or single-worker pool degrades to the
+serial batch path's throughput instead of deadlocking.  Results are
+bit-identical to serial execution: every spec writes only its own
+``results`` cell, and the computation cache's per-slot locks make
+concurrent primitive lookups race-free (a lost race recomputes, never
+tears).  Fan-out is skipped inside a pool worker (a streamed action's
+nested batch), for single-spec batches, and below
+``config.parallel_min_rows``.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from typing import Any, Sequence
 
 import numpy as np
@@ -38,10 +55,11 @@ import numpy as np
 from ...dataframe import DataFrame, GroupBy
 from ...vis.encoding import Encoding
 from ...vis.spec import VisSpec
+from .. import pool
 from ..config import config
 from ..errors import ExecutorError
-from .base import Executor
-from .cache import computation_cache as _cache, filter_signature
+from .base import Executor, group_indices_by_filter
+from .cache import computation_cache as _cache
 
 __all__ = ["DataFrameExecutor"]
 
@@ -83,8 +101,11 @@ class DataFrameExecutor(Executor):
     ) -> DataFrame:
         if not filters:
             return frame
+        # The compute callback takes the target frame: for a linked sample
+        # the cache evaluates it against the parent and slices the result,
+        # pre-warming the full-frame mask (see ComputationCache.filter_mask).
         mask = _cache.filter_mask(
-            frame, filters, lambda: self._filter_mask(frame, filters)
+            frame, filters, lambda f: self._filter_mask(f, filters)
         )
         # Only the mask is cached; the subframe is materialized per call so
         # nothing pins full row copies process-wide.  Batch callers share
@@ -124,14 +145,19 @@ class DataFrameExecutor(Executor):
         factorizations, float views, and bin edges are in turn shared
         through the computation cache.  Falls back to the sequential path
         when ``config.computation_cache`` is off so ablations stay honest.
+
+        With ``config.parallel_execute`` the batch additionally fans out
+        across the shared worker pool (see the module docstring); results
+        are identical to the serial batch path.
         """
         if not _cache.enabled:
             return [self.execute(spec, frame) for spec in specs]
         results: list[list[dict[str, Any]] | None] = [None] * len(specs)
-        by_filter: dict[tuple, list[int]] = {}
-        for i, spec in enumerate(specs):
-            by_filter.setdefault(filter_signature(spec.filters), []).append(i)
-        for indices in by_filter.values():
+        groups = group_indices_by_filter(specs)
+        if self._should_fan_out(groups, frame):
+            self._execute_parallel(specs, frame, groups, results)
+            return results  # type: ignore[return-value]
+        for indices in groups:
             # One materialization per distinct filter, held only for the
             # batch: same-filter candidates share the subframe (and, via
             # its live cache slot, its factorizations and float views)
@@ -143,6 +169,82 @@ class DataFrameExecutor(Executor):
                 spec.data = records
                 results[i] = records
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _should_fan_out(groups: list[list[int]], frame: DataFrame) -> bool:
+        """Whether this batch is worth spreading over the worker pool."""
+        n_specs = sum(len(g) for g in groups)
+        return (
+            config.parallel_execute
+            and n_specs > 1
+            and len(frame) >= config.parallel_min_rows
+            and pool.worker_count() > 1
+            and not pool.in_worker()  # never wait on the pool from inside it
+        )
+
+    def _execute_parallel(
+        self,
+        specs: Sequence[VisSpec],
+        frame: DataFrame,
+        groups: list[list[int]],
+        results: list,
+    ) -> None:
+        """Drain one work item per spec across pool helpers + this thread.
+
+        Each filter group's subframe materializes exactly once behind a
+        per-group lock (double-checked, so same-group specs claimed by
+        different workers share the row copy rather than re-filtering).
+        The calling thread participates in the drain: helpers that never
+        get scheduled — a saturated pool — cost correctness nothing, and
+        ``wait`` on them cannot deadlock because the queue they would
+        drain is already empty by the time this thread blocks.
+        """
+        subframes: dict[int, DataFrame] = {}
+        group_locks = [threading.Lock() for _ in groups]
+        work: "deque[tuple[int, int]]" = deque(
+            (gi, i) for gi, indices in enumerate(groups) for i in indices
+        )
+        errors: list[BaseException] = []
+
+        def subframe_for(gi: int) -> DataFrame:
+            sub = subframes.get(gi)
+            if sub is None:
+                with group_locks[gi]:
+                    sub = subframes.get(gi)
+                    if sub is None:
+                        sub = self.apply_filters(
+                            frame, specs[groups[gi][0]].filters
+                        )
+                        subframes[gi] = sub
+            return sub
+
+        def drain() -> None:
+            while not errors:
+                try:
+                    gi, i = work.popleft()  # thread-safe: deque is atomic
+                except IndexError:
+                    return
+                try:
+                    spec = specs[i]
+                    records = self._handler(spec.mark)(spec, subframe_for(gi))
+                    spec.data = records
+                    results[i] = records
+                except BaseException as exc:
+                    errors.append(exc)
+                    return
+
+        n_helpers = min(pool.worker_count(), len(work)) - 1
+        futures = [pool.submit(drain) for _ in range(n_helpers)]
+        drain()
+        # The queue is drained; a helper still waiting behind unrelated
+        # long-running pool tasks (streamed laggard actions) would only run
+        # a no-op — cancel it rather than let background work stall this
+        # interactive batch.  Helpers already running are joined as usual.
+        for future in futures:
+            if not future.cancel():
+                future.result()
+        if errors:
+            raise errors[0]
 
     # ------------------------------------------------------------------
     # Histogram: bin + count
@@ -189,8 +291,17 @@ class DataFrameExecutor(Executor):
 
     @staticmethod
     def _groupby(frame: DataFrame, keys: list[str]) -> GroupBy:
-        """A GroupBy whose factorization pass is shared via the cache."""
-        return GroupBy.from_grouping(frame, _cache.grouping(frame, tuple(keys)))
+        """A GroupBy sharing both halves of the scan through the cache.
+
+        The factorization pass comes from the memoized ``_Grouping`` and
+        the value-column float conversion is injected so aggregation stops
+        re-converting the same measure for every spec in the pass.
+        """
+        return GroupBy.from_grouping(
+            frame,
+            _cache.grouping(frame, tuple(keys)),
+            to_float=lambda name: _cache.to_float(frame, name),
+        )
 
     def _execute_grouped(
         self, spec: VisSpec, frame: DataFrame

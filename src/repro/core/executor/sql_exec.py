@@ -9,13 +9,14 @@ translates each visualization into one SQL statement.
 from __future__ import annotations
 
 import sqlite3
+import threading
 import weakref
+from collections import OrderedDict
 from typing import Any
 
 import numpy as np
 
 from ...dataframe import DataFrame
-from ...vis.encoding import Encoding
 from ...vis.spec import VisSpec
 from ..config import config
 from ..errors import ExecutorError
@@ -25,9 +26,21 @@ __all__ = ["SQLExecutor", "translate_vis_to_sql"]
 
 _TABLE = "frame"
 
-#: Cache of (id(frame), data_version) -> sqlite connection.  Weak keys are
-#: not possible for plain frames, so a small LRU-ish dict is used.
-_CONN_CACHE: dict[int, tuple[int, sqlite3.Connection]] = {}
+#: LRU cache of id(frame) -> (weakref, data_version, connection).  Identity
+#: is proven through the weakref exactly like the computation cache's
+#: slots: a raw-id key could alias a recycled id onto another frame's
+#: database, and the weakref callback drops the entry the moment the frame
+#: is collected instead of waiting for LRU pressure.  Evicted connections
+#: are *dropped, never closed*: a pool worker may still be mid-query on
+#: one (streamed actions run SQL concurrently), and an explicit close
+#: would raise "Cannot operate on a closed database" under it — the
+#: in-memory database is freed when the last holder releases the object.
+#: The lock is reentrant because the weakref callback can fire from a GC
+#: pass triggered while this thread already holds it.
+_CONN_CACHE: "OrderedDict[int, tuple[weakref.ref, int, sqlite3.Connection]]" = (
+    OrderedDict()
+)
+_CONN_LOCK = threading.RLock()
 _CACHE_LIMIT = 8
 
 
@@ -186,6 +199,12 @@ def translate_vis_to_sql(spec: VisSpec, frame: DataFrame) -> str:
     raise ExecutorError(f"no SQL translation for mark {spec.mark!r}")
 
 
+def _drop_connection(key: int) -> None:
+    """Weakref callback: the keyed frame died, so release its database."""
+    with _CONN_LOCK:
+        _CONN_CACHE.pop(key, None)
+
+
 class SQLExecutor(Executor):
     """Executes visualization queries on an in-memory sqlite3 database."""
 
@@ -194,15 +213,37 @@ class SQLExecutor(Executor):
     def _connection(self, frame: DataFrame) -> sqlite3.Connection:
         key = id(frame)
         version = getattr(frame, "_data_version", 0)
-        cached = _CONN_CACHE.get(key)
-        if cached is not None and cached[0] == version:
-            return cached[1]
-        conn = sqlite3.connect(":memory:")
+        with _CONN_LOCK:
+            cached = _CONN_CACHE.get(key)
+            if cached is not None:
+                ref, cached_version, conn = cached
+                if ref() is frame and cached_version == version:
+                    _CONN_CACHE.move_to_end(key)
+                    return conn
+                # Stale content version (or a recycled id): drop and
+                # rebuild.  Never close — an in-flight query from before
+                # the mutation may still hold the old connection.
+                del _CONN_CACHE[key]
+        # check_same_thread=False: connections outlive the thread that
+        # built them (streamed actions run on pool workers); each query is
+        # a single serialized conn.execute, which sqlite allows cross-thread.
+        conn = sqlite3.connect(":memory:", check_same_thread=False)
         load_frame(conn, frame)
-        if len(_CONN_CACHE) >= _CACHE_LIMIT:
-            _, (___, old) = _CONN_CACHE.popitem()
-            old.close()
-        _CONN_CACHE[key] = (version, conn)
+        try:
+            ref = weakref.ref(frame, lambda _, key=key: _drop_connection(key))
+        except TypeError:  # pragma: no cover - all repo frames weakref
+            ref = lambda: frame  # noqa: E731 - keeps entry permanently live
+        with _CONN_LOCK:
+            raced = _CONN_CACHE.get(key)
+            if raced is not None and raced[0]() is frame and raced[1] == version:
+                # A concurrent builder won; use its connection and let ours
+                # deallocate on return.
+                _CONN_CACHE.move_to_end(key)
+                return raced[2]
+            _CONN_CACHE[key] = (ref, version, conn)
+            _CONN_CACHE.move_to_end(key)
+            while len(_CONN_CACHE) > _CACHE_LIMIT:
+                _CONN_CACHE.popitem(last=False)
         return conn
 
     # ------------------------------------------------------------------

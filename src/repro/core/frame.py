@@ -147,9 +147,12 @@ class LuxDataFrame(DataFrame):
         """Expire cached metadata/recommendations/sample (wflow rules).
 
         Bumping ``_data_version`` is what makes every version-keyed cache
-        (the row sample, the executor's computation cache) unreachable; the
-        explicit ``invalidate`` below just frees the executor cache's memory
-        eagerly instead of waiting for LRU pressure.
+        (the row sample, the executor's computation cache, its sample
+        links, the SQL executor's connection cache) unreachable; the
+        explicit ``invalidate`` below just frees the executor cache's
+        memory — this frame's slot and, when this frame is a registered
+        sample cut, its parent link — eagerly instead of waiting for
+        byte-budget pressure.
         """
         self._metadata_fresh = False
         self._recs_fresh = False

@@ -18,7 +18,7 @@ strings (a union clause).
 from __future__ import annotations
 
 import re
-from typing import Any, Sequence
+from typing import Any
 
 from .clause import Clause, FILTER_OPS
 

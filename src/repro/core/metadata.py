@@ -12,7 +12,6 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..dataframe import DataFrame
-from ..dataframe.dtypes import BOOL, DATETIME, FLOAT64, INT64, STRING
 
 __all__ = ["AttributeMeta", "Metadata", "compute_metadata"]
 

@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from ...dataframe import DataFrame
 from ..compiler import CompiledVis
 from ..config import config
 from ..executor.base import get_executor
+from ..executor.cache import computation_cache
 from ..interestingness import needs_executed_data, score_vis
 from ..vis import Vis
 from ..vislist import VisList
@@ -31,6 +34,11 @@ def get_sample(frame: DataFrame) -> DataFrame:
     DataFrame has no ``_sample_cache``-clearing hook (unlike LuxDataFrame's
     wflow expiry), so without the version key a same-length in-place
     mutation would silently keep scoring on stale rows.
+
+    The cut is registered with the computation cache as a *sample link*
+    (row indices + both content versions), so pass-1 scoring on the sample
+    derives its scans from — and thereby pre-warms — the parent frame's
+    cache slot for the exact pass that follows.
     """
     n = len(frame)
     if not config.sampling or n <= config.sampling_start:
@@ -42,7 +50,13 @@ def get_sample(frame: DataFrame) -> DataFrame:
         cached_version, sample = cached
         if cached_version == version and len(sample) == cap:
             return sample
-    sample = frame.sample(n=cap, random_state=config.random_seed)
+    # Same draw as DataFrame.sample (rng.choice without replacement, rows
+    # kept in frame order), done here so the chosen indices are available
+    # to register the sample link.
+    rng = np.random.default_rng(config.random_seed)
+    indices = np.sort(rng.choice(n, size=cap, replace=False))
+    sample = frame.iloc[indices]
+    computation_cache.link_sample(sample, frame, indices)
     try:
         frame._sample_cache = (version, sample)
     except AttributeError:

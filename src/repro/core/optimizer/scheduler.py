@@ -10,12 +10,11 @@ from __future__ import annotations
 
 import threading
 import weakref
-from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING, Callable, Mapping
+from typing import TYPE_CHECKING, Callable
 
+from .. import pool
 from ..config import config
 from ..metadata import Metadata
-from .cost_model import estimate_action_cost
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..actions.base import Action
@@ -27,37 +26,11 @@ __all__ = ["RecommendationSet", "drain_all", "schedule_actions"]
 #: benchmarks can fence background work between measured conditions.
 _LIVE: "weakref.WeakSet[RecommendationSet]" = weakref.WeakSet()
 
-#: One process-wide pool for laggard actions, created lazily and sized by
-#: ``config.action_pool_workers``.  Reusing it avoids paying thread spin-up
-#: on every print and bounds steady-state background parallelism globally
-#: instead of per-call (during a resize, a retired pool may briefly drain
-#: its queue alongside the new one).
-_POOL: ThreadPoolExecutor | None = None
-_POOL_SIZE: int = 0
-_POOL_LOCK = threading.Lock()
-
-
-def _pool_submit(fn: Callable[[], None]) -> None:
-    """Submit to the shared pool, atomically with (re)creating it.
-
-    Resizes (``config.action_pool_workers`` changes after first use) retire
-    the old pool without waiting; submission happens under the same lock as
-    any retirement, so a concurrently resized pool can never raise
-    "cannot schedule new futures after shutdown" and strand a
-    RecommendationSet short of its expected put count.
-    """
-    global _POOL, _POOL_SIZE
-    workers = max(int(config.action_pool_workers), 1)
-    with _POOL_LOCK:
-        if _POOL is not None and _POOL_SIZE != workers:
-            _POOL.shutdown(wait=False)
-            _POOL = None
-        if _POOL is None:
-            _POOL = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="lux-action"
-            )
-            _POOL_SIZE = workers
-        _POOL.submit(fn)
+# Laggard actions run on the process-wide shared pool (``repro.core.pool``),
+# the same pool ``execute_many`` fans out on — one global bound on
+# background parallelism instead of one per subsystem.  The pool's
+# resize hand-off guarantees a submitted action always runs, so a
+# RecommendationSet can never be stranded short of its expected put count.
 
 
 def drain_all(timeout: float | None = 120.0) -> None:
@@ -175,7 +148,7 @@ def run_actions(
     if not rest:
         return result
     for action in rest:
-        _pool_submit(
+        pool.submit(
             lambda a=action: result._put(a.name, _generate_safely(a, ldf))
         )
     return result

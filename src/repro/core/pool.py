@@ -1,0 +1,138 @@
+"""The process-wide worker pool shared by every parallel subsystem.
+
+One resizable :class:`~concurrent.futures.ThreadPoolExecutor` serves both
+consumers of background parallelism:
+
+- the action scheduler streams laggard actions through it
+  (``optimizer/scheduler.py``), and
+- the batch executor fans ``execute_many`` out across filter groups
+  (``executor/df_exec.py``).
+
+Unifying them matters: two independent pools would multiply steady-state
+thread count and let one subsystem oversubscribe the host while the other
+idles.  The pool is sized by ``config.action_pool_workers`` and resized
+lazily on the next submission after the knob changes.
+
+Resize semantics
+----------------
+A resize retires the old pool without waiting, so already-running tasks
+drain concurrently with the new pool (transient over-parallelism bounded
+by the old pool's *running* tasks).  Queued-but-unstarted tasks are
+cancelled and re-submitted to the new pool, so no caller is ever stranded
+waiting on work that silently died with a retired pool.  Callers hold a
+stable outer :class:`Future` whose identity survives the hand-off.
+
+Deadlock rule
+-------------
+Code running *on* a pool thread must never block on pool futures: a
+saturated pool would then wait on itself.  :func:`in_worker` lets nested
+fan-out points (``execute_many`` called from a streamed action) detect
+this and degrade to inline execution instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+from .config import config
+
+__all__ = ["submit", "worker_count", "in_worker", "shutdown"]
+
+#: Thread-name prefix identifying pool threads (see :func:`in_worker`).
+_THREAD_PREFIX = "lux-worker"
+
+_POOL: ThreadPoolExecutor | None = None
+_POOL_SIZE: int = 0
+_LOCK = threading.Lock()
+
+#: Inner future -> wrapped task, for every task not yet started.  A resize
+#: snapshots this map to re-submit whatever the retired pool cancelled.
+_PENDING: dict[Future, Callable[[], None]] = {}
+
+
+def worker_count() -> int:
+    """The pool size the next submission will enforce."""
+    return max(int(config.action_pool_workers), 1)
+
+
+def in_worker() -> bool:
+    """True when the calling thread belongs to the shared pool.
+
+    Fan-out helpers use this to run inline rather than submit-and-wait
+    from inside the pool, which could deadlock a saturated pool.
+    """
+    return threading.current_thread().name.startswith(_THREAD_PREFIX)
+
+
+def submit(fn: Callable[[], Any]) -> "Future[Any]":
+    """Run ``fn`` on the shared pool; returns a resize-stable future.
+
+    The returned future is completed by whichever pool generation ends up
+    running ``fn``; cancellation of the *inner* task during a resize is
+    invisible to the caller.
+    """
+    outer: "Future[Any]" = Future()
+
+    def run() -> None:
+        if not outer.set_running_or_notify_cancel():  # pragma: no cover
+            return
+        try:
+            outer.set_result(fn())
+        except BaseException as exc:
+            outer.set_exception(exc)
+
+    with _LOCK:
+        _submit_locked(run)
+    return outer
+
+
+def _submit_locked(run: Callable[[], None]) -> None:
+    """Enqueue ``run`` on the current pool, resizing first if needed."""
+    global _POOL, _POOL_SIZE
+    workers = worker_count()
+    if _POOL is not None and _POOL_SIZE != workers:
+        _retire_locked()
+    if _POOL is None:
+        _POOL = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=_THREAD_PREFIX
+        )
+        _POOL_SIZE = workers
+    inner = _POOL.submit(run)
+    _PENDING[inner] = run
+    inner.add_done_callback(lambda f: _PENDING.pop(f, None))
+
+
+def _retire_locked() -> None:
+    """Retire the current pool, handing unstarted tasks to the successor.
+
+    ``cancel_futures`` stops the retired pool's queue cold — its workers
+    exit as soon as their running task finishes — and the cancelled tasks
+    are re-queued on the replacement pool by the caller.
+    """
+    global _POOL, _POOL_SIZE
+    assert _POOL is not None
+    snapshot = list(_PENDING.items())
+    _POOL.shutdown(wait=False, cancel_futures=True)
+    _POOL = None
+    _POOL_SIZE = 0
+    orphans = [run for inner, run in snapshot if inner.cancelled()]
+    if orphans:
+        _POOL = ThreadPoolExecutor(
+            max_workers=worker_count(), thread_name_prefix=_THREAD_PREFIX
+        )
+        _POOL_SIZE = worker_count()
+        for run in orphans:
+            inner = _POOL.submit(run)
+            _PENDING[inner] = run
+            inner.add_done_callback(lambda f: _PENDING.pop(f, None))
+
+
+def shutdown(wait: bool = True) -> None:
+    """Tear the pool down (tests / interpreter exit); next submit recreates."""
+    global _POOL, _POOL_SIZE
+    with _LOCK:
+        pool, _POOL, _POOL_SIZE = _POOL, None, 0
+    if pool is not None:
+        pool.shutdown(wait=wait)

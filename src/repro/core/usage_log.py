@@ -16,7 +16,7 @@ import json
 import threading
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Iterable
+from typing import Any
 
 __all__ = ["UsageLog", "disable", "enable", "get_log", "record"]
 

@@ -434,7 +434,6 @@ class Column:
     # ------------------------------------------------------------------
     def argsort(self, ascending: bool = True) -> np.ndarray:
         """Stable argsort with missing values placed last."""
-        n = len(self)
         ok = ~self.mask
         if self.dtype is STRING:
             valid_idx = np.flatnonzero(ok)

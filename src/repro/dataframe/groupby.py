@@ -18,7 +18,7 @@ from typing import Any, Callable, Iterator, Sequence
 import numpy as np
 
 from .column import Column
-from .dtypes import FLOAT64, INT64, is_numeric
+from .dtypes import INT64, is_numeric
 from .frame import DataFrame
 from .index import Index, RangeIndex
 from .series import Series
@@ -137,6 +137,7 @@ class GroupBy:
         if value_columns is None:
             value_columns = [c for c in frame.columns if c not in self.keys]
         self._value_columns = list(value_columns)
+        self._to_float: Callable[[str], np.ndarray] | None = None
 
     @classmethod
     def from_grouping(
@@ -144,11 +145,15 @@ class GroupBy:
         frame: DataFrame,
         grouping: _Grouping,
         value_columns: Sequence[str] | None = None,
+        to_float: Callable[[str], np.ndarray] | None = None,
     ) -> "GroupBy":
         """Build a GroupBy around an already-prepared :class:`_Grouping`.
 
         Lets the executor's computation cache reuse one factorization pass
-        across every visualization grouping on the same keys.
+        across every visualization grouping on the same keys.  ``to_float``
+        optionally overrides value-column float conversion the same way
+        ``_Grouping``'s ``factorize`` hook overrides key encoding, so the
+        measure column converts once per pass instead of once per spec.
         """
         out = cls.__new__(cls)
         out._frame = frame
@@ -157,6 +162,7 @@ class GroupBy:
         if value_columns is None:
             value_columns = [c for c in frame.columns if c not in out.keys]
         out._value_columns = list(value_columns)
+        out._to_float = to_float
         return out
 
     # ------------------------------------------------------------------
@@ -175,6 +181,7 @@ class GroupBy:
         out._grouping = self._grouping
         out.keys = self.keys
         out._value_columns = list(key)
+        out._to_float = self._to_float
         return out
 
     @property
@@ -207,7 +214,11 @@ class GroupBy:
         if col.dtype.name == "string" or how in ("first", "last", "median"):
             return self._aggregate_generic(col, how)
 
-        vals = col.to_float()[valid_row]
+        # The injected converter (executor cache) returns a shared read-only
+        # full-length view; the fancy index below copies, so kernels are
+        # unaffected.  Conversion then happens once per pass, not per spec.
+        full = self._to_float(name) if self._to_float is not None else col.to_float()
+        vals = full[valid_row]
         empty = counts == 0
         if how == "sum":
             out = np.bincount(ids_v, weights=vals, minlength=n)

@@ -8,7 +8,6 @@ dataframe named ``df`` (or ``vis_data`` for processed data).
 
 from __future__ import annotations
 
-from typing import Any
 
 from .encoding import Encoding
 from .spec import VisSpec

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import html as _html
 import json
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
 from .vegalite import to_vegalite
 

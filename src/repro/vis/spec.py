@@ -8,7 +8,7 @@ mirroring the paper's swappable-renderer design (Fig. 8).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Sequence
 
 from .encoding import Encoding
 from .marks import MARKS

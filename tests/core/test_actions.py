@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import Clause, LuxDataFrame, Vis, VisList, config
+from repro import LuxDataFrame, Vis, VisList, config
 from repro.core.actions import (
     CorrelationAction,
     CurrentVisAction,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import Clause, config
-from repro.core.compiler import compile_intent, expand, infer_spec, lookup
+from repro.core.compiler import compile_intent, expand, lookup
 from repro.core.intent import parse_intent
 from repro.core.metadata import compute_metadata
 

@@ -7,8 +7,8 @@ import warnings
 import numpy as np
 import pytest
 
-from repro import LuxDataFrame, LuxWarning, Vis, VisList, config, register_action, remove_action
-from repro.core.optimizer.scheduler import RecommendationSet, run_actions
+from repro import LuxDataFrame, Vis, VisList, config, register_action, remove_action
+from repro.core.optimizer.scheduler import RecommendationSet
 
 
 class TestDegenerateFrames:
@@ -53,7 +53,7 @@ class TestDegenerateFrames:
     def test_duplicate_values_qcut_frame(self):
         # Heavily tied distributions must not break the Distribution action.
         frame = LuxDataFrame({"x": [1.0] * 95 + [2.0] * 5})
-        recs = frame.recommendations
+        frame.recommendations
         assert isinstance(repr(frame), str)
 
     def test_boolean_column(self):

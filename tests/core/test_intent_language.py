@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import Clause, IntentError, LuxDataFrame
+from repro import Clause, IntentError
 from repro.core.intent import parse_clause, parse_intent
 from repro.core.metadata import compute_metadata
 from repro.core.validator import validate_intent

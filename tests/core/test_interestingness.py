@@ -104,7 +104,6 @@ class TestScoreVis:
     def test_filter_deviation_detects_shifted_subset(self, executor):
         # A filter that changes the Education mix should outscore one that
         # leaves the distribution unchanged.
-        n = 900
         education = (["HS"] * 300) + (["BS"] * 300) + (["MS"] * 300)
         group = (["skewed"] * 300) + (["flat"] * 600)
         # In the "skewed" subset all rows are HS; "flat" subsets mirror overall.

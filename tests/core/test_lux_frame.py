@@ -4,10 +4,8 @@ from __future__ import annotations
 
 import warnings
 
-import numpy as np
-import pytest
 
-from repro import LuxDataFrame, LuxSeries, LuxWarning, config
+from repro import LuxDataFrame, LuxSeries, config
 from repro.core.frame import read_csv
 
 

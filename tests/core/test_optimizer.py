@@ -232,7 +232,7 @@ class TestWflowSemantics:
         assert employees.recommendations is not r1
 
     def test_rename_expires(self, employees):
-        r1 = employees.recommendations
+        employees.recommendations
         employees.rename(columns={"Age": "Years"}, inplace=True)
         assert "Years" in employees.metadata
 

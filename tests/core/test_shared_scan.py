@@ -16,7 +16,6 @@ import pytest
 
 from repro import LuxDataFrame, config
 from repro.core.compiler import compile_intent
-from repro.core.executor.base import get_executor
 from repro.core.executor.cache import ComputationCache, computation_cache
 from repro.core.executor.df_exec import DataFrameExecutor
 from repro.core.executor.sql_exec import SQLExecutor
@@ -177,12 +176,68 @@ class TestComputationCache:
         c = ex.apply_filters(employees, filters)
         assert len(c) == len(a)
 
-    def test_mask_lru_bounded(self):
-        frame = DataFrame({"v": np.arange(1000, dtype=float)})
+    def test_masks_byte_budget_bounded(self):
+        """Distinct filter signatures accumulate masks only up to the budget."""
+        config.computation_cache_budget_mb = 1
+        rows = 100_000  # each boolean mask costs 100 kB
+        frame = DataFrame({"v": np.arange(rows, dtype=float)})
         ex = DataFrameExecutor()
-        for i in range(200):
+        for i in range(30):
             ex.apply_filters(frame, [("v", ">", float(i))])
-        assert computation_cache.stats()["masks"] <= 64
+        stats = computation_cache.stats()
+        assert stats["bytes"] <= 1 << 20
+        assert stats["masks"] <= 10  # 1 MB budget / 100 kB per mask
+
+    def test_budget_evicts_cheapest_sections_first(self):
+        """Under pressure masks go before groupings (recompute cost order)."""
+        config.computation_cache_budget_mb = 1
+        rows = 60_000
+        frame = DataFrame({
+            "v": np.arange(rows, dtype=float),
+            "k": (["a", "b", "c", "d"] * (rows // 4)),
+        })
+        ex = DataFrameExecutor()
+        computation_cache.grouping(frame, ("k",))
+        for i in range(20):
+            ex.apply_filters(frame, [("v", ">", float(i))])
+        stats = computation_cache.stats()
+        assert stats["bytes"] <= 1 << 20
+        # The grouping (9 bytes/row, expensive to recompute) outlives the
+        # flood of 60 kB masks (one comparison each to rebuild).
+        assert stats["groupings"] == 1
+
+    def test_oversize_entry_bypasses_cache(self):
+        """An entry bigger than the whole budget must not wipe the others."""
+        config.computation_cache_budget_mb = 1
+        rows = 300_000  # float view = 2.4 MB > budget; masks = 300 kB
+        frame = DataFrame({"v": np.arange(rows, dtype=float)})
+        ex = DataFrameExecutor()
+        ex.apply_filters(frame, [("v", ">", 1.0)])
+        out = computation_cache.to_float(frame, "v")
+        assert len(out) == rows
+        stats = computation_cache.stats()
+        assert stats["floats"] == 0  # handed back uncached
+        assert stats["masks"] == 1  # small entries survive
+
+    def test_zero_budget_disables_bound(self):
+        config.computation_cache_budget_mb = 0
+        rows = 50_000
+        frame = DataFrame({"v": np.arange(rows, dtype=float)})
+        ex = DataFrameExecutor()
+        for i in range(40):
+            ex.apply_filters(frame, [("v", ">", float(i))])
+        assert computation_cache.stats()["masks"] == 40
+
+    def test_hit_miss_accounting(self, employees):
+        ex = DataFrameExecutor()
+        spec = _all_mark_specs()[1]
+        ex.execute(spec, employees)
+        first = computation_cache.stats()
+        spec.data = None
+        ex.execute(spec, employees)
+        second = computation_cache.stats()
+        assert second["hits"] > first["hits"]
+        assert second["misses"] == first["misses"]
 
     def test_plain_frame_mutation_bumps_version(self):
         frame = DataFrame({"a": [1, 2, 3]})
@@ -220,6 +275,127 @@ class TestComputationCache:
         frame["y"] = rng.normal(0, 1, 500)  # same length, new content
         low = _pearson(frame, "x", "y")
         assert low < 0.5
+
+
+class TestSampleLinks:
+    def _linked_pair(self, rows: int = 5_000):
+        config.sampling_start = 100
+        config.sampling_cap = 500
+        rng = np.random.default_rng(3)
+        frame = DataFrame({
+            "q": rng.normal(0, 1, rows),
+            "d": rng.choice(["a", "b", "c"], rows).tolist(),
+        })
+        sample = get_sample(frame)
+        assert len(sample) == 500
+        return frame, sample
+
+    def test_sample_primitives_prewarm_parent(self):
+        """Scans requested on the sample land in the parent's slot too."""
+        frame, sample = self._linked_pair()
+        computation_cache.to_float(sample, "q")
+        computation_cache.factorize(sample, "d")
+        # Both the sample slot and the parent slot are now warm.
+        assert computation_cache.stats()["frames"] == 2
+        assert computation_cache.stats()["links"] == 1
+        hits_before = computation_cache.stats()["hits"]
+        computation_cache.to_float(frame, "q")
+        computation_cache.factorize(frame, "d")
+        assert computation_cache.stats()["hits"] == hits_before + 2
+
+    def test_derived_float_values_identical(self):
+        frame, sample = self._linked_pair()
+        derived = computation_cache.to_float(sample, "q")
+        direct = sample.column("q").to_float()
+        np.testing.assert_array_equal(derived, direct)
+
+    def test_derived_mask_identical_and_prewarms(self):
+        frame, sample = self._linked_pair()
+        ex = DataFrameExecutor()
+        filters = [("q", ">", 0.0)]
+        sub = ex.apply_filters(sample, filters)
+        config.computation_cache = False
+        expected = ex.apply_filters(sample, filters)
+        config.computation_cache = True
+        assert sub.equals(expected)
+        # The parent's mask was computed on the way, so the full-frame
+        # pass for the same filter starts from a hit.
+        hits_before = computation_cache.stats()["hits"]
+        ex.apply_filters(frame, filters)
+        assert computation_cache.stats()["hits"] == hits_before + 1
+
+    def test_derived_factorize_consistent(self):
+        frame, sample = self._linked_pair()
+        codes, labels = computation_cache.factorize(sample, "d")
+        raw = [None if c < 0 else labels[c] for c in codes]
+        assert raw == sample.column("d").to_list()
+
+    def test_parent_mutation_stops_derivation(self):
+        frame, sample = self._linked_pair()
+        frame["q"] = np.zeros(len(frame))
+        # The link is version-guarded: primitives fall back to direct
+        # computation on the (pre-mutation) sample rows.
+        derived = computation_cache.to_float(sample, "q")
+        np.testing.assert_array_equal(derived, sample.column("q").to_float())
+
+    def test_sample_results_match_unlinked_execution(self):
+        frame, sample = self._linked_pair()
+        spec = VisSpec("histogram", [
+            Encoding("x", "q", "quantitative", bin=True, bin_size=10),
+            Encoding("y", "", "quantitative", aggregate="count"),
+        ])
+        got = DataFrameExecutor().execute(spec, sample)
+        config.computation_cache = False
+        spec2 = VisSpec(spec.mark, spec.encodings)
+        expected = DataFrameExecutor().execute(spec2, sample)
+        assert got == expected
+
+
+class TestSQLConnectionCache:
+    def test_connection_reused_per_version(self, employees):
+        ex = SQLExecutor()
+        assert ex._connection(employees) is ex._connection(employees)
+
+    def test_mutation_rebuilds_connection(self, employees):
+        ex = SQLExecutor()
+        first = ex._connection(employees)
+        employees["Age"] = np.asarray(employees["Age"].to_list()) + 1.0
+        second = ex._connection(employees)
+        assert second is not first
+
+    def test_connection_dropped_when_frame_collected(self):
+        from repro.core.executor import sql_exec
+
+        ex = SQLExecutor()
+        frame = DataFrame({"a": [1.0, 2.0, 3.0]})
+        ex._connection(frame)
+        key = id(frame)
+        assert key in sql_exec._CONN_CACHE
+        del frame
+        gc.collect()
+        assert key not in sql_exec._CONN_CACHE
+
+
+class TestGroupByCachedConversion:
+    def test_measure_conversion_routed_through_cache(self, employees):
+        spec = VisSpec("bar", [
+            Encoding("y", "Education", "nominal"),
+            Encoding("x", "MonthlyIncome", "quantitative", aggregate="mean"),
+        ])
+        DataFrameExecutor().execute(spec, employees)
+        slot = computation_cache._slot(employees)
+        assert "MonthlyIncome" in slot.floats
+
+    def test_cached_conversion_identical_to_direct(self, employees):
+        spec = VisSpec("bar", [
+            Encoding("y", "Department", "nominal"),
+            Encoding("x", "HourlyRate", "quantitative", aggregate="sum"),
+        ])
+        got = DataFrameExecutor().execute(spec, employees)
+        config.computation_cache = False
+        spec2 = VisSpec(spec.mark, spec.encodings)
+        expected = DataFrameExecutor().execute(spec2, employees)
+        assert got == expected
 
 
 class TestStreamingCompletion:

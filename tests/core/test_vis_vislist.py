@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import Clause, IntentError, Vis, VisList, config
+from repro import Clause, IntentError, Vis, VisList
 
 
 class TestVis:

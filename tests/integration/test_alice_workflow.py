@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import LuxDataFrame, Vis, config
+from repro import LuxDataFrame, Vis
 from repro.data import make_covid_stringency, make_hpi
 from repro.dataframe import qcut
 
