@@ -286,6 +286,13 @@ def main(argv: list[str] | None = None) -> int:
         args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
         print(f"  wrote {args.out}")
 
+        if not identical:
+            # Correctness precedes every mode, including --update-baseline:
+            # a baseline refresh must never go green while recording a
+            # parallel-vs-serial divergence.
+            print("  GATE FAILED: parallel results differ from serial results")
+            return 1
+
         if args.update_baseline:
             args.baseline.parent.mkdir(parents=True, exist_ok=True)
             args.baseline.write_text(

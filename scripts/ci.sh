@@ -1,31 +1,35 @@
 #!/usr/bin/env bash
-# CI entry point: lint gate, tier-1 tests, and the shared-scan perf gate.
+# CI entry point: lint gate, tier-1 tests, and the benchmark perf gates.
 #
-# The benchmark invocation is deliberately part of CI: it executes the full
-# 40+-candidate batch path under all three conditions (uncached, cached,
-# parallel), verifies parallel results are bit-identical to serial, checks
-# the cache byte budget, and gates the speedup trajectory against the
-# committed baseline (benchmarks/baselines/BENCH_shared_scan.json) — so
-# regressions in the hottest path fail fast even when no unit test
-# exercises the exact combination.  The run's BENCH_shared_scan.json is
-# left in the repo root for the workflow to upload as an artifact.
+# The benchmark invocations are deliberately part of CI: they execute the
+# full 40+-candidate batch path on both executor backends, verify batched
+# and parallel results are bit-identical to serial, check the cache byte
+# budget, and gate the speedup trajectories against the committed
+# baselines (benchmarks/baselines/BENCH_*.json) — so regressions in the
+# hottest paths fail fast even when no unit test exercises the exact
+# combination.  Each run's BENCH_*.json is left in the repo root for the
+# workflow to upload as artifacts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== lint =="
-if python -m ruff --version >/dev/null 2>&1; then
-  python -m ruff check .
-  python -m ruff format --check .
-else
-  # Containers without ruff (it is not a runtime dependency) skip the
-  # gate locally; the GitHub Actions workflow always installs it.
-  echo "ruff not installed; skipping lint gate"
+if ! python -m ruff --version >/dev/null 2>&1; then
+  # The gate is unconditional: a missing linter must fail loudly, not
+  # silently pass code that networked CI would reject.
+  echo "ERROR: ruff is not installed; the lint gate cannot run." >&2
+  echo "       pip install -r requirements-dev.txt" >&2
+  exit 1
 fi
+python -m ruff check .
+python -m ruff format --check .
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
 echo "== shared-scan benchmark gate =="
 python benchmarks/bench_shared_scan.py --quick --out BENCH_shared_scan.json
+
+echo "== sql-scan benchmark gate =="
+python benchmarks/bench_sql_scan.py --quick --out BENCH_sql_scan.json

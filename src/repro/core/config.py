@@ -70,6 +70,13 @@ class Config:
     #: overhead outweighs scan sharing on tiny frames.
     parallel_min_rows: int = 2_000
 
+    #: Consolidate ``SQLExecutor.execute_many`` batches into one shared-WHERE
+    #: CTE + UNION ALL statement per filter group (one scan per GROUP BY
+    #: shape instead of one round-trip query per candidate).  Off, the batch
+    #: still reuses a single connection but issues per-spec statements —
+    #: the ablation condition ``benchmarks/bench_sql_scan.py`` measures.
+    sql_batch_execute: bool = True
+
     #: Rows above which approximate scoring kicks in (paper samples when the
     #: dataframe exceeds the cache size).
     sampling_start: int = 10_000

@@ -11,8 +11,11 @@ point used by ``rank_candidates`` and the actions.  Backends override it to
 share work across the batch (``DataFrameExecutor`` shares filter masks,
 materialized subframes, group-key factorizations, and float conversions via
 the :mod:`~repro.core.executor.cache` computation cache, and fans the batch
-out over the shared worker pool under ``config.parallel_execute``); the
-default simply executes sequentially.
+out over the shared worker pool under ``config.parallel_execute``;
+``SQLExecutor`` compiles each filter group into one consolidated
+shared-WHERE CTE + UNION ALL statement via
+:mod:`~repro.core.executor.sql_compile`); the default simply executes
+sequentially.
 
 The batch contract, which parallel backends must also honor: results align
 with ``specs``, each spec's ``data`` is attached exactly as if
@@ -65,6 +68,13 @@ class Executor(ABC):
         Results align with ``specs`` and each spec's ``data`` is attached,
         exactly as if :meth:`execute` had been called per spec.
         """
+        return self._execute_serial(specs, frame)
+
+    def _execute_serial(
+        self, specs: Sequence[VisSpec], frame: DataFrame
+    ) -> list[list[dict[str, Any]]]:
+        """The reference per-spec loop batching backends must reproduce
+        bit-for-bit (and fall back to for shapes they can't batch)."""
         return [self.execute(spec, frame) for spec in specs]
 
     @abstractmethod

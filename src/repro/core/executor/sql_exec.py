@@ -4,6 +4,15 @@ The paper's execution engine can run "equivalently in SQL queries in
 relational databases" (§7, Fig. 8).  This backend materializes the frame
 into an in-memory sqlite database (cached per frame content-version) and
 translates each visualization into one SQL statement.
+
+Batch parity with the dataframe executor: :meth:`SQLExecutor.execute_many`
+groups a recommendation pass by filter signature and compiles each group
+into a consolidated shared-WHERE CTE + ``UNION ALL`` pass (one scan per
+GROUP BY shape instead of one round-trip query per candidate) via
+:mod:`~repro.core.executor.sql_compile`, resolving the frame's connection
+once for the whole batch.  Results are bit-identical to the per-spec
+path; shapes the batch translator can't express fall back to it per spec.
+``config.sql_batch_execute`` turns consolidation off for ablations.
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ import sqlite3
 import threading
 import weakref
 from collections import OrderedDict
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -20,11 +29,19 @@ from ...dataframe import DataFrame
 from ...vis.spec import VisSpec
 from ..config import config
 from ..errors import ExecutorError
-from .base import Executor
+from .base import Executor, group_indices_by_filter
+from .sql_compile import (
+    TABLE as _TABLE,
+    GroupPlan,
+    column_sql_type,
+    grouped_parts,
+    quote as _quote,
+    rect_parts,
+    sql_literal as _sql_literal,  # noqa: F401 - re-exported legacy name
+    where_clause as _where_clause,
+)
 
 __all__ = ["SQLExecutor", "translate_vis_to_sql"]
-
-_TABLE = "frame"
 
 #: LRU cache of id(frame) -> (weakref, data_version, connection).  Identity
 #: is proven through the weakref exactly like the computation cache's
@@ -44,34 +61,10 @@ _CONN_LOCK = threading.RLock()
 _CACHE_LIMIT = 8
 
 
-def _quote(name: str) -> str:
-    return '"' + name.replace('"', '""') + '"'
-
-
-def _sql_literal(value: Any) -> str:
-    if value is None:
-        return "NULL"
-    if isinstance(value, bool):
-        return "1" if value else "0"
-    if isinstance(value, (int, float, np.integer, np.floating)):
-        return repr(float(value) if isinstance(value, (float, np.floating)) else int(value))
-    text = str(value).replace("'", "''")
-    return f"'{text}'"
-
-
-def _column_sql_type(frame: DataFrame, name: str) -> str:
-    kind = frame.column(name).dtype.name
-    if kind == "int64":
-        return "INTEGER"
-    if kind in ("float64", "bool"):
-        return "REAL"
-    return "TEXT"
-
-
 def load_frame(conn: sqlite3.Connection, frame: DataFrame) -> None:
     """Create and populate the ``frame`` table from a DataFrame."""
     cols = frame.columns
-    decls = ", ".join(f"{_quote(c)} {_column_sql_type(frame, c)}" for c in cols)
+    decls = ", ".join(f"{_quote(c)} {column_sql_type(frame, c)}" for c in cols)
     conn.execute(f"DROP TABLE IF EXISTS {_TABLE}")
     conn.execute(f"CREATE TABLE {_TABLE} ({decls})")
     placeholders = ", ".join(["?"] * len(cols))
@@ -91,46 +84,22 @@ def load_frame(conn: sqlite3.Connection, frame: DataFrame) -> None:
     conn.commit()
 
 
-def _where_clause(filters: list[tuple[str, str, Any]]) -> str:
-    if not filters:
-        return ""
-    parts = []
-    for attr, op, value in filters:
-        sql_op = {"=": "=", "!=": "<>", ">": ">", "<": "<", ">=": ">=", "<=": "<="}[op]
-        parts.append(f"{_quote(attr)} {sql_op} {_sql_literal(value)}")
-    return " WHERE " + " AND ".join(parts)
-
-
-_AGG_SQL = {
-    "mean": "AVG",
-    "sum": "SUM",
-    "min": "MIN",
-    "max": "MAX",
-    "count": "COUNT",
-    "median": "AVG",  # sqlite lacks MEDIAN; AVG is the closest single-pass
-    "var": None,
-    "std": None,
-}
-
-
-def _agg_expr(agg: str, field: str) -> str:
-    fn = _AGG_SQL.get(agg, "AVG")
-    if agg in ("var", "std"):
-        # Computed via the sum-of-squares identity in one pass.
-        q = _quote(field)
-        var = f"(SUM({q}*{q}) - SUM({q})*SUM({q})/COUNT({q})) / (COUNT({q}) - 1)"
-        return var
-    if agg == "count" and not field:
-        return "COUNT(*)"
-    return f"{fn}({_quote(field)})"
-
-
 def translate_vis_to_sql(spec: VisSpec, frame: DataFrame) -> str:
-    """Produce the single SQL statement that processes ``spec``."""
+    """Produce the single SQL statement that processes ``spec``.
+
+    Shape detection and rendering fragments are shared with the batch
+    compiler (:mod:`~repro.core.executor.sql_compile`) so the per-spec and
+    consolidated translations can never drift apart.
+    """
     where = _where_clause(spec.filters)
-    x, y, color = spec.x, spec.y, spec.color
 
     if spec.mark == "histogram":
+        # Legacy single-statement form (integer bucket arithmetic over the
+        # *unfiltered* table extent).  The executor itself never runs this:
+        # per-spec execution delegates histograms to the dataframe engine
+        # for exact numpy edge parity, and batch execution bins through
+        # sql_compile.bucket_expr against numpy-computed edges.
+        x, y = spec.x, spec.y
         enc = x if x is not None and x.bin else y
         if enc is None:
             raise ExecutorError("histogram requires a binned axis")
@@ -138,7 +107,6 @@ def translate_vis_to_sql(spec: VisSpec, frame: DataFrame) -> str:
         b = enc.resolved_bin_size
         not_null = f"{q} IS NOT NULL"
         where_h = f"{where} AND {not_null}" if where else f" WHERE {not_null}"
-        # Fixed-width binning via integer bucket arithmetic (bin + count).
         return (
             f"SELECT CAST(MIN(({q} - (SELECT MIN({q}) FROM {_TABLE})) * {b} / "
             f"NULLIF((SELECT MAX({q}) - MIN({q}) FROM {_TABLE}), 0), {b - 1}) "
@@ -153,49 +121,19 @@ def translate_vis_to_sql(spec: VisSpec, frame: DataFrame) -> str:
             f"LIMIT {config.max_scatter_points}"
         )
     if spec.mark in ("bar", "line", "area", "geoshape"):
-        dim = None
-        measure = None
-        for enc in spec.encodings:
-            if enc.channel not in ("x", "y", "color"):
-                continue
-            if enc.aggregate:
-                measure = enc
-            elif enc.field and enc.field_type != "quantitative" or (
-                enc.field and spec.mark == "geoshape"
-            ):
-                dim = dim or enc
-        if dim is None:
-            raise ExecutorError("bar/line requires a dimension")
-        group_cols = [_quote(dim.field)]
-        if (
-            color is not None
-            and color.field
-            and color.field_type != "quantitative"
-            and color.field != dim.field
-        ):
-            group_cols.append(_quote(color.field))
-        value = (
-            _agg_expr(measure.aggregate or "mean", measure.field)
-            if measure is not None and measure.field
-            else "COUNT(*)"
-        )
-        alias = measure.field if measure is not None and measure.field else "count"
-        gc = ", ".join(group_cols)
+        group_fields, value, alias, _ = grouped_parts(spec)
+        gc = ", ".join(_quote(f) for f in group_fields)
         return (
             f"SELECT {gc}, {value} AS {_quote(alias)} "
             f"FROM {_TABLE}{where} GROUP BY {gc}"
         )
     if spec.mark == "rect":
-        if x is None or y is None:
-            raise ExecutorError("heatmap requires x and y")
-        gc = f"{_quote(x.field)}, {_quote(y.field)}"
-        if color is not None and color.field and color.aggregate not in (None, "count"):
-            value = _agg_expr(color.aggregate, color.field)
-            return (
-                f"SELECT {gc}, {value} AS {_quote(color.field)} "
-                f"FROM {_TABLE}{where} GROUP BY {gc}"
-            )
-        return f'SELECT {gc}, COUNT(*) AS "count" FROM {_TABLE}{where} GROUP BY {gc}'
+        group_fields, value, alias, _ = rect_parts(spec)
+        gc = ", ".join(_quote(f) for f in group_fields)
+        return (
+            f"SELECT {gc}, {value} AS {_quote(alias)} "
+            f"FROM {_TABLE}{where} GROUP BY {gc}"
+        )
     raise ExecutorError(f"no SQL translation for mark {spec.mark!r}")
 
 
@@ -256,14 +194,16 @@ class SQLExecutor(Executor):
 
         return DataFrameExecutor().apply_filters(frame, filters)
 
-    def execute(self, spec: VisSpec, frame: DataFrame) -> list[dict[str, Any]]:
+    def _execute_with_conn(
+        self, spec: VisSpec, frame: DataFrame, conn: sqlite3.Connection
+    ) -> list[dict[str, Any]]:
+        """The per-spec path against an already-resolved connection."""
         if spec.mark == "histogram":
             # Delegate histograms to numpy binning for edge parity with the
             # dataframe executor (sqlite bucket arithmetic differs at edges).
             from .df_exec import DataFrameExecutor
 
             return DataFrameExecutor().execute(spec, frame)
-        conn = self._connection(frame)
         sql = translate_vis_to_sql(spec, frame)
         try:
             cursor = conn.execute(sql)
@@ -273,3 +213,51 @@ class SQLExecutor(Executor):
         records = [dict(zip(names, row)) for row in cursor.fetchall()]
         spec.data = records
         return records
+
+    def execute(self, spec: VisSpec, frame: DataFrame) -> list[dict[str, Any]]:
+        if spec.mark == "histogram":
+            from .df_exec import DataFrameExecutor
+
+            return DataFrameExecutor().execute(spec, frame)
+        return self._execute_with_conn(spec, frame, self._connection(frame))
+
+    def execute_many(
+        self, specs: Sequence[VisSpec], frame: DataFrame
+    ) -> list[list[dict[str, Any]]]:
+        """Consolidated batch execution: one SQL pass per filter group.
+
+        The frame's connection is resolved once for the whole batch (the
+        per-spec path re-resolved it per call).  Each filter group
+        compiles to one shared-WHERE CTE + ``UNION ALL`` statement (plus
+        one MIN/MAX stats scan when the group bins histograms); specs the
+        translator can't express run per spec on the same connection.
+        Results and attached ``spec.data`` are bit-identical to the
+        serial path.
+        """
+        if not specs:
+            return []
+        conn = self._connection(frame)
+        if not config.sql_batch_execute:
+            return [self._execute_with_conn(s, frame, conn) for s in specs]
+        results: list[list[dict[str, Any]] | None] = [None] * len(specs)
+        for indices in group_indices_by_filter(specs):
+            plan = GroupPlan([(i, specs[i]) for i in indices], frame)
+            rows_by_branch: dict[int, list[tuple]] = {}
+            sql = plan.stats_sql
+            try:
+                stats_row = conn.execute(sql).fetchone() if sql is not None else None
+                sql, decoders = plan.finish(stats_row)
+                if sql is not None:
+                    for row in conn.execute(sql):
+                        rows_by_branch.setdefault(row[0], []).append(row[1:])
+            except sqlite3.Error as exc:
+                raise ExecutorError(
+                    f"SQL batch execution failed: {exc}\n{sql}"
+                ) from exc
+            for i, bid, decode in decoders:
+                records = decode(rows_by_branch.get(bid, []))
+                specs[i].data = records
+                results[i] = records
+            for i in plan.fallback:
+                results[i] = self._execute_with_conn(specs[i], frame, conn)
+        return results  # type: ignore[return-value]

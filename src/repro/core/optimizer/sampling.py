@@ -71,6 +71,10 @@ def _prefetch_for_scoring(
 
     One ``execute_many`` call lets same-filter candidates share a single
     materialized subframe (and every candidate share factorizations etc.).
+    The entry point is backend-agnostic: under ``config.executor = "sql"``
+    the same call compiles each filter group into one consolidated
+    CTE + UNION ALL pass instead of per-candidate queries, so both ranking
+    passes get shared scans on either backend.
     Failures fall through silently: ``score_vis`` executes lazily with its
     own per-spec failproofing, so one broken spec cannot sink the batch.
     """

@@ -1,0 +1,229 @@
+"""Golden cross-backend equivalence: DataFrame vs SQL executors.
+
+A permanent drift detector for the SQL translator: the same
+recommendation-pass spec shapes run on ``DataFrameExecutor``, serial
+``SQLExecutor``, and batched ``SQLExecutor.execute_many``, and must yield
+the same visualization data.
+
+Comparison rules (the physics of crossing engines):
+
+- SQL-vs-SQL (serial vs batched) is asserted **bit-identical, ordered** —
+  both are sqlite, so nothing may differ (``test_sql_batch`` holds this
+  too; here it anchors the three-way chain).
+- DataFrame-vs-SQL compares records as unordered sets with floats at 9
+  significant digits: the engines order group keys differently and sum in
+  different association orders, which moves the last couple of ULPs.
+- Histograms compare bit-identically even across engines: SQL binning is
+  compiled against the same numpy edges the dataframe path uses.
+
+Known, pinned divergences (asserted so silent drift is impossible):
+
+- SQL keeps NULL group keys; the dataframe factorization drops NaN keys.
+- Numeric (quantitative x quantitative) heatmaps: the dataframe executor
+  2-D bins; SQL groups raw values — excluded from the golden shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import pytest
+
+from repro import LuxDataFrame, config
+from repro.core.executor.cache import computation_cache
+from repro.core.executor.df_exec import DataFrameExecutor
+from repro.core.executor.sql_exec import SQLExecutor
+from repro.vis.encoding import Encoding
+from repro.vis.spec import VisSpec
+
+Q = "quantitative"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    computation_cache.clear()
+    yield
+    computation_cache.clear()
+
+
+def _canon_value(v: Any) -> Any:
+    if isinstance(v, float):
+        return float(f"{v:.9g}")
+    return v
+
+
+def _canon(records: list[dict[str, Any]]) -> list[tuple]:
+    """Order-insensitive, ULP-insensitive record identity."""
+    return sorted(
+        tuple(sorted((k, _canon_value(v)) for k, v in r.items())) for r in records
+    )
+
+
+def _bar(dim: str, field: str, agg: str, filters=()) -> VisSpec:
+    value = Encoding("x", field, Q, aggregate=agg)
+    return VisSpec("bar", [Encoding("y", dim, "nominal"), value], filters=filters)
+
+
+GOLDEN_SHAPES = [
+    pytest.param(lambda: _bar("Education", "Age", "mean"), id="bar-mean"),
+    pytest.param(lambda: _bar("Education", "MonthlyIncome", "sum"), id="bar-sum"),
+    pytest.param(lambda: _bar("Department", "Age", "min"), id="bar-min"),
+    pytest.param(lambda: _bar("Department", "Age", "max"), id="bar-max"),
+    pytest.param(lambda: _bar("Department", "", "count"), id="bar-count"),
+    pytest.param(
+        lambda: _bar("Education", "Age", "mean", filters=[("Department", "=", "Sales")]),
+        id="bar-mean-filtered-eq",
+    ),
+    pytest.param(
+        lambda: _bar("Education", "Age", "mean", filters=[("Age", ">", 40)]),
+        id="bar-mean-filtered-gt",
+    ),
+    pytest.param(
+        lambda: _bar(
+            "Education",
+            "MonthlyIncome",
+            "sum",
+            filters=[("Department", "!=", "Ops"), ("Age", "<=", 55)],
+        ),
+        id="bar-sum-filtered-conj",
+    ),
+    pytest.param(
+        lambda: VisSpec("line", [
+            Encoding("x", "Education", "nominal"),
+            Encoding("y", "Age", Q, aggregate="mean"),
+            Encoding("color", "Attrition", "nominal"),
+        ]),
+        id="colored-line-2d",
+    ),
+    pytest.param(
+        lambda: VisSpec("area", [
+            Encoding("x", "Department", "nominal"),
+            Encoding("y", "MonthlyIncome", Q, aggregate="sum"),
+        ]),
+        id="area-sum",
+    ),
+    pytest.param(
+        lambda: VisSpec("geoshape", [
+            Encoding("x", "Country", "geographic"),
+            Encoding("color", "Age", Q, aggregate="mean"),
+        ]),
+        id="geo-mean",
+    ),
+    pytest.param(
+        lambda: VisSpec("rect", [
+            Encoding("x", "Education", "nominal"),
+            Encoding("y", "Department", "nominal"),
+            Encoding("color", "", Q, aggregate="count"),
+        ]),
+        id="rect-count",
+    ),
+    pytest.param(
+        lambda: VisSpec("rect", [
+            Encoding("x", "Education", "nominal"),
+            Encoding("y", "Department", "nominal"),
+            Encoding("color", "HourlyRate", Q, aggregate="mean"),
+        ]),
+        id="rect-color-mean",
+    ),
+    pytest.param(
+        lambda: VisSpec("rect", [
+            Encoding("x", "Attrition", "nominal"),
+            Encoding("y", "Country", "nominal"),
+            Encoding("color", "", Q, aggregate="count"),
+        ], filters=[("Age", ">=", 35)]),
+        id="rect-count-filtered",
+    ),
+]
+
+HISTOGRAM_SHAPES = [
+    pytest.param(lambda: VisSpec("histogram", [
+        Encoding("x", "Age", Q, bin=True),
+        Encoding("y", "", Q, aggregate="count"),
+    ]), id="hist-default-bins"),
+    pytest.param(lambda: VisSpec("histogram", [
+        Encoding("x", "MonthlyIncome", Q, bin=True, bin_size=6),
+        Encoding("y", "", Q, aggregate="count"),
+    ]), id="hist-explicit-bins"),
+    pytest.param(lambda: VisSpec("histogram", [
+        Encoding("x", "HourlyRate", Q, bin=True, bin_size=12),
+        Encoding("y", "", Q, aggregate="count"),
+    ], filters=[("Department", "=", "Eng")]), id="hist-filtered"),
+]
+
+
+def _three_way(spec_factory, frame):
+    """(dataframe, serial SQL, batched SQL) results for one spec shape."""
+    df_records = DataFrameExecutor().execute(spec_factory(), frame)
+    serial_records = SQLExecutor().execute(spec_factory(), frame)
+    [batch_records] = SQLExecutor().execute_many([spec_factory()], frame)
+    return df_records, serial_records, batch_records
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("spec_factory", GOLDEN_SHAPES)
+    def test_backends_agree(self, employees, spec_factory):
+        df_records, serial_records, batch_records = _three_way(
+            spec_factory, employees
+        )
+        assert batch_records == serial_records  # bit-identical, ordered
+        assert _canon(df_records) == _canon(batch_records)
+
+    @pytest.mark.parametrize("spec_factory", HISTOGRAM_SHAPES)
+    def test_histograms_bit_identical_across_engines(self, employees, spec_factory):
+        df_records, serial_records, batch_records = _three_way(
+            spec_factory, employees
+        )
+        # The serial SQL path delegates histograms to the dataframe
+        # engine, and batched SQL binning compiles the same numpy edges —
+        # all three must agree exactly, order included.
+        assert serial_records == df_records
+        assert batch_records == df_records
+
+    def test_scatter_same_rows(self, employees):
+        """Under the display cap both backends return every row; compare
+        as unordered sets (SQL emits table order, the dataframe engine
+        row order — same rows either way)."""
+        assert len(employees) <= config.max_scatter_points
+
+        def factory():
+            return VisSpec("point", [
+                Encoding("x", "Age", Q),
+                Encoding("y", "MonthlyIncome", Q),
+            ])
+
+        df_records, serial_records, batch_records = _three_way(factory, employees)
+        assert batch_records == serial_records
+        assert _canon(df_records) == _canon(batch_records)
+
+    def test_whole_pass_equivalent_on_both_backends(self, employees):
+        """The satellite contract: one recommendation-pass-shaped batch,
+        executed via each backend's execute_many, yields equivalent data
+        for every candidate."""
+        def build():
+            return [factory.values[0]() for factory in GOLDEN_SHAPES] + [
+                factory.values[0]() for factory in HISTOGRAM_SHAPES
+            ]
+
+        df_results = DataFrameExecutor().execute_many(build(), employees)
+        sql_results = SQLExecutor().execute_many(build(), employees)
+        assert len(df_results) == len(sql_results)
+        for df_records, sql_records in zip(df_results, sql_results):
+            assert _canon(df_records) == _canon(sql_records)
+
+
+class TestPinnedDivergences:
+    def test_null_group_keys_kept_by_sql_dropped_by_dataframe(self):
+        frame = LuxDataFrame({
+            "city": ["a", "b", "a", "c", None],
+            "pop": [1.0, 2.0, 3.0, None, 5.0],
+        })
+        def factory():
+            return _bar("city", "pop", "mean")
+
+        df_records, serial_records, batch_records = _three_way(factory, frame)
+        assert batch_records == serial_records
+        # SQL has the NULL group; the dataframe factorization drops it.
+        assert {r["city"] for r in batch_records} == {None, "a", "b", "c"}
+        assert {r["city"] for r in df_records} == {"a", "b", "c"}
+        non_null = [r for r in batch_records if r["city"] is not None]
+        assert _canon(df_records) == _canon(non_null)

@@ -1,0 +1,463 @@
+"""SQL shared-scan batching: consolidated UNION ALL passes for SQLExecutor.
+
+The contract under test: ``SQLExecutor.execute_many`` compiles each filter
+group of a batch into one shared-WHERE CTE + UNION ALL statement (plus a
+MIN/MAX stats scan when the group bins histograms) and produces results
+*bit-identical* to the serial per-spec path — same keys, same record
+order, same values — across every supported spec shape, falling back to
+the per-spec path for shapes the batch translator can't express.  Also
+covered: single connection resolution per batch, the
+``config.sql_batch_execute`` ablation toggle, concurrent batches, version
+invalidation, and the recommendation pass routing through the batch entry
+point under ``config.executor = "sql"``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import LuxDataFrame, config
+from repro.core.errors import ExecutorError
+from repro.core.executor.cache import computation_cache
+from repro.core.executor.df_exec import DataFrameExecutor
+from repro.core.executor.sql_exec import SQLExecutor
+from repro.vis.encoding import Encoding
+from repro.vis.spec import VisSpec
+
+Q = "quantitative"
+
+
+def _bar_spec(dim: str, field: str, agg: str) -> VisSpec:
+    return VisSpec("bar", [
+        Encoding("y", dim, "nominal"),
+        Encoding("x", field, Q, aggregate=agg),
+    ])
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    computation_cache.clear()
+    yield
+    computation_cache.clear()
+
+
+def _shape_specs() -> list[VisSpec]:
+    """Every supported batch shape, with merged, filtered, and odd variants."""
+    specs = [
+        # Grouped aggregates sharing one dimension (merge into one branch).
+        VisSpec("bar", [
+            Encoding("y", "Education", "nominal"),
+            Encoding("x", "Age", Q, aggregate="mean"),
+        ]),
+        VisSpec("bar", [
+            Encoding("y", "Education", "nominal"),
+            Encoding("x", "MonthlyIncome", Q, aggregate="sum"),
+        ]),
+        VisSpec("bar", [
+            Encoding("y", "Education", "nominal"),
+            Encoding("x", "Age", Q, aggregate="min"),
+        ]),
+        VisSpec("bar", [
+            Encoding("y", "Education", "nominal"),
+            Encoding("x", "Age", Q, aggregate="max"),
+        ]),
+        VisSpec("bar", [
+            Encoding("y", "Department", "nominal"),
+            Encoding("x", "", Q, aggregate="count"),
+        ]),
+        # Variance and median (the sum-of-squares / AVG translations).
+        VisSpec("bar", [
+            Encoding("y", "Attrition", "nominal"),
+            Encoding("x", "MonthlyIncome", Q, aggregate="var"),
+        ]),
+        VisSpec("bar", [
+            Encoding("y", "Attrition", "nominal"),
+            Encoding("x", "Age", Q, aggregate="median"),
+        ]),
+        # 2-D colored group-by (two-key branch).
+        VisSpec("line", [
+            Encoding("x", "Education", "nominal"),
+            Encoding("y", "Age", Q, aggregate="mean"),
+            Encoding("color", "Attrition", "nominal"),
+        ]),
+        VisSpec("area", [
+            Encoding("x", "Department", "nominal"),
+            Encoding("y", "MonthlyIncome", Q, aggregate="sum"),
+        ]),
+        # Choropleth.
+        VisSpec("geoshape", [
+            Encoding("x", "Country", "geographic"),
+            Encoding("color", "Age", Q, aggregate="mean"),
+        ]),
+        # Heatmaps: count and color-aggregate forms.
+        VisSpec("rect", [
+            Encoding("x", "Education", "nominal"),
+            Encoding("y", "Department", "nominal"),
+            Encoding("color", "", Q, aggregate="count"),
+        ]),
+        VisSpec("rect", [
+            Encoding("x", "Education", "nominal"),
+            Encoding("y", "Department", "nominal"),
+            Encoding("color", "HourlyRate", Q, aggregate="mean"),
+        ]),
+        # Histograms: default and explicit bin counts (CASE bucket branches).
+        VisSpec("histogram", [
+            Encoding("x", "Age", Q, bin=True),
+            Encoding("y", "", Q, aggregate="count"),
+        ]),
+        VisSpec("histogram", [
+            Encoding("x", "MonthlyIncome", Q, bin=True, bin_size=7),
+            Encoding("y", "", Q, aggregate="count"),
+        ]),
+        # Scatter selections (LIMIT-ed subselect branches).
+        VisSpec("point", [
+            Encoding("x", "Age", Q),
+            Encoding("y", "MonthlyIncome", Q),
+        ]),
+        VisSpec("tick", [Encoding("x", "HourlyRate", Q)]),
+    ]
+    filtered = []
+    for spec in specs:
+        filtered.append(
+            VisSpec(spec.mark, spec.encodings, filters=[("Department", "=", "Sales")])
+        )
+        filtered.append(VisSpec(spec.mark, spec.encodings, filters=[("Age", ">", 40)]))
+    # Conjunctive filter and a duplicate spec (shared branch + decoder).
+    filtered.append(VisSpec("bar", [
+        Encoding("y", "Education", "nominal"),
+        Encoding("x", "Age", Q, aggregate="mean"),
+    ], filters=[("Department", "=", "Sales"), ("Age", "<=", 50)]))
+    filtered.append(VisSpec("histogram", [
+        Encoding("x", "Age", Q, bin=True),
+        Encoding("y", "", Q, aggregate="count"),
+    ]))
+    return specs + filtered
+
+
+class TestBatchBitIdentity:
+    def test_batch_identical_to_serial_all_shapes(self, employees):
+        serial_specs = _shape_specs()
+        batch_specs = _shape_specs()
+        ex = SQLExecutor()
+        expected = [ex.execute(s, employees) for s in serial_specs]
+        got = SQLExecutor().execute_many(batch_specs, employees)
+        assert len(got) == len(expected)
+        for spec, want, have in zip(batch_specs, expected, got):
+            assert want == have, f"batch mismatch for {spec!r}"
+            assert spec.data is have
+
+    def test_histogram_matches_dataframe_executor(self, employees):
+        """SQL CASE binning is bit-identical to the numpy explicit-edges
+        path, filtered or not, on float and near-integer columns."""
+        variants = [
+            VisSpec("histogram", [
+                Encoding("x", "Age", Q, bin=True, bin_size=bins),
+                Encoding("y", "", Q, aggregate="count"),
+            ], filters=filters)
+            for bins in (4, 10)
+            for filters in ([], [("Department", "=", "Eng")])
+        ]
+        for spec in variants:
+            df_records = DataFrameExecutor().execute(
+                VisSpec(spec.mark, spec.encodings, filters=spec.filters), employees
+            )
+            [sql_records] = SQLExecutor().execute_many([spec], employees)
+            assert sql_records == df_records
+
+    def test_histogram_on_integer_column(self):
+        # The row-preserving filter forces the SQL CASE-bucket branch
+        # (unfiltered histograms route to the numpy path by cost) while
+        # keeping the numpy comparison over the identical row set.
+        frame = LuxDataFrame({"n": list(range(100)) * 3, "d": ["a", "b", "c"] * 100})
+        keep_all = [("d", "!=", "zzz")]
+        spec = VisSpec("histogram", [
+            Encoding("x", "n", Q, bin=True, bin_size=10),
+            Encoding("y", "", Q, aggregate="count"),
+        ], filters=keep_all)
+        df_records = DataFrameExecutor().execute(
+            VisSpec(spec.mark, spec.encodings, filters=keep_all), frame
+        )
+        [sql_records] = SQLExecutor().execute_many([spec], frame)
+        assert sql_records == df_records
+
+    def test_histogram_with_nulls_and_constant_column(self):
+        frame = LuxDataFrame({
+            "x": [1.0, None, 2.0, 3.0, None, 2.5],
+            "c": [7.0] * 6,
+        })
+        keep_all = [("c", ">", 0.0)]  # forces the SQL CASE-bucket branch
+        for field in ("x", "c"):
+            spec = VisSpec("histogram", [
+                Encoding("x", field, Q, bin=True, bin_size=4),
+                Encoding("y", "", Q, aggregate="count"),
+            ], filters=keep_all)
+            df_records = DataFrameExecutor().execute(
+                VisSpec(spec.mark, spec.encodings, filters=keep_all), frame
+            )
+            [sql_records] = SQLExecutor().execute_many([spec], frame)
+            assert sql_records == df_records
+
+    def test_empty_filter_group_histogram(self, employees):
+        """A filter matching zero rows yields [] exactly like the serial
+        (dataframe-delegated) path."""
+        spec = VisSpec("histogram", [
+            Encoding("x", "Age", Q, bin=True),
+            Encoding("y", "", Q, aggregate="count"),
+        ], filters=[("Department", "=", "NoSuchDept")])
+        serial = SQLExecutor().execute(
+            VisSpec(spec.mark, spec.encodings, filters=spec.filters), employees
+        )
+        [batched] = SQLExecutor().execute_many([spec], employees)
+        assert batched == serial == []
+
+    def test_one_plan_per_filter_signature(self, employees):
+        """Multiple filter signatures in one batch: exactly one
+        consolidated plan per signature, results still aligned per spec."""
+        import repro.core.executor.sql_exec as sql_exec_module
+
+        specs = _shape_specs()
+        signatures = {tuple(sorted(repr(f) for f in s.filters)) for s in specs}
+        assert len(signatures) >= 3
+        plans = []
+        orig = sql_exec_module.GroupPlan
+
+        def counting(items, frame):
+            plans.append(items)
+            return orig(items, frame)
+
+        sql_exec_module.GroupPlan = counting
+        try:
+            results = SQLExecutor().execute_many(specs, employees)
+        finally:
+            sql_exec_module.GroupPlan = orig
+        assert len(plans) == len(signatures)
+        assert all(r is not None for r in results)
+
+
+class TestBatchFallback:
+    def test_text_histogram_same_outcome_as_serial(self, employees):
+        """Non-numeric histogram axes fall back to the per-spec path and
+        produce exactly the serial outcome (result or error)."""
+        def run(fn):
+            try:
+                return ("ok", fn())
+            except Exception as exc:
+                return ("err", type(exc).__name__)
+
+        spec_a = VisSpec("histogram", [Encoding("x", "Education", "nominal", bin=True)])
+        spec_b = VisSpec("histogram", [Encoding("x", "Education", "nominal", bin=True)])
+        serial = run(lambda: SQLExecutor().execute(spec_a, employees))
+        batched = run(lambda: SQLExecutor().execute_many([spec_b], employees)[0])
+        assert batched == serial
+
+    def test_missing_column_same_outcome_as_serial(self, employees):
+        # sqlite's double-quoted-identifier fallback turns an unknown
+        # column into a string literal, so the serial path *succeeds* with
+        # a degenerate single group; the batch translator refuses the spec
+        # (column not found) and must reproduce that exact serial outcome
+        # through its per-spec fallback.
+        spec_a = VisSpec("bar", [
+            Encoding("y", "NoSuchColumn", "nominal"),
+            Encoding("x", "Age", Q, aggregate="mean"),
+        ])
+        spec_b = VisSpec("bar", list(spec_a.encodings))
+        serial = SQLExecutor().execute(spec_a, employees)
+        [batched] = SQLExecutor().execute_many([spec_b], employees)
+        assert batched == serial
+
+    def test_bar_without_dimension_raises_like_serial(self, employees):
+        spec_a = VisSpec("bar", [Encoding("x", "Age", Q, aggregate="mean")])
+        spec_b = VisSpec("bar", list(spec_a.encodings))
+        with pytest.raises(ExecutorError):
+            SQLExecutor().execute(spec_a, employees)
+        with pytest.raises(ExecutorError):
+            SQLExecutor().execute_many([spec_b], employees)
+
+    def test_bad_filter_column_same_outcome_as_serial(self, employees):
+        # Same quoted-identifier fallback as above, in the WHERE clause: a
+        # missing filter column compares a literal, matches nothing, and
+        # the serial path returns [].  The batch path routes the whole
+        # group through the per-spec fallback rather than poisoning a
+        # consolidated statement, landing on the identical outcome.
+        spec_a = VisSpec("bar", [
+            Encoding("y", "Education", "nominal"),
+            Encoding("x", "Age", Q, aggregate="mean"),
+        ], filters=[("NoSuchColumn", "=", "x")])
+        spec_b = VisSpec("bar", list(spec_a.encodings), filters=list(spec_a.filters))
+        serial = SQLExecutor().execute(spec_a, employees)
+        [batched] = SQLExecutor().execute_many([spec_b], employees)
+        assert batched == serial
+
+    def test_fallback_rides_batch_connection(self, employees):
+        """A batch mixing translatable and fallback shapes resolves the
+        connection exactly once."""
+        specs = [
+            VisSpec("bar", [
+                Encoding("y", "Education", "nominal"),
+                Encoding("x", "Age", Q, aggregate="mean"),
+            ]),
+            VisSpec("histogram", [Encoding("x", "Education", "nominal", bin=True)]),
+        ]
+        ex = SQLExecutor()
+        calls = []
+        orig = SQLExecutor._connection
+
+        def counting(self, frame):
+            calls.append(frame)
+            return orig(self, frame)
+
+        SQLExecutor._connection = counting
+        try:
+            try:
+                ex.execute_many(specs, employees)
+            except Exception:
+                pass
+            assert len(calls) == 1
+        finally:
+            SQLExecutor._connection = orig
+
+
+class TestBatchMechanics:
+    def test_connection_resolved_once_per_batch(self, employees):
+        specs = _shape_specs()
+        calls = []
+        orig = SQLExecutor._connection
+
+        def counting(self, frame):
+            calls.append(frame)
+            return orig(self, frame)
+
+        SQLExecutor._connection = counting
+        try:
+            SQLExecutor().execute_many(specs, employees)
+        finally:
+            SQLExecutor._connection = orig
+        assert len(calls) == 1
+
+    def test_toggle_off_matches_batched_results(self, employees):
+        serial_specs = _shape_specs()
+        config.sql_batch_execute = False
+        off = SQLExecutor().execute_many(serial_specs, employees)
+        config.sql_batch_execute = True
+        on = SQLExecutor().execute_many(_shape_specs(), employees)
+        assert off == on
+
+    def test_concurrent_batches_identical(self, employees):
+        expected = SQLExecutor().execute_many(_shape_specs(), employees)
+        outputs: list = [None] * 4
+        errors: list = []
+
+        def run(slot: int) -> None:
+            try:
+                outputs[slot] = SQLExecutor().execute_many(
+                    _shape_specs(), employees
+                )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+            assert not t.is_alive(), "concurrent SQL execute_many deadlocked"
+        assert not errors
+        for out in outputs:
+            assert out == expected
+
+    def test_mutation_invalidates_between_batches(self, employees):
+        spec = VisSpec("bar", [
+            Encoding("y", "Department", "nominal"),
+            Encoding("x", "", Q, aggregate="count"),
+        ])
+        [before] = SQLExecutor().execute_many([spec], employees)
+        employees["Department"] = ["Sales"] * len(employees)
+        spec2 = VisSpec("bar", list(spec.encodings))
+        [after] = SQLExecutor().execute_many([spec2], employees)
+        assert len(before) == 3 and len(after) == 1
+
+    def test_empty_batch(self, employees):
+        assert SQLExecutor().execute_many([], employees) == []
+
+    def test_identical_scatters_share_one_arm(self, employees):
+        from repro.core.executor.sql_compile import GroupPlan
+
+        def point():
+            return VisSpec("point", [
+                Encoding("x", "Age", Q),
+                Encoding("y", "MonthlyIncome", Q),
+            ])
+
+        plan = GroupPlan([(0, point()), (1, point())], employees)
+        assert len(plan._branches) == 1
+        [a, b] = SQLExecutor().execute_many([point(), point()], employees)
+        assert a == b == SQLExecutor().execute(point(), employees)
+
+    def test_arm_budget_degrades_to_fallback(self, employees, monkeypatch):
+        """Past the compound-select arm budget, extra shapes fall back per
+        spec instead of rendering a statement sqlite would reject."""
+        import repro.core.executor.sql_compile as sql_compile
+
+        monkeypatch.setattr(sql_compile, "_MAX_ARMS", 2)
+
+        def build():
+            specs = [
+                _bar_spec("Education", "Age", "mean"),
+                _bar_spec("Department", "Age", "mean"),
+                _bar_spec("Attrition", "Age", "mean"),
+                _bar_spec("Country", "MonthlyIncome", "sum"),
+                # Merges into the first arm despite the exhausted budget.
+                _bar_spec("Education", "MonthlyIncome", "max"),
+                # Histogram arms are created after the stats scan and must
+                # honor the budget too (filtered => SQL-side routing).
+                VisSpec("histogram", [
+                    Encoding("x", "Age", Q, bin=True),
+                    Encoding("y", "", Q, aggregate="count"),
+                ]),
+            ]
+            return [
+                VisSpec(s.mark, s.encodings, filters=[("Department", "!=", "zzz")])
+                for s in specs
+            ]
+
+        serial = [SQLExecutor().execute(s, employees) for s in build()]
+        batched = SQLExecutor().execute_many(build(), employees)
+        assert batched == serial
+
+
+class TestRecommendationRouting:
+    def test_sql_pass_routes_through_batch_entry_point(self):
+        """Under config.executor='sql', the ranking passes call
+        SQLExecutor.execute_many (not one execute per candidate)."""
+        rng = np.random.default_rng(7)
+        n = 300
+        frame = LuxDataFrame({
+            "Age": np.round(rng.normal(40, 10, n), 1),
+            "Income": np.round(rng.lognormal(8.0, 0.5, n), 2),
+            "Education": rng.choice(["HS", "BS", "MS"], n).tolist(),
+            "Department": rng.choice(["Sales", "Eng"], n).tolist(),
+        })
+        config.executor = "sql"
+        calls = {"batches": 0, "specs": 0}
+        orig = SQLExecutor.execute_many
+
+        def spy(self, specs, frm):
+            calls["batches"] += 1
+            calls["specs"] += len(specs)
+            return orig(self, specs, frm)
+
+        SQLExecutor.execute_many = spy
+        try:
+            recommendations = frame.recommendations
+            names = list(recommendations)
+        finally:
+            SQLExecutor.execute_many = orig
+        assert names
+        assert calls["batches"] >= 1
+        assert calls["specs"] >= 2
+        for name in names:
+            for vis in recommendations[name]:
+                assert vis.spec.data is not None
