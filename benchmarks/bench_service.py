@@ -1,0 +1,270 @@
+"""Always-on service benchmark: cold vs precomputed reads, with gating.
+
+Measures the service's read path over the same frame shape as the
+shared-scan benchmark (6 measures x 3 dims, a 40+-candidate
+recommendation pass) under two conditions:
+
+- ``cold_read``:        the store has nothing for the current version; a
+  ``session.recommendations()`` call runs a full foreground pass
+  (compile, execute, rank, serialize) before returning — the
+  compute-on-demand world the paper argues against.
+- ``precomputed_read``: the frame was mutated, the background engine ran
+  its pass during the idle gap, and the read returns from the versioned
+  store — the always-on world.  This is a dictionary lookup and must be
+  **>= 5x** faster than the cold read (it is typically >100x).
+
+A multi-session section precomputes N sessions concurrently through the
+fair-share pool and reports store-hit read throughput — the serving-side
+number the ROADMAP's multi-user north star cares about.
+
+Every run emits a ``BENCH_service.json`` trajectory artifact and gates:
+
+- the precomputed read must be a store hit (``origin == "precompute"``)
+  and its payload byte-identical to a foreground recomputation of the
+  same version;
+- the precompute speedup must clear the 5x acceptance floor, and must not
+  regress below ``TOLERANCE`` of the committed baseline
+  (``benchmarks/baselines/BENCH_service.json``) when one is comparable.
+
+Run directly (CI runs ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \\
+        [--quick] [--rows N] [--sessions N] [--out PATH] [--update-baseline]
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_shared_scan import build_frame, load_baseline  # noqa: E402
+
+from repro import LuxDataFrame, config, config_overlay  # noqa: E402
+from repro.core import pool  # noqa: E402
+from repro.core.executor.cache import computation_cache  # noqa: E402
+from repro.service import SessionManager  # noqa: E402
+
+#: Allowed fraction of the baseline speedup before the gate trips.
+TOLERANCE = 0.6
+
+#: Acceptance floor: precomputed reads must be at least this much faster
+#: than cold reads (the issue's bar; in practice the ratio is >100x).
+PRECOMPUTE_FLOOR = 5.0
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_service.json"
+
+
+def build_lux_frame(rows: int, seed: int = 0) -> LuxDataFrame:
+    """The shared-scan benchmark frame, wrapped for the always-on path."""
+    plain = build_frame(rows, seed)
+    return LuxDataFrame({name: plain.column(name) for name in plain.columns})
+
+
+def touch(session) -> None:
+    """A content mutation: bumps the version, arms the precompute engine."""
+    session.frame["q0"] = session.frame["q0"]
+
+
+def measure_cold(manager: SessionManager, rows: int, rounds: int) -> float:
+    """Foreground read latency with nothing precomputed."""
+    config.precompute = False
+    session = manager.create(build_lux_frame(rows))
+    times = []
+    for _ in range(rounds):
+        touch(session)  # new version: the store has nothing for it
+        start = time.perf_counter()
+        response = session.recommendations()
+        times.append(time.perf_counter() - start)
+        assert response["freshness"]["origin"] == "foreground"
+    manager.close(session.id)
+    return min(times)
+
+
+def measure_precomputed(
+    manager: SessionManager, rows: int, rounds: int
+) -> tuple[float, bool]:
+    """Store-hit read latency after a mutation + idle period."""
+    config.precompute = True
+    session = manager.create(build_lux_frame(rows))
+    times = []
+    identical = True
+    for _ in range(rounds):
+        touch(session)
+        assert manager.engine.wait_idle(120), "precompute never settled"
+        start = time.perf_counter()
+        response = session.recommendations()
+        times.append(time.perf_counter() - start)
+        assert response["freshness"]["origin"] == "precompute", (
+            "read did not hit the store"
+        )
+    # Correctness: the stored payload must match a true foreground
+    # recomputation of the very same version (store dropped AND the
+    # frame's memoized set expired, so nothing is reused).
+    manager.store.drop_session(session.id)
+    session.frame.expire_recommendations()
+    recomputed = session.recommendations()
+    assert recomputed["freshness"]["origin"] == "foreground"
+    identical = recomputed["actions"] == response["actions"]
+    manager.close(session.id)
+    return min(times), identical
+
+
+def measure_multi_session(
+    manager: SessionManager, rows: int, n_sessions: int, reads: int = 200
+) -> dict[str, float]:
+    """Concurrent precompute across sessions + store-hit read throughput."""
+    config.precompute = True
+    sessions = [
+        manager.create(build_lux_frame(rows, seed=i), overrides={"top_k": 5})
+        for i in range(n_sessions)
+    ]
+    start = time.perf_counter()
+    for session in sessions:
+        touch(session)
+    assert manager.engine.wait_idle(300), "multi-session precompute stalled"
+    precompute_wall_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for i in range(reads):
+        response = sessions[i % n_sessions].recommendations()
+        assert response["freshness"]["origin"] == "precompute"
+    read_wall_s = time.perf_counter() - start
+    for session in sessions:
+        manager.close(session.id)
+    return {
+        "sessions": n_sessions,
+        "precompute_wall_ms": round(precompute_wall_s * 1e3, 3),
+        "reads": reads,
+        "reads_per_s": round(reads / read_wall_s) if read_wall_s > 0 else 0,
+    }
+
+
+def comparable(baseline: dict | None, report: dict) -> bool:
+    return (
+        baseline is not None
+        and baseline.get("benchmark") == report["benchmark"]
+        and baseline.get("mode") == report["mode"]
+        and baseline.get("rows") == report["rows"]
+    )
+
+
+def gate(report: dict, baseline: dict | None) -> list[str]:
+    failures: list[str] = []
+    speedup = report["speedups"]["precompute"]
+    if not report["identical"]:
+        failures.append(
+            "precomputed payload differs from foreground recomputation"
+        )
+    if speedup < PRECOMPUTE_FLOOR:
+        failures.append(
+            f"precomputed read speedup {speedup:.1f}x below the "
+            f"{PRECOMPUTE_FLOOR}x acceptance floor"
+        )
+    if comparable(baseline, report):
+        base = baseline["speedups"]["precompute"]
+        if speedup < base * TOLERANCE:
+            failures.append(
+                f"precompute speedup {speedup:.1f}x regressed below "
+                f"{TOLERANCE:.0%} of baseline {base:.1f}x"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=50_000,
+                        help="frame size (default 50k)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timed rounds per condition; best is reported")
+    parser.add_argument("--sessions", type=int, default=4,
+                        help="session count for the throughput section")
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke run for CI (20k rows, 2 rounds)")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_service.json"),
+                        help="trajectory artifact path")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
+                        help="committed baseline to gate against")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.rows, args.rounds = 20_000, 2
+
+    with contextlib.ExitStack() as stack:
+        stack.callback(computation_cache.clear)
+        stack.enter_context(config_overlay(precompute_debounce_s=0.0))
+        manager = SessionManager()
+        stack.callback(manager.shutdown)
+
+        cpu_count = os.cpu_count() or 1
+        print(f"service: {args.rows} rows, best of {args.rounds}, "
+              f"{args.sessions} sessions, {cpu_count} cores, "
+              f"{pool.worker_count()} workers")
+
+        cold = measure_cold(manager, args.rows, args.rounds)
+        print(f"  cold_read       : {cold * 1e3:9.1f} ms")
+        warm, identical = measure_precomputed(manager, args.rows, args.rounds)
+        print(f"  precomputed_read: {warm * 1e3:9.3f} ms")
+        multi = measure_multi_session(manager, args.rows, args.sessions)
+        print(f"  multi-session   : {multi['sessions']} sessions precomputed "
+              f"in {multi['precompute_wall_ms']:.0f} ms, "
+              f"{multi['reads_per_s']} store reads/s")
+
+        speedup = cold / warm if warm > 0 else float("inf")
+        report = {
+            "schema": 1,
+            "benchmark": "service",
+            "mode": "quick" if args.quick else "full",
+            "rows": args.rows,
+            "rounds": args.rounds,
+            "cpu_count": cpu_count,
+            "python": platform.python_version(),
+            "timings_ms": {
+                "cold_read": round(cold * 1e3, 3),
+                "precomputed_read": round(warm * 1e3, 3),
+            },
+            "speedups": {"precompute": round(speedup, 1)},
+            "multi_session": multi,
+            "identical": identical,
+        }
+        print(f"  precompute speedup: {speedup:9.1f}x")
+        print(f"  identical         : {identical}")
+
+        args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"  wrote {args.out}")
+
+        if not identical:
+            # Correctness precedes every mode, including --update-baseline.
+            print("  GATE FAILED: precomputed payload differs from "
+                  "foreground recomputation")
+            return 1
+
+        if args.update_baseline:
+            args.baseline.parent.mkdir(parents=True, exist_ok=True)
+            args.baseline.write_text(
+                json.dumps(report, indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"  wrote baseline {args.baseline}")
+            return 0
+
+        baseline = load_baseline(args.baseline)
+        if not comparable(baseline, report):
+            print("  no comparable baseline; gating on absolute floors")
+        failures = gate(report, baseline)
+        for failure in failures:
+            print(f"  GATE FAILED: {failure}")
+        if not failures:
+            print("  all gates passed")
+        return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ Run directly (CI runs ``--quick``)::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import platform
@@ -42,7 +43,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import config
+from repro import config, config_overlay
 from repro.core.executor.cache import computation_cache
 from repro.core.executor.df_exec import DataFrameExecutor
 from repro.dataframe import DataFrame
@@ -229,8 +230,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.quick:
         args.rows, args.rounds = 20_000, 2
 
-    snapshot = config.snapshot()
-    try:
+    with contextlib.ExitStack() as stack:
+        # config_overlay() rolls back every knob the run mutates on exit
+        # (the old hand-rolled snapshot/restore); the cache clear runs
+        # after it, exactly like the old finally block.
+        stack.callback(computation_cache.clear)
+        stack.enter_context(config_overlay())
         if args.workers:
             config.action_pool_workers = args.workers
         workers = max(int(config.action_pool_workers), 1)
@@ -310,9 +315,6 @@ def main(argv: list[str] | None = None) -> int:
         if not failures:
             print("  all gates passed")
         return 1 if failures else 0
-    finally:
-        config.restore(snapshot)
-        computation_cache.clear()
 
 
 if __name__ == "__main__":

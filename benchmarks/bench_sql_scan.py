@@ -33,6 +33,7 @@ Run directly (CI runs ``--quick``)::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import platform
 import sqlite3
@@ -44,7 +45,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from bench_shared_scan import build_candidates, build_frame, load_baseline  # noqa: E402
 
-from repro import config  # noqa: E402
+from repro import config, config_overlay  # noqa: E402
 from repro.core.executor.cache import computation_cache  # noqa: E402
 from repro.core.executor.sql_exec import SQLExecutor  # noqa: E402
 from repro.dataframe import DataFrame  # noqa: E402
@@ -128,8 +129,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.quick:
         args.rows, args.rounds = 20_000, 2
 
-    snapshot = config.snapshot()
-    try:
+    with contextlib.ExitStack() as stack:
+        # config_overlay() rolls back every knob the run mutates on exit
+        # (the old hand-rolled snapshot/restore); the cache clear runs
+        # after it, exactly like the old finally block.
+        stack.callback(computation_cache.clear)
+        stack.enter_context(config_overlay())
         config.sql_batch_execute = True
         frame = build_frame(args.rows)
         candidates = len(build_candidates())
@@ -201,9 +206,6 @@ def main(argv: list[str] | None = None) -> int:
         if not failures:
             print("  all gates passed")
         return 1 if failures else 0
-    finally:
-        config.restore(snapshot)
-        computation_cache.clear()
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ import os
 
 import pytest
 
-from repro import config
+from repro import config_overlay
 
 #: Multiplier applied to every row-count ladder below.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
@@ -27,9 +27,8 @@ COMMUNITIES_ROWS = [scaled(100), scaled(400), scaled(1_600)]
 
 @pytest.fixture(autouse=True)
 def _config_isolation():
-    snapshot = config.snapshot()
-    yield
-    config.restore(snapshot)
+    with config_overlay():
+        yield
 
 
 #: All report blocks are appended here so they survive pytest's capture;

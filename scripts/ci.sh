@@ -33,3 +33,6 @@ python benchmarks/bench_shared_scan.py --quick --out BENCH_shared_scan.json
 
 echo "== sql-scan benchmark gate =="
 python benchmarks/bench_sql_scan.py --quick --out BENCH_sql_scan.json
+
+echo "== service benchmark gate =="
+python benchmarks/bench_service.py --quick --out BENCH_service.json

@@ -24,6 +24,7 @@ from .core import (
     Vis,
     VisList,
     config,
+    config_overlay,
     read_csv,
     register_action,
     remove_action,
@@ -42,6 +43,7 @@ __all__ = [
     "Vis",
     "VisList",
     "config",
+    "config_overlay",
     "dataframe",
     "read_csv",
     "usage_log",

@@ -5,7 +5,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
-from ..core.config import config
+from ..core.config import config, config_overlay
 from ..core.optimizer.scheduler import drain_all
 
 __all__ = ["CONDITIONS", "condition"]
@@ -17,12 +17,11 @@ CONDITIONS = ("no-opt", "wflow", "wflow+prune", "all-opt", "pandas")
 @contextmanager
 def condition(name: str) -> Iterator[None]:
     """Apply a named condition's flag set, restoring config afterwards."""
-    snapshot = config.snapshot()
-    try:
+    with config_overlay():
         config.apply_condition(name)
-        yield
-    finally:
-        # Fence in-flight streaming work so one measured condition cannot
-        # steal CPU from the next.
-        drain_all()
-        config.restore(snapshot)
+        try:
+            yield
+        finally:
+            # Fence in-flight streaming work so one measured condition
+            # cannot steal CPU from the next.
+            drain_all()

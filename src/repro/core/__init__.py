@@ -10,7 +10,7 @@ Public entry points:
 """
 
 from .clause import Clause
-from .config import Config, config
+from .config import Config, config, config_overlay
 from .errors import ExecutorError, IntentError, LuxError, LuxWarning
 from .frame import LuxDataFrame, LuxSeries, read_csv
 from .history import History
@@ -36,6 +36,7 @@ __all__ = [
     "compute_metadata",
     "usage_log",
     "config",
+    "config_overlay",
     "read_csv",
     "register_action",
     "remove_action",

@@ -10,10 +10,27 @@ all-opt / pandas).
 from __future__ import annotations
 
 import os
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator, Mapping
 
-__all__ = ["Config", "config"]
+__all__ = ["Config", "config", "config_overlay", "current_overlay", "thread_overlay"]
+
+#: Per-thread stack of overlay dicts consulted (top first) before the
+#: singleton's own attributes.  Overlays are *reads-only* isolation: they
+#: never touch the shared ``__dict__``, so two threads holding different
+#: overlays see different effective configs concurrently — the mechanism
+#: sessions use to stop clobbering one another's knobs.
+_OVERLAYS = threading.local()
+
+
+def _overlay_stack() -> list[dict[str, Any]]:
+    stack = getattr(_OVERLAYS, "stack", None)
+    if stack is None:
+        stack = []
+        _OVERLAYS.stack = stack
+    return stack
 
 
 @dataclass
@@ -114,6 +131,36 @@ class Config:
     #: Seed for all sampling decisions, for reproducible experiments.
     random_seed: int = 0
 
+    # ------------------------------------------------------------------
+    # Service knobs (repro.service)
+    # ------------------------------------------------------------------
+    #: Byte budget (MiB) for the service's versioned result store; 0
+    #: disables the bound.  Entries are serialized vega-lite payloads, so
+    #: accounting is exact JSON bytes.
+    service_store_budget_mb: int = 32
+
+    #: Seconds the precompute engine waits after a mutation before
+    #: scheduling a background pass, coalescing bursts of edits (a cell
+    #: loop mutating row-by-row triggers one pass, not thousands).
+    precompute_debounce_s: float = 0.05
+
+    #: Master switch for background precomputation; off, the service
+    #: computes recommendations only on demand (foreground).
+    precompute: bool = True
+
+    def __getattribute__(self, name: str) -> Any:
+        # Thread-local overlays shadow instance attributes.  The guard
+        # order keeps the common case (no overlay anywhere) at one
+        # getattr + None test; method lookups fall through because
+        # overlay layers only ever hold field names.
+        if not name.startswith("_"):
+            stack = getattr(_OVERLAYS, "stack", None)
+            if stack:
+                for layer in reversed(stack):
+                    if name in layer:
+                        return layer[name]
+        return object.__getattribute__(self, name)
+
     def apply_condition(self, condition: str) -> None:
         """Set the flag combination for a named benchmark condition.
 
@@ -169,13 +216,85 @@ class Config:
             setattr(self, key, value)
 
     def snapshot(self) -> dict[str, Any]:
-        """Copy of all current settings (for save/restore in tests)."""
+        """Copy of the *base* settings (overlays excluded; save/restore)."""
         return dict(self.__dict__)
 
     def restore(self, snapshot: dict[str, Any]) -> None:
         for key, value in snapshot.items():
             setattr(self, key, value)
 
+    def effective(self) -> dict[str, Any]:
+        """All settings as this thread sees them (base + overlay layers)."""
+        merged = dict(self.__dict__)
+        for layer in _overlay_stack():
+            merged.update(layer)
+        return merged
+
+    def validate_overrides(self, overrides: Mapping[str, Any]) -> dict[str, Any]:
+        """Check override names against the known fields; returns a copy."""
+        unknown = [k for k in overrides if k not in self.__dict__]
+        if unknown:
+            raise ValueError(
+                f"unknown config field(s) {sorted(unknown)}; "
+                f"valid fields: {sorted(self.__dict__)}"
+            )
+        return dict(overrides)
+
 
 #: The process-wide configuration singleton.
 config = Config()
+
+
+def current_overlay() -> dict[str, Any]:
+    """This thread's overlay layers merged into one dict ({} when none).
+
+    The worker pool captures this at submission and re-applies it on the
+    worker (:func:`thread_overlay`), so fan-out work inherits the
+    submitting session's effective config.
+    """
+    merged: dict[str, Any] = {}
+    for layer in _overlay_stack():
+        merged.update(layer)
+    return merged
+
+
+@contextmanager
+def thread_overlay(overrides: Mapping[str, Any]) -> Iterator[None]:
+    """Push a raw overlay layer on this thread only; no global snapshot.
+
+    This is the propagation primitive (pool workers, service passes):
+    unlike :func:`config_overlay` it never reads or writes the singleton's
+    base state, so it is safe on any thread at any time.
+    """
+    stack = _overlay_stack()
+    stack.append(dict(overrides))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+@contextmanager
+def config_overlay(**overrides: Any) -> Iterator[Config]:
+    """Scoped config: overlay ``overrides`` and restore base state on exit.
+
+    The one sanctioned way to run code under modified settings — replaces
+    every hand-rolled ``snapshot()``/``restore()`` pair:
+
+    - ``overrides`` are validated field names, visible only to this thread
+      (and to pool work it submits) for the duration of the block;
+    - direct ``config.field = ...`` mutations *inside* the block hit the
+      shared base state as before, but are rolled back on exit, so tests
+      and benchmarks cannot leak settings;
+    - blocks nest; inner layers win.
+
+    Mutating the base config concurrently from another thread while a
+    block is active is unsupported (same contract the old save/restore
+    idiom had, now stated).
+    """
+    base = config.snapshot()
+    with thread_overlay(config.validate_overrides(overrides)):
+        try:
+            yield config
+        finally:
+            config.restore(base)

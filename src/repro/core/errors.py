@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-__all__ = ["LuxError", "IntentError", "LuxWarning", "ExecutorError"]
+__all__ = [
+    "LuxError",
+    "IntentError",
+    "LuxWarning",
+    "ExecutorError",
+    "PassCancelled",
+]
 
 
 class LuxError(Exception):
@@ -25,6 +31,15 @@ class IntentError(LuxError):
 
 class ExecutorError(LuxError):
     """A visualization could not be processed by the execution engine."""
+
+
+class PassCancelled(LuxError):
+    """A recommendation pass was cancelled before completing.
+
+    Raised cooperatively between actions when a caller-supplied cancel
+    event fires — the service's precompute engine uses it to abandon a
+    pass whose underlying data version has already moved on.
+    """
 
 
 class LuxWarning(UserWarning):

@@ -434,6 +434,12 @@ class ComputationCache:
         This is the expensive half of every group-by; per-key factorizations
         route through :meth:`factorize` so single-column and multi-column
         groupings over the same key share one scan.
+
+        For a linked sample the whole prepared grouping is *derived* from
+        the parent's (slice ``group_ids``, recompact observed codes — see
+        :meth:`_Grouping.from_parent`), so pass 1 builds — and pass 2 then
+        reuses — the full-frame grouping without the sample refactorizing
+        or re-uniquing anything.
         """
         keys = tuple(keys)
         slot = self._slot(frame) if self.enabled else None
@@ -443,9 +449,14 @@ class ComputationCache:
             out = slot._get("groupings", keys)
         if out is not _MISSING:
             return out
-        out = _Grouping(
-            frame, keys, factorize=lambda name: self.factorize(frame, name)
-        )
+        view = self._parent_view(frame)
+        if view is not None:
+            parent, idx = view
+            out = _Grouping.from_parent(self.grouping(parent, keys), idx)
+        else:
+            out = _Grouping(
+                frame, keys, factorize=lambda name: self.factorize(frame, name)
+            )
         return self._store(slot, "groupings", keys, out)
 
     def standardized(self, frame: "DataFrame", name: str) -> np.ndarray | None:

@@ -22,6 +22,7 @@ import weakref
 from typing import Any
 
 from ..dataframe import DataFrame, Series
+from ..dataframe import observe
 from ..dataframe.io import read_csv as _read_csv
 from ..vis.html import render_widget
 from .clause import Clause
@@ -90,13 +91,16 @@ class LuxDataFrame(DataFrame):
         "_intent_clauses",
         "_metadata_cache",
         "_metadata_fresh",
+        "_metadata_version",
         "_recs_cache",
         "_recs_fresh",
+        "_recs_version",
         "_history",
         "_parent_ref",
         "_sample_cache",
         "_exported",
         "_data_version",
+        "_intent_epoch",
     }
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
@@ -114,13 +118,16 @@ class LuxDataFrame(DataFrame):
         object.__setattr__(self, "_intent_clauses", [])
         object.__setattr__(self, "_metadata_cache", None)
         object.__setattr__(self, "_metadata_fresh", False)
+        object.__setattr__(self, "_metadata_version", -1)
         object.__setattr__(self, "_recs_cache", None)
         object.__setattr__(self, "_recs_fresh", False)
+        object.__setattr__(self, "_recs_version", (-1, -1))
         object.__setattr__(self, "_history", History())
         object.__setattr__(self, "_parent_ref", None)
         object.__setattr__(self, "_sample_cache", None)
         object.__setattr__(self, "_exported", [])
         object.__setattr__(self, "_data_version", 0)
+        object.__setattr__(self, "_intent_epoch", 0)
 
     def _init_derived(self, parent: DataFrame | None, op: str) -> None:
         """Propagate Lux state from parent to derived frames (§6, history)."""
@@ -159,6 +166,7 @@ class LuxDataFrame(DataFrame):
         self._sample_cache = None
         self._data_version += 1
         computation_cache.invalidate(self)
+        observe.emit(self, "mutation")
 
     def expire_recommendations(self) -> None:
         self._recs_fresh = False
@@ -183,12 +191,25 @@ class LuxDataFrame(DataFrame):
         validate_intent(clauses, self.metadata)
         self._intent_clauses = clauses
         # Intent changes expire recommendations but not metadata (§8.2).
-        self._recs_fresh = False
+        self._expire_recommendation_state()
         usage_log.record("intent", clauses=[repr(c) for c in clauses])
 
     def clear_intent(self) -> None:
         self._intent_clauses = []
+        self._expire_recommendation_state()
+
+    def _expire_recommendation_state(self) -> None:
+        """Expire recommendations (but not metadata) and signal observers.
+
+        ``_intent_epoch`` is the recommendation-only sibling of
+        ``_data_version``: the service's result store keys on both, so an
+        intent change makes stored payloads unreachable without discarding
+        data-level caches, and the emitted event lets the precompute
+        engine refresh the store in the background.
+        """
         self._recs_fresh = False
+        self._intent_epoch += 1
+        observe.emit(self, "intent")
 
     @property
     def current_vis(self) -> VisList | None:
@@ -209,12 +230,19 @@ class LuxDataFrame(DataFrame):
         if (
             self._metadata_cache is None
             or not self._metadata_fresh
+            or self._metadata_version != self._data_version
             or not config.lazy_maintain
         ):
             self._compute_metadata()
         return self._metadata_cache
 
     def _compute_metadata(self) -> None:
+        # Version-stamp the computation: a background pass may race an
+        # analyst mutating the frame, and without the stamp its late
+        # ``_metadata_fresh = True`` write would resurrect metadata the
+        # mutation already expired (served as current by the next pass).
+        # Freshness holds only if the version never moved while computing.
+        start_version = self._data_version
         overrides = {}
         if self._metadata_cache is not None:
             # Preserve explicit user data-type overrides across refreshes.
@@ -225,7 +253,8 @@ class LuxDataFrame(DataFrame):
                 meta.override(name, data_type)
         meta._overrides = dict(overrides)
         self._metadata_cache = meta
-        self._metadata_fresh = True
+        self._metadata_version = start_version
+        self._metadata_fresh = self._data_version == start_version
 
     def set_data_type(self, types: dict[str, str]) -> None:
         """Override inferred semantic data types (§8.1)."""
@@ -235,7 +264,7 @@ class LuxDataFrame(DataFrame):
         stored = getattr(meta, "_overrides", {})
         stored.update(types)
         meta._overrides = stored
-        self._recs_fresh = False
+        self._expire_recommendation_state()
 
     @property
     def data_types(self) -> dict[str, str]:
@@ -259,6 +288,7 @@ class LuxDataFrame(DataFrame):
         if (
             self._recs_cache is None
             or not self._recs_fresh
+            or self._recs_version != (self._data_version, self._intent_epoch)
             or not config.lazy_maintain
         ):
             self._compute_recommendations()
@@ -272,6 +302,9 @@ class LuxDataFrame(DataFrame):
     def _compute_recommendations(self) -> None:
         from .actions.registry import default_registry
 
+        # Same version-stamping rationale as ``_compute_metadata``: a pass
+        # racing a mutation must not mark its (possibly torn) result fresh.
+        start_version = (self._data_version, self._intent_epoch)
         metadata = self.metadata
         try:
             applicable = default_registry.applicable(self)
@@ -286,7 +319,11 @@ class LuxDataFrame(DataFrame):
             recs = RecommendationSet()
             recs._done.set()
         self._recs_cache = recs
-        self._recs_fresh = True
+        self._recs_version = start_version
+        self._recs_fresh = (
+            self._data_version,
+            self._intent_epoch,
+        ) == start_version
 
     # ------------------------------------------------------------------
     # Widget export (§3)

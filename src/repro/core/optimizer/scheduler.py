@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable
 
 from .. import pool
 from ..config import config
+from ..errors import PassCancelled
 from ..metadata import Metadata
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -126,8 +127,18 @@ def run_actions(
     actions: list["Action"],
     ldf,
     metadata: Metadata,
+    cancel: "threading.Event | None" = None,
 ) -> RecommendationSet:
-    """Execute actions in scheduled order, synchronously or streaming."""
+    """Execute actions in scheduled order, synchronously or streaming.
+
+    ``cancel`` makes the synchronous path cooperatively cancellable: the
+    event is polled between actions and :class:`~repro.core.errors.
+    PassCancelled` is raised the moment it is set, so a background pass
+    whose data version moved on stops after its current action instead of
+    finishing a whole stale pass.  Streaming runs ignore it (their whole
+    point is returning control immediately; staleness is handled by the
+    version checks of whoever consumes the results).
+    """
     ordered = schedule_actions(actions, metadata)
     result = RecommendationSet()
     result._expected = len(ordered)
@@ -137,6 +148,10 @@ def run_actions(
 
     if not config.streaming:
         for action in ordered:
+            if cancel is not None and cancel.is_set():
+                raise PassCancelled(
+                    f"recommendation pass cancelled before {action.name!r}"
+                )
             result._put(action.name, _generate_safely(action, ldf))
         return result
 

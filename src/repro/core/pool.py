@@ -1,26 +1,48 @@
 """The process-wide worker pool shared by every parallel subsystem.
 
-One resizable :class:`~concurrent.futures.ThreadPoolExecutor` serves both
-consumers of background parallelism:
+One resizable :class:`~concurrent.futures.ThreadPoolExecutor` serves every
+consumer of background parallelism:
 
 - the action scheduler streams laggard actions through it
-  (``optimizer/scheduler.py``), and
+  (``optimizer/scheduler.py``),
 - the batch executor fans ``execute_many`` out across filter groups
-  (``executor/df_exec.py``).
+  (``executor/df_exec.py``), and
+- the service's precompute engine schedules whole recommendation passes
+  (``service/precompute.py``).
 
-Unifying them matters: two independent pools would multiply steady-state
-thread count and let one subsystem oversubscribe the host while the other
-idles.  The pool is sized by ``config.action_pool_workers`` and resized
+Unifying them matters: independent pools would multiply steady-state
+thread count and let one subsystem oversubscribe the host while the others
+idle.  The pool is sized by ``config.action_pool_workers`` and resized
 lazily on the next submission after the knob changes.
+
+Fair-share admission
+--------------------
+Work is not handed to the executor's FIFO directly.  Each submission lands
+in a two-band fair queue and workers run *dispatchers* that drain it:
+
+- **Bands**: interactive (default) before background.  Background items —
+  the service's always-on precompute passes — only run while no
+  interactive work is queued, so a print or an API read is never stuck
+  behind another session's speculative pass.
+- **Tags**: within a band, queues are keyed by tag (the service uses the
+  session id) and drained round-robin across tags, so one session
+  enqueueing a hundred items cannot starve a session that enqueued one.
+
+Nested submissions inherit the running item's tag and band through a
+thread-local context, so a pass's internal fan-out stays attributed to its
+session.  Submissions also capture the caller's config overlay
+(:func:`repro.core.config.current_overlay`) and re-apply it on the worker,
+so per-session config isolation survives fan-out.
 
 Resize semantics
 ----------------
 A resize retires the old pool without waiting, so already-running tasks
 drain concurrently with the new pool (transient over-parallelism bounded
-by the old pool's *running* tasks).  Queued-but-unstarted tasks are
-cancelled and re-submitted to the new pool, so no caller is ever stranded
-waiting on work that silently died with a retired pool.  Callers hold a
-stable outer :class:`Future` whose identity survives the hand-off.
+by the old pool's *running* tasks).  Queued-but-unstarted dispatchers are
+cancelled and re-submitted to the new pool — dispatchers are
+interchangeable (each drains exactly one queue item), so no caller is ever
+stranded waiting on work that silently died with a retired pool.  Callers
+hold a stable outer :class:`Future` whose identity survives the hand-off.
 
 Deadlock rule
 -------------
@@ -33,23 +55,81 @@ this and degrade to inline execution instead.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict, deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable
 
-from .config import config
+from .config import config, current_overlay, thread_overlay
 
-__all__ = ["submit", "worker_count", "in_worker", "shutdown"]
+__all__ = ["submit", "worker_count", "in_worker", "shutdown", "stats"]
 
 #: Thread-name prefix identifying pool threads (see :func:`in_worker`).
 _THREAD_PREFIX = "lux-worker"
+
+#: Band indices: interactive drains strictly before background.
+INTERACTIVE, BACKGROUND = 0, 1
 
 _POOL: ThreadPoolExecutor | None = None
 _POOL_SIZE: int = 0
 _LOCK = threading.Lock()
 
-#: Inner future -> wrapped task, for every task not yet started.  A resize
-#: snapshots this map to re-submit whatever the retired pool cancelled.
+#: Inner future -> dispatcher, for every dispatcher not yet started.  A
+#: resize snapshots this map to re-submit whatever the retired pool
+#: cancelled.
 _PENDING: dict[Future, Callable[[], None]] = {}
+
+#: The tag/band the *currently running* work item was submitted under;
+#: nested submissions inherit it so fan-out stays attributed.
+_CONTEXT = threading.local()
+
+
+class _FairQueue:
+    """Two priority bands of per-tag deques with round-robin drain."""
+
+    def __init__(self) -> None:
+        self._bands: tuple[
+            "OrderedDict[str, deque[Callable[[], None]]]", ...
+        ] = (OrderedDict(), OrderedDict())
+
+    def push(self, band: int, tag: str, item: Callable[[], None]) -> None:
+        ring = self._bands[band]
+        bucket = ring.get(tag)
+        if bucket is None:
+            bucket = deque()
+            ring[tag] = bucket
+        bucket.append(item)
+
+    def pop(self) -> Callable[[], None] | None:
+        """Next item: interactive first; round-robin across tags in a band."""
+        for ring in self._bands:
+            while ring:
+                tag, bucket = next(iter(ring.items()))
+                if not bucket:
+                    del ring[tag]
+                    continue
+                item = bucket.popleft()
+                if bucket:
+                    ring.move_to_end(tag)  # rotate: next tag gets a turn
+                else:
+                    del ring[tag]
+                return item
+        return None
+
+    def counts(self) -> tuple[int, int]:
+        return tuple(
+            sum(len(b) for b in ring.values()) for ring in self._bands
+        )  # type: ignore[return-value]
+
+    def tags(self) -> list[str]:
+        seen: list[str] = []
+        for ring in self._bands:
+            for tag in ring:
+                if tag not in seen:
+                    seen.append(tag)
+        return seen
+
+
+_QUEUE = _FairQueue()
 
 
 def worker_count() -> int:
@@ -66,26 +146,72 @@ def in_worker() -> bool:
     return threading.current_thread().name.startswith(_THREAD_PREFIX)
 
 
-def submit(fn: Callable[[], Any]) -> "Future[Any]":
+def current_tag() -> str:
+    """The tag of the work item running on this thread ("" outside one)."""
+    return getattr(_CONTEXT, "tag", "")
+
+
+def submit(
+    fn: Callable[[], Any],
+    tag: str | None = None,
+    background: bool | None = None,
+) -> "Future[Any]":
     """Run ``fn`` on the shared pool; returns a resize-stable future.
 
-    The returned future is completed by whichever pool generation ends up
-    running ``fn``; cancellation of the *inner* task during a resize is
-    invisible to the caller.
+    ``tag`` buckets the item for round-robin fair-share (the service
+    passes the session id); ``background`` demotes it to the band drained
+    only when no interactive work is queued.  Both default to the
+    submitting work item's own values (thread-local context), so nested
+    fan-out inherits its parent's attribution; outside the pool the
+    defaults are ``""`` and interactive.
+
+    The caller's config overlay is captured here and re-applied around
+    ``fn`` on the worker, so per-session settings survive fan-out.  The
+    returned future is completed by whichever pool generation ends up
+    running ``fn``; cancellation of the *inner* dispatcher during a resize
+    is invisible to the caller.  Cancelling the returned future before the
+    item starts prevents ``fn`` from running at all.
     """
+    if tag is None:
+        tag = getattr(_CONTEXT, "tag", "")
+    if background is None:
+        background = bool(getattr(_CONTEXT, "background", False))
+    overlay = current_overlay()
     outer: "Future[Any]" = Future()
 
     def run() -> None:
-        if not outer.set_running_or_notify_cancel():  # pragma: no cover
+        if not outer.set_running_or_notify_cancel():
             return
+        prev_tag = getattr(_CONTEXT, "tag", "")
+        prev_bg = getattr(_CONTEXT, "background", False)
+        _CONTEXT.tag, _CONTEXT.background = tag, background
         try:
-            outer.set_result(fn())
+            with thread_overlay(overlay):
+                outer.set_result(fn())
         except BaseException as exc:
             outer.set_exception(exc)
+        finally:
+            _CONTEXT.tag, _CONTEXT.background = prev_tag, prev_bg
 
     with _LOCK:
-        _submit_locked(run)
+        _QUEUE.push(BACKGROUND if background else INTERACTIVE, tag, run)
+        _submit_locked(_dispatch)
     return outer
+
+
+def _dispatch() -> None:
+    """Drain one item from the fair queue (runs on a pool worker).
+
+    Dispatchers are interchangeable: each submission enqueues one item and
+    one dispatcher, so counts always match and a dispatcher never races an
+    empty queue except transiently during a resize hand-off (where the
+    pop simply returns None and the re-submitted dispatcher finds the
+    item).
+    """
+    with _LOCK:
+        item = _QUEUE.pop()
+    if item is not None:
+        item()
 
 
 def _submit_locked(run: Callable[[], None]) -> None:
@@ -127,6 +253,19 @@ def _retire_locked() -> None:
             inner = _POOL.submit(run)
             _PENDING[inner] = run
             inner.add_done_callback(lambda f: _PENDING.pop(f, None))
+
+
+def stats() -> dict[str, Any]:
+    """Queue/pool introspection for the service's ``/healthz`` endpoint."""
+    with _LOCK:
+        interactive, background = _QUEUE.counts()
+        return {
+            "workers": _POOL_SIZE or worker_count(),
+            "alive": _POOL is not None,
+            "queued_interactive": interactive,
+            "queued_background": background,
+            "queued_tags": _QUEUE.tags(),
+        }
 
 
 def shutdown(wait: bool = True) -> None:

@@ -13,7 +13,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from . import dtypes
+from . import dtypes, observe
 from .column import Column
 from .dtypes import BOOL, DType
 from .index import Index, RangeIndex
@@ -156,10 +156,11 @@ class DataFrame:
     def _notify_mutation(self, op: str) -> None:
         """Hook called after any in-place change; bumps ``_data_version``.
 
-        Subclasses overriding this must keep the version bump (LuxDataFrame
-        does so via its ``_expire`` rules).
+        Subclasses overriding this must keep the version bump and the
+        observer emission (LuxDataFrame does so via its ``_expire`` rules).
         """
         object.__setattr__(self, "_data_version", self._data_version + 1)
+        observe.emit(self, op)
 
     # ------------------------------------------------------------------
     # Core protocol

@@ -121,6 +121,40 @@ class _Grouping:
                 self.n_groups = len(uniq)
         self.valid = self.group_ids >= 0
 
+    @classmethod
+    def from_parent(cls, parent: "_Grouping", indices: np.ndarray) -> "_Grouping":
+        """Derive the grouping of ``frame.iloc[indices]`` from the parent's.
+
+        Slices the parent's ``group_ids`` and recompacts them to the
+        groups observed in the cut — no refactorization of any key column.
+        Bit-identical to building the grouping from parent-sliced
+        factorizations (the executor cache's sample-link path): parent
+        group ids are ordered by label-table order (single key) or sorted
+        code tuples (multi key), and compacting a subset in ascending-id
+        order preserves exactly that order.
+        """
+        out = cls.__new__(cls)
+        out.keys = list(parent.keys)
+        ids = parent.group_ids[np.asarray(indices, dtype=np.int64)]
+        valid = ids >= 0
+        observed = np.zeros(parent.n_groups, dtype=bool)
+        observed[ids[valid]] = True
+        kept = np.flatnonzero(observed)
+        if len(kept) == 0:
+            out.group_ids = -np.ones(len(ids), dtype=np.int64)
+            out.key_values = [[] for _ in out.keys]
+            out.n_groups = 0
+        else:
+            remap = -np.ones(parent.n_groups, dtype=np.int64)
+            remap[kept] = np.arange(len(kept))
+            out.group_ids = np.where(valid, remap[np.where(valid, ids, 0)], -1)
+            out.key_values = [
+                [values[i] for i in kept] for values in parent.key_values
+            ]
+            out.n_groups = len(kept)
+        out.valid = out.group_ids >= 0
+        return out
+
 
 class GroupBy:
     """Deferred group-by over one or more key columns."""

@@ -1,0 +1,100 @@
+"""Mutation observers: subscribe to a frame's content-version bumps.
+
+The substrate keeps cache coherence *pull*-based: every in-place mutation
+bumps ``DataFrame._data_version`` and consumers compare versions on read.
+The always-on service needs a *push* signal too — a background
+precomputation pass must start when the analyst edits the frame, not when
+they next look — so :meth:`DataFrame._notify_mutation` (and
+``LuxDataFrame``'s richer expiry path) additionally emits through this
+registry.
+
+The registry holds frames weakly (by id + weakref, never by hash: frames
+compare elementwise) and drops a frame's callback list the moment the
+frame is collected.  Callbacks run synchronously on the mutating thread
+and must be cheap and non-raising; the service's engine only flips a
+debounce timer here.  Exceptions are contained so a broken observer can
+never turn a dataframe mutation into a crash.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+import weakref
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .frame import DataFrame
+
+__all__ = ["register", "unregister", "emit", "observer_count"]
+
+#: frame id -> (weakref to the frame, ordered callback list).
+_OBSERVERS: dict[int, tuple["weakref.ref", list[Callable[[Any, str], None]]]] = {}
+_LOCK = threading.Lock()
+
+
+def register(
+    frame: "DataFrame", callback: Callable[[Any, str], None]
+) -> Callable[[], None]:
+    """Call ``callback(frame, op)`` after every mutation of ``frame``.
+
+    Returns an unsubscribe function (idempotent).  Registration keeps no
+    strong reference to the frame; when the frame dies the entry
+    disappears with it.
+    """
+    key = id(frame)
+    with _LOCK:
+        entry = _OBSERVERS.get(key)
+        if entry is None or entry[0]() is not frame:
+            ref = weakref.ref(frame, lambda _, k=key: _drop(k))
+            callbacks: list[Callable[[Any, str], None]] = []
+            _OBSERVERS[key] = (ref, callbacks)
+        else:
+            callbacks = entry[1]
+        callbacks.append(callback)
+
+    def unsubscribe() -> None:
+        unregister(frame, callback)
+
+    return unsubscribe
+
+
+def unregister(frame: "DataFrame", callback: Callable[[Any, str], None]) -> None:
+    key = id(frame)
+    with _LOCK:
+        entry = _OBSERVERS.get(key)
+        if entry is None:
+            return
+        callbacks = entry[1]
+        if callback in callbacks:
+            callbacks.remove(callback)
+        if not callbacks:
+            _OBSERVERS.pop(key, None)
+
+
+def _drop(key: int) -> None:
+    with _LOCK:
+        _OBSERVERS.pop(key, None)
+
+
+def observer_count(frame: "DataFrame") -> int:
+    with _LOCK:
+        entry = _OBSERVERS.get(id(frame))
+        return len(entry[1]) if entry is not None and entry[0]() is frame else 0
+
+
+def emit(frame: "DataFrame", op: str) -> None:
+    """Notify ``frame``'s observers; cheap no-op when none are registered."""
+    entry = _OBSERVERS.get(id(frame))
+    if entry is None:
+        return
+    with _LOCK:
+        entry = _OBSERVERS.get(id(frame))
+        if entry is None or entry[0]() is not frame:
+            return
+        callbacks = list(entry[1])
+    for callback in callbacks:
+        try:
+            callback(frame, op)
+        except Exception as exc:  # observers must never break mutations
+            warnings.warn(f"mutation observer failed: {exc}", RuntimeWarning)

@@ -1,0 +1,41 @@
+"""The always-on recommendation service (multi-session server mode).
+
+Turns the library into a server: sessions isolate analysts (own frame,
+history, frozen config overlay), a background engine precomputes
+recommendation passes on every mutation so results are ready *before* the
+analyst looks, a versioned byte-budgeted store makes the read path a
+dictionary lookup, and a stdlib HTTP JSON API exposes the whole thing.
+
+Quickstart (in-process)::
+
+    from repro.service import SessionManager
+
+    manager = SessionManager()
+    session = manager.create(frame, overrides={"top_k": 5})
+    session.frame["derived"] = session.frame["a"] * 2   # triggers precompute
+    manager.engine.wait_idle()
+    response = session.recommendations()                # store hit: no executor
+    assert response["freshness"]["origin"] == "precompute"
+
+Quickstart (HTTP)::
+
+    PYTHONPATH=src python -m repro.service.http_api --port 8080
+    curl -X POST localhost:8080/sessions -d '{"dataset": "hpi"}'
+    curl localhost:8080/sessions/<id>/recommendations
+    curl localhost:8080/healthz
+"""
+
+from .http_api import ServiceServer, make_server
+from .precompute import PrecomputeEngine
+from .session import Session, SessionManager, serialize_recommendations
+from .store import ResultStore
+
+__all__ = [
+    "PrecomputeEngine",
+    "ResultStore",
+    "ServiceServer",
+    "Session",
+    "SessionManager",
+    "make_server",
+    "serialize_recommendations",
+]

@@ -1,0 +1,329 @@
+"""Stdlib-only HTTP JSON API over the recommendation service.
+
+No framework, no new dependencies: :class:`http.server.ThreadingHTTPServer`
+with one handler class routing a small REST surface onto a
+:class:`~repro.service.session.SessionManager`.
+
+Endpoints
+---------
+``POST /sessions``
+    Create a session.  JSON body fields: ``dataset`` (a bundled generator:
+    hpi | airbnb | covid | communities) *or* ``csv`` (inline CSV text);
+    optional ``rows`` (airbnb size), ``config`` (per-session overlay, e.g.
+    ``{"top_k": 5}``), ``intent``.  Returns the session info.
+``GET /sessions`` / ``GET /sessions/{id}``
+    List session ids / one session's info.
+``POST /sessions/{id}/intent``
+    Body ``{"intent": [...]}`` (empty/null clears).  Steers the session
+    and re-arms its background pass.
+``GET /sessions/{id}/recommendations[?action=Enhance]``
+    Specs + scores + freshness.  Served from the versioned store when the
+    precompute engine already ran at the current version (``freshness.
+    origin == "precompute"``), computed in the foreground otherwise.
+``DELETE /sessions/{id}``
+    Close the session, freeing its store entries and watches.
+``GET /healthz``
+    Liveness + pool / computation-cache / store / engine statistics.
+
+Run standalone::
+
+    PYTHONPATH=src python -m repro.service.http_api --port 8080
+
+or embed: ``server = make_server(manager, port=0); server.serve_background()``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import parse_qsl
+
+from ..core import pool
+from ..core.errors import LuxError
+from ..core.executor.cache import computation_cache
+from ..dataframe.io import read_csv_string
+from .session import SessionManager
+
+__all__ = ["ServiceServer", "make_server", "main"]
+
+def _datasets() -> dict[str, Callable[..., Any]]:
+    """Bundled dataset name -> generator taking an optional row cap."""
+    from ..data import (
+        make_airbnb,
+        make_communities,
+        make_covid_stringency,
+        make_hpi,
+    )
+
+    def airbnb(rows: int | None = None) -> Any:
+        return make_airbnb(n_rows=int(rows or 10_000))
+
+    def wrap(maker: Callable[[], Any]) -> Callable[..., Any]:
+        def build(rows: int | None = None) -> Any:
+            frame = maker()
+            if rows and len(frame) > int(rows):
+                frame = frame.head(int(rows))
+            return frame
+
+        return build
+
+    return {
+        "hpi": wrap(make_hpi),
+        "covid": wrap(make_covid_stringency),
+        "communities": wrap(make_communities),
+        "airbnb": airbnb,
+    }
+
+
+_SESSION_PATH = re.compile(r"^/sessions/([0-9a-zA-Z_-]+)(/[a-z_]+)?$")
+
+
+class _ApiError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request onto the server's SessionManager."""
+
+    server: "ServiceServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: dict[str, Any]) -> None:
+        # Keep-alive discipline: any declared request body must be fully
+        # consumed before the response, or its bytes would be parsed as
+        # the connection's next request line (error paths can respond
+        # before the route ever called _body()).
+        self._read_body_bytes()
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_body_bytes(self) -> bytes:
+        """The raw request body, read exactly once per request."""
+        cached = getattr(self, "_body_cache", None)
+        if cached is None:
+            length = int(self.headers.get("Content-Length") or 0)
+            cached = self.rfile.read(length) if length else b""
+            self._body_cache = cached
+        return cached
+
+    def _body(self) -> dict[str, Any]:
+        raw = self._read_body_bytes()
+        if not raw:
+            return {}
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            raise _ApiError(400, "request body is not valid JSON") from None
+        if not isinstance(parsed, dict):
+            raise _ApiError(400, "request body must be a JSON object")
+        return parsed
+
+    def _route(self, method: str) -> None:
+        # One handler instance serves every request on a keep-alive
+        # connection; the body cache is strictly per-request state.
+        self._body_cache = None
+        try:
+            handler, args = self._resolve(method)
+            self._send(*handler(*args))
+        except _ApiError as exc:
+            self._send(exc.status, {"error": str(exc)})
+        except KeyError as exc:
+            self._send(404, {"error": str(exc.args[0]) if exc.args else "not found"})
+        except (LuxError, ValueError) as exc:
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # never let a bug kill the connection
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _resolve(self, method: str) -> tuple[Callable[..., Any], tuple]:
+        path, _, query = self.path.partition("?")
+        params = _parse_query(query)
+        if path == "/healthz" and method == "GET":
+            return self._healthz, ()
+        if path == "/sessions":
+            if method == "GET":
+                return self._list_sessions, ()
+            if method == "POST":
+                return self._create_session, ()
+        match = _SESSION_PATH.match(path)
+        if match:
+            session_id, sub = match.group(1), match.group(2)
+            if sub is None:
+                if method == "GET":
+                    return self._session_info, (session_id,)
+                if method == "DELETE":
+                    return self._close_session, (session_id,)
+            elif sub == "/intent" and method == "POST":
+                return self._set_intent, (session_id,)
+            elif sub == "/recommendations" and method == "GET":
+                return self._recommendations, (session_id, params)
+        raise _ApiError(404, f"no route for {method} {path}")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._route("DELETE")
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _healthz(self) -> tuple[int, dict[str, Any]]:
+        manager = self.server.manager
+        return 200, {
+            "status": "ok",
+            "pool": pool.stats(),
+            "computation_cache": computation_cache.stats(),
+            **manager.stats(),
+        }
+
+    def _list_sessions(self) -> tuple[int, dict[str, Any]]:
+        return 200, {"sessions": self.server.manager.ids()}
+
+    def _create_session(self) -> tuple[int, dict[str, Any]]:
+        body = self._body()
+        dataset = body.get("dataset")
+        csv_text = body.get("csv")
+        if bool(dataset) == bool(csv_text):
+            raise _ApiError(
+                400, "provide exactly one of 'dataset' or 'csv'"
+            )
+        if dataset:
+            makers = _datasets()
+            if dataset not in makers:
+                raise _ApiError(
+                    404,
+                    f"unknown dataset {dataset!r}; "
+                    f"available: {sorted(makers)}",
+                )
+            frame = makers[dataset](body.get("rows"))
+        else:
+            from ..core.frame import LuxDataFrame
+
+            frame = read_csv_string(str(csv_text), frame_cls=LuxDataFrame)
+        session = self.server.manager.create(
+            frame,
+            overrides=body.get("config"),
+            intent=body.get("intent"),
+        )
+        return 201, session.info()
+
+    def _session_info(self, session_id: str) -> tuple[int, dict[str, Any]]:
+        return 200, self.server.manager.get(session_id).info()
+
+    def _close_session(self, session_id: str) -> tuple[int, dict[str, Any]]:
+        if not self.server.manager.close(session_id):
+            raise _ApiError(404, f"no such session: {session_id!r}")
+        return 200, {"closed": session_id}
+
+    def _set_intent(self, session_id: str) -> tuple[int, dict[str, Any]]:
+        session = self.server.manager.get(session_id)
+        session.set_intent(self._body().get("intent"))
+        return 200, session.info()
+
+    def _recommendations(
+        self, session_id: str, params: dict[str, str]
+    ) -> tuple[int, dict[str, Any]]:
+        session = self.server.manager.get(session_id)
+        action = params.get("action")
+        try:
+            response = session.recommendations(action=action)
+        except KeyError:
+            raise _ApiError(404, f"no such action: {action!r}") from None
+        return 200, response
+
+
+def _parse_query(query: str) -> dict[str, str]:
+    return dict(parse_qsl(query))
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one SessionManager."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.manager = manager
+        self.verbose = verbose
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_background(self) -> "ServiceServer":
+        """Serve on a daemon thread (tests, notebooks); returns self."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="lux-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+def make_server(
+    manager: SessionManager | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ServiceServer:
+    """Build a server (port 0 picks an ephemeral port; see ``.address``)."""
+    return ServiceServer(manager or SessionManager(), host, port, verbose)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Always-on recommendation service (stdlib HTTP JSON API)"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    server = make_server(host=args.host, port=args.port, verbose=args.verbose)
+    print(f"serving on {server.address} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.manager.shutdown()
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,247 @@
+"""Background precomputation: the paper's always-on promise, made literal.
+
+The engine subscribes to each watched session's frame through
+``repro.dataframe.observe`` (fired by ``DataFrame._notify_mutation`` /
+``LuxDataFrame._expire`` on every ``_data_version`` bump, and by intent
+changes).  A mutation arms a debounce timer; when it fires, a full
+recommendation pass is submitted to the shared worker pool **tagged with
+the session id and demoted to the background band**, so precompute work
+round-robins fairly across sessions and never delays interactive prints
+or API reads.
+
+Scheduling discipline per session:
+
+- **Debounce** (``config.precompute_debounce_s``): a burst of mutations
+  (a loop writing row-by-row) coalesces into one pass.
+- **In-flight dedup**: while a pass for the current version is queued or
+  running, further triggers at that version are no-ops.
+- **Stale cancellation**: when the version moves, the superseded pass is
+  cancelled — before start via ``Future.cancel``, mid-run cooperatively
+  via the cancel event ``run_actions`` polls between actions
+  (:class:`~repro.core.errors.PassCancelled`) — and a fresh pass is
+  scheduled.
+
+A completed pass lands in the :class:`~repro.service.store.ResultStore`
+keyed on the version it computed — *only* if that version is still
+current, so the store can never be populated with results for data that
+no longer exists.  The frame's own memoized recommendation cache is
+refreshed under the same guard, making in-process prints free too.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+from typing import TYPE_CHECKING, Any
+
+from ..core import pool
+from ..core.actions.registry import default_registry
+from ..core.config import config
+from ..core.errors import LuxWarning, PassCancelled
+from ..core.optimizer.scheduler import run_actions
+from ..dataframe import observe
+from .session import serialize_recommendations
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .session import Session
+    from .store import ResultStore
+
+__all__ = ["PrecomputeEngine"]
+
+
+class _Inflight:
+    __slots__ = ("version", "future", "cancel")
+
+    def __init__(self, version: tuple, future: Any, cancel: threading.Event):
+        self.version = version
+        self.future = future
+        self.cancel = cancel
+
+
+class PrecomputeEngine:
+    """Schedules and runs background recommendation passes per session."""
+
+    def __init__(
+        self, store: "ResultStore", debounce_s: float | None = None
+    ) -> None:
+        self.store = store
+        self._debounce_override = debounce_s
+        self._lock = threading.Lock()
+        self._unsubscribe: dict[str, Any] = {}
+        self._timers: dict[str, threading.Timer] = {}
+        self._inflight: dict[str, _Inflight] = {}
+        self._counters = {
+            "scheduled": 0,
+            "completed": 0,
+            "cancelled": 0,
+            "stale": 0,
+            "failed": 0,
+        }
+
+    def debounce_s(self) -> float:
+        if self._debounce_override is not None:
+            return self._debounce_override
+        return max(float(config.precompute_debounce_s), 0.0)
+
+    # ------------------------------------------------------------------
+    # Watch / unwatch
+    # ------------------------------------------------------------------
+    def watch(self, session: "Session") -> None:
+        """Schedule a pass after every future mutation of the session frame."""
+        with self._lock:
+            if session.id in self._unsubscribe:
+                return
+
+            def on_mutation(_frame: Any, _op: str, s: "Session" = session) -> None:
+                if config.precompute:
+                    self.schedule(s)
+
+            self._unsubscribe[session.id] = observe.register(
+                session.frame, on_mutation
+            )
+
+    def unwatch(self, session: "Session") -> None:
+        with self._lock:
+            unsubscribe = self._unsubscribe.pop(session.id, None)
+            timer = self._timers.pop(session.id, None)
+            inflight = self._inflight.pop(session.id, None)
+        if unsubscribe is not None:
+            unsubscribe()
+        if timer is not None:
+            timer.cancel()
+        if inflight is not None:
+            inflight.cancel.set()
+            inflight.future.cancel()
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, session: "Session", immediate: bool = False) -> None:
+        """Arm (or re-arm) the session's debounce; submit when it fires."""
+        delay = 0.0 if immediate else self.debounce_s()
+        with self._lock:
+            pending = self._timers.pop(session.id, None)
+        if pending is not None:
+            pending.cancel()
+        if delay <= 0:
+            self._submit(session)
+            return
+        timer = threading.Timer(delay, self._submit, args=(session,))
+        timer.daemon = True
+        with self._lock:
+            self._timers[session.id] = timer
+        timer.start()
+
+    def _submit(self, session: "Session") -> None:
+        with self._lock:
+            self._timers.pop(session.id, None)
+            version = session.version
+            inflight = self._inflight.get(session.id)
+            if inflight is not None and not inflight.future.done():
+                if inflight.version == version:
+                    return  # dedup: same state already queued/running
+                # Stale: the version moved while a pass was in flight.
+                inflight.cancel.set()
+                inflight.future.cancel()
+                self._counters["cancelled"] += 1
+            cancel = threading.Event()
+            future = pool.submit(
+                lambda: self._run_pass(session, version, cancel),
+                tag=session.id,
+                background=True,
+            )
+            self._inflight[session.id] = _Inflight(version, future, cancel)
+            self._counters["scheduled"] += 1
+
+    # ------------------------------------------------------------------
+    # The pass itself (runs on a pool worker, background band)
+    # ------------------------------------------------------------------
+    def _run_pass(
+        self, session: "Session", version: tuple, cancel: threading.Event
+    ) -> str:
+        """One full recommendation pass for ``session`` at ``version``."""
+        if cancel.is_set() or session.version != version:
+            self._counters["stale"] += 1
+            return "stale"
+        with session.lock:
+            if cancel.is_set() or session.version != version:
+                self._counters["stale"] += 1
+                return "stale"
+            frame = session.frame
+            try:
+                with session.overlay():
+                    metadata = frame.metadata
+                    applicable = default_registry.applicable(frame)
+                    recs = run_actions(applicable, frame, metadata, cancel=cancel)
+                    payloads = serialize_recommendations(recs)
+            except PassCancelled:
+                self._counters["cancelled"] += 1
+                return "cancelled"
+            except Exception as exc:
+                self._counters["failed"] += 1
+                warnings.warn(f"precompute pass failed: {exc}", LuxWarning)
+                return "failed"
+            if cancel.is_set() or session.version != version:
+                # Cancelled late (e.g. the session closed mid-pass — its
+                # store entries were already dropped and must not be
+                # re-inserted) or completed against data that no longer
+                # exists (the mutation's own trigger scheduled a redo).
+                self._counters["stale"] += 1
+                return "stale"
+            if not session.overrides:
+                # Refresh the frame's memoized set so in-process prints
+                # are free — but only when the session runs under stock
+                # config: overlay-shaped results (say top_k=5) must not
+                # masquerade as the frame's plain recommendations to
+                # non-service readers holding the adopted frame.
+                frame._recs_cache = recs
+                frame._recs_version = version
+                frame._recs_fresh = True
+            self.store.put_pass(session.id, version, payloads, origin="precompute")
+            self._counters["completed"] += 1
+            return "completed"
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        """Block until no timer is armed and no pass is in flight."""
+        end = time.monotonic() + timeout
+        while time.monotonic() < end:
+            with self._lock:
+                busy = bool(self._timers) or any(
+                    not i.future.done() for i in self._inflight.values()
+                )
+            if not busy:
+                return True
+            time.sleep(0.005)
+        return False
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "watched": len(self._unsubscribe),
+                "timers_armed": len(self._timers),
+                "in_flight": sum(
+                    1 for i in self._inflight.values() if not i.future.done()
+                ),
+                **self._counters,
+            }
+
+    def close(self) -> None:
+        """Cancel all timers and in-flight passes, drop all watches."""
+        with self._lock:
+            unsubs = list(self._unsubscribe.values())
+            timers = list(self._timers.values())
+            inflight = list(self._inflight.values())
+            self._unsubscribe.clear()
+            self._timers.clear()
+            self._inflight.clear()
+        for unsubscribe in unsubs:
+            unsubscribe()
+        for timer in timers:
+            timer.cancel()
+        for item in inflight:
+            item.cancel.set()
+            item.future.cancel()

@@ -1,0 +1,331 @@
+"""Session registry: one analyst, one dataframe, one config overlay.
+
+A :class:`Session` is the unit of isolation in the recommendation service.
+It owns a :class:`~repro.core.frame.LuxDataFrame` (with its history and
+intent), a *frozen* per-session config overlay applied around every pass
+through :func:`~repro.core.config.config_overlay` — ending the era of
+sessions clobbering the module-level singleton — and a version handle
+``(data_version, intent_epoch)`` that keys everything derived from the
+frame's current state.
+
+Reads go store-first: :meth:`Session.recommendations` returns straight
+from the :class:`~repro.service.store.ResultStore` when the background
+precompute engine already ran a pass at the current version (a dictionary
+lookup — zero executor work), and falls back to a synchronous foreground
+pass that back-fills the store otherwise.
+
+:class:`SessionManager` wires the three service pieces together (registry,
+store, precompute engine) and is what the HTTP API holds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..core.config import config, thread_overlay
+from ..core.frame import LuxDataFrame
+from ..dataframe import DataFrame
+from ..vis.vegalite import spec_payload
+from .store import MANIFEST
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .precompute import PrecomputeEngine
+    from .store import ResultStore
+
+__all__ = ["Session", "SessionManager", "serialize_recommendations"]
+
+
+def serialize_recommendations(recs: Any) -> dict[str, Any]:
+    """RecommendationSet -> per-action JSON payloads (the wire format).
+
+    Shared by the foreground read path and the precompute engine so a
+    store entry is byte-identical no matter which path produced it.
+    """
+    payloads: dict[str, Any] = {}
+    for name in recs.keys():
+        vislist = recs[name]
+        payloads[name] = {
+            "count": len(vislist),
+            "specs": [
+                spec_payload(vis.spec, vis.score)
+                for vis in vislist
+                if vis.spec is not None
+            ],
+        }
+    return payloads
+
+
+class Session:
+    """One analyst's live context inside the service."""
+
+    def __init__(
+        self,
+        session_id: str,
+        frame: LuxDataFrame,
+        overrides: Mapping[str, Any] | None = None,
+        store: "ResultStore | None" = None,
+    ) -> None:
+        self.id = session_id
+        self.frame = frame
+        #: Frozen at creation; every pass for this session runs under it.
+        self.overrides: dict[str, Any] = config.validate_overrides(
+            overrides or {}
+        )
+        self.store = store
+        self.created_at = time.time()
+        #: Serializes this session's passes (foreground vs background) so
+        #: two passes never interleave writes to the frame's memoized
+        #: metadata/recommendation state.
+        self.lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> tuple[int, int]:
+        """The state everything derived from this session is keyed on."""
+        return (
+            getattr(self.frame, "_data_version", 0),
+            getattr(self.frame, "_intent_epoch", 0),
+        )
+
+    def overlay(self, **extra: Any):
+        """This session's config scope (overrides + pass-time settings).
+
+        Streaming is forced off inside service passes: the service's
+        always-on path *is* the background mechanism, and a pass must be
+        complete when it lands in the store.
+
+        Built on :func:`thread_overlay`, not :func:`config_overlay`:
+        session passes run concurrently on worker threads and never
+        mutate base config, so the global snapshot/restore half of
+        ``config_overlay`` would only add a hazard (a pass exiting could
+        revert a base mutation another thread made mid-pass).  The
+        overrides were validated at session creation.
+        """
+        merged = dict(self.overrides)
+        merged["streaming"] = False
+        merged.update(extra)
+        return thread_overlay(merged)
+
+    # ------------------------------------------------------------------
+    def set_intent(self, intent: Any) -> None:
+        """Set (or clear with None/[]) the frame's intent, session-scoped."""
+        with self.lock, self.overlay():
+            if intent:
+                self.frame.intent = intent
+            else:
+                self.frame.clear_intent()
+
+    @property
+    def intent(self) -> list[Any]:
+        return self.frame.intent
+
+    # ------------------------------------------------------------------
+    def recommendations(
+        self, action: str | None = None, compute: bool = True
+    ) -> dict[str, Any] | None:
+        """Recommendations at the frame's current version, store-first.
+
+        Returns a response dict with per-action payloads and freshness
+        provenance.  When the store holds a complete pass at the current
+        version the call performs no executor work at all; otherwise (and
+        only when ``compute`` is True) a foreground pass runs under this
+        session's overlay and back-fills the store.  ``action`` narrows
+        the response to one action (``KeyError`` when no such action
+        exists for this frame); ``compute=False`` returns None on a store
+        miss (the probe the benchmarks and tests use).
+        """
+        version = self.version
+        if action is not None:
+            # A completed pass knows its action set: reject unknown names
+            # without burning a foreground recomputation per request.
+            manifest = (
+                self.store.get(self.id, version, MANIFEST)
+                if self.store is not None
+                else None
+            )
+            if manifest is not None and action not in manifest["payload"]:
+                raise KeyError(f"no such action: {action!r}")
+        stored = self._read_store(version, action)
+        if stored is not None:
+            return stored
+        if not compute:
+            return None
+        self._compute_foreground(version)
+        stored = self._read_store(self.version, action)
+        if stored is not None:
+            return stored
+        # Store rejected the payload (budget) or the frame mutated while
+        # computing: respond from the freshly memoized pass directly.
+        payloads = self._serialize_current()
+        if action is not None:
+            if action not in payloads:
+                raise KeyError(f"no such action: {action!r}")
+            payloads = {action: payloads[action]}
+        return self._respond(self.version, payloads, origin="foreground")
+
+    def _read_store(
+        self, version: tuple[int, int], action: str | None
+    ) -> dict[str, Any] | None:
+        if self.store is None:
+            return None
+        if action is not None:
+            record = self.store.get(self.id, version, action)
+            if record is None:
+                return None
+            records = {action: record}
+        else:
+            records = self.store.get_pass(self.id, version)
+            if records is None:
+                return None
+        origin = next(iter(records.values()))["origin"]
+        payloads = {name: r["payload"] for name, r in records.items()}
+        oldest = min(r["computed_at"] for r in records.values())
+        return self._respond(version, payloads, origin=origin, computed_at=oldest)
+
+    def _respond(
+        self,
+        version: tuple[int, int],
+        payloads: dict[str, Any],
+        origin: str,
+        computed_at: float | None = None,
+    ) -> dict[str, Any]:
+        return {
+            "session": self.id,
+            "data_version": list(version),
+            "actions": payloads,
+            "freshness": {
+                "origin": origin,
+                "age_s": round(time.time() - (computed_at or time.time()), 3),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def _compute_foreground(self, version: tuple[int, int]) -> None:
+        """Synchronous pass under the session overlay; back-fills the store."""
+        with self.lock, self.overlay():
+            # The property path memoizes on the frame and carries the
+            # repr's failproofing (a broken action yields an empty tab).
+            self.frame.recommendations
+            payloads = self._serialize_current()
+            if self.store is not None and self.version == version:
+                self.store.put_pass(
+                    self.id, version, payloads, origin="foreground"
+                )
+
+    def _serialize_current(self) -> dict[str, Any]:
+        """Serialize the frame's memoized recommendation set per action."""
+        return serialize_recommendations(self.frame.recommendations)
+
+    # ------------------------------------------------------------------
+    def info(self) -> dict[str, Any]:
+        return {
+            "session": self.id,
+            "rows": len(self.frame),
+            "columns": self.frame.columns,
+            "data_version": list(self.version),
+            "intent": [repr(c) for c in self.frame.intent],
+            "overrides": dict(self.overrides),
+            "created_at": self.created_at,
+            "history_length": len(self.frame.history),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Session {self.id} rows={len(self.frame)} "
+            f"version={self.version} overrides={self.overrides}>"
+        )
+
+
+class SessionManager:
+    """The service's root object: registry + store + precompute engine."""
+
+    def __init__(
+        self,
+        store: "ResultStore | None" = None,
+        engine: "PrecomputeEngine | None" = None,
+    ) -> None:
+        from .precompute import PrecomputeEngine
+        from .store import ResultStore
+
+        self.store = store if store is not None else ResultStore()
+        self.engine = (
+            engine if engine is not None else PrecomputeEngine(self.store)
+        )
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        data: DataFrame | LuxDataFrame,
+        overrides: Mapping[str, Any] | None = None,
+        intent: Any = None,
+        session_id: str | None = None,
+    ) -> Session:
+        """Register a new session; schedules its first always-on pass.
+
+        Plain frames are wrapped into :class:`LuxDataFrame` (copying —
+        sessions own their data); LuxDataFrames are adopted as-is so an
+        in-process caller keeps a live handle for mutations.
+        """
+        if not isinstance(data, LuxDataFrame):
+            frame = LuxDataFrame({name: data[name] for name in data.columns})
+        else:
+            frame = data
+        session = Session(
+            session_id or uuid.uuid4().hex[:12],
+            frame,
+            overrides=overrides,
+            store=self.store,
+        )
+        with self._lock:
+            if session.id in self._sessions:
+                raise ValueError(f"session id {session.id!r} already exists")
+            self._sessions[session.id] = session
+        if intent:
+            session.set_intent(intent)
+        # Always-on: start computing before the analyst first looks.
+        self.engine.watch(session)
+        if config.precompute:
+            self.engine.schedule(session, immediate=True)
+        return session
+
+    def get(self, session_id: str) -> Session:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise KeyError(f"no such session: {session_id!r}")
+        return session
+
+    def close(self, session_id: str) -> bool:
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            return False
+        self.engine.unwatch(session)
+        self.store.drop_session(session_id)
+        return True
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return list(self._sessions)
+
+    def sessions(self) -> list[Session]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def shutdown(self) -> None:
+        """Close every session and stop the engine's timers."""
+        for session_id in self.ids():
+            self.close(session_id)
+        self.engine.close()
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "sessions": len(self.ids()),
+            "store": self.store.stats(),
+            "precompute": self.engine.stats(),
+        }

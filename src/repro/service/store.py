@@ -1,0 +1,182 @@
+"""Versioned recommendation result store: the always-on read path.
+
+Holds serialized vega-lite payloads keyed on ``(session, version, action)``
+where ``version`` is the frame's ``(_data_version, _intent_epoch)`` pair.
+When the background precompute engine wins the race against the analyst's
+next look, a read is a dictionary lookup; when it loses (or an entry was
+evicted), the caller falls back to a foreground pass and back-fills the
+store.
+
+Staleness is impossible by construction, not by invalidation: readers key
+their lookup on the frame's *current* version, so entries recorded at any
+older version are simply unreachable (the same contract the executor's
+computation cache uses).  Old entries age out of the byte-budgeted LRU
+instead of being chased by invalidation hooks; closing a session drops its
+entries eagerly.
+
+The store is byte-budgeted (``config.service_store_budget_mb``) with exact
+accounting — every payload is measured as its serialized JSON byte length
+at insertion (payloads are JSON-safe by contract; see
+``repro.vis.vegalite.spec_payload``).  Entries whose size alone exceeds
+the whole budget are rejected rather than stored: caching one would evict
+everything else and then be evicted itself.
+
+A *pass* (all actions computed against one version) is stored atomically:
+per-action entries plus a manifest listing the action names, so a
+whole-dashboard read can distinguish "pass complete" from "some actions
+evicted" and recompute only in the latter case.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Mapping
+
+from ..core.config import config
+
+__all__ = ["ResultStore"]
+
+#: Reserved pseudo-action naming the per-(session, version) manifest.
+MANIFEST = "_manifest"
+
+
+class _Entry:
+    __slots__ = ("payload", "origin", "computed_at", "nbytes")
+
+    def __init__(self, payload: Any, origin: str, nbytes: int) -> None:
+        self.payload = payload
+        self.origin = origin
+        self.computed_at = time.time()
+        self.nbytes = nbytes
+
+
+class ResultStore:
+    """Byte-budgeted LRU over serialized recommendation payloads."""
+
+    def __init__(self, budget_bytes: int | None = None) -> None:
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._budget_override = budget_bytes
+        self._nbytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def budget_bytes(self) -> int:
+        """The active byte budget; 0 means unbounded."""
+        if self._budget_override is not None:
+            return self._budget_override
+        return max(int(config.service_store_budget_mb), 0) << 20
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(session_id: str, version: tuple, action: str) -> tuple:
+        return (session_id, tuple(version), action)
+
+    def put(
+        self,
+        session_id: str,
+        version: tuple,
+        action: str,
+        payload: Any,
+        origin: str = "precompute",
+    ) -> bool:
+        """Insert one action's payload; False when it alone busts the budget."""
+        nbytes = len(json.dumps(payload, separators=(",", ":")))
+        budget = self.budget_bytes()
+        if budget and nbytes > budget:
+            return False
+        entry = _Entry(payload, origin, nbytes)
+        key = self._key(session_id, version, action)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._nbytes -= old.nbytes
+            self._entries[key] = entry
+            self._nbytes += nbytes
+            if budget:
+                while self._nbytes > budget and len(self._entries) > 1:
+                    _, evicted = self._entries.popitem(last=False)
+                    self._nbytes -= evicted.nbytes
+                    self._evictions += 1
+        return True
+
+    def put_pass(
+        self,
+        session_id: str,
+        version: tuple,
+        payloads: Mapping[str, Any],
+        origin: str = "precompute",
+    ) -> None:
+        """Store a whole pass: one entry per action plus the manifest."""
+        for action, payload in payloads.items():
+            self.put(session_id, version, action, payload, origin=origin)
+        self.put(
+            session_id, version, MANIFEST, list(payloads.keys()), origin=origin
+        )
+
+    def get(
+        self, session_id: str, version: tuple, action: str
+    ) -> dict[str, Any] | None:
+        """One action's stored record at exactly ``version``, or None.
+
+        The returned dict wraps the payload with provenance (``origin``,
+        ``computed_at``) so the API can report freshness.
+        """
+        key = self._key(session_id, version, action)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return {
+                "payload": entry.payload,
+                "origin": entry.origin,
+                "computed_at": entry.computed_at,
+            }
+
+    def get_pass(
+        self, session_id: str, version: tuple
+    ) -> dict[str, dict[str, Any]] | None:
+        """All actions of a completed pass at ``version``; None on any gap."""
+        manifest = self.get(session_id, version, MANIFEST)
+        if manifest is None:
+            return None
+        out: dict[str, dict[str, Any]] = {}
+        for action in manifest["payload"]:
+            record = self.get(session_id, version, action)
+            if record is None:  # evicted under byte pressure
+                return None
+            out[action] = record
+        return out
+
+    # ------------------------------------------------------------------
+    def drop_session(self, session_id: str) -> int:
+        """Eagerly free every entry of a closed session."""
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == session_id]
+            for key in doomed:
+                self._nbytes -= self._entries.pop(key).nbytes
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._nbytes = 0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._nbytes,
+                "budget_bytes": self.budget_bytes(),
+                "sessions": len({k[0] for k in self._entries}),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

@@ -1,4 +1,11 @@
-"""VisSpec -> Vega-Lite v5 JSON dict."""
+"""VisSpec -> Vega-Lite v5 JSON dict, plus wire-safe payloads.
+
+:func:`to_vegalite` builds the chart spec for notebook/HTML rendering;
+:func:`spec_payload` wraps it into the fully JSON-serializable record the
+recommendation service stores and serves (deep-sanitized via
+:func:`json_safe`, so numpy scalars and datetimes can never leak into a
+stored payload and fail at response time).
+"""
 
 from __future__ import annotations
 
@@ -9,7 +16,7 @@ import numpy as np
 
 from .spec import VisSpec
 
-__all__ = ["to_vegalite"]
+__all__ = ["to_vegalite", "json_safe", "spec_payload"]
 
 _SCHEMA = "https://vega.github.io/schema/vega-lite/v5.json"
 
@@ -63,6 +70,37 @@ def to_vegalite(spec: VisSpec) -> dict[str, Any]:
             for attr, op, value in spec.filters
         ]
     return out
+
+
+def json_safe(value: Any) -> Any:
+    """Deep-sanitize ``value`` into plain JSON types (dicts/lists walked)."""
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [json_safe(v) for v in value.tolist()]
+    if isinstance(value, (np.bool_, bool)):
+        return bool(value)
+    return _json_safe(value)
+
+
+def spec_payload(spec: VisSpec, score: float | None = None) -> dict[str, Any]:
+    """The service's wire format for one recommended visualization.
+
+    Everything the API needs to render and rank: the vega-lite spec (data
+    inline), the interestingness score, and enough summary fields (mark,
+    title, fields, filters) for clients that only list recommendations
+    without rendering them.  Guaranteed ``json.dumps``-able.
+    """
+    return {
+        "title": spec.title,
+        "mark": spec.mark,
+        "fields": spec.fields(),
+        "filters": json_safe([list(f) for f in spec.filters]),
+        "score": None if score is None else round(float(score), 6),
+        "vegalite": json_safe(to_vegalite(spec)),
+    }
 
 
 def _filter_expr(attr: str, op: str, value: Any) -> str:

@@ -5,18 +5,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import LuxDataFrame, config
+from repro import LuxDataFrame, config_overlay
 
 
 @pytest.fixture(autouse=True)
 def _config_isolation():
     """Every test runs against pristine config and restores it afterwards."""
-    snapshot = config.snapshot()
-    yield
-    from repro.core.optimizer.scheduler import drain_all
+    with config_overlay():
+        yield
+        from repro.core.optimizer.scheduler import drain_all
 
-    drain_all()
-    config.restore(snapshot)
+        drain_all()
 
 
 @pytest.fixture

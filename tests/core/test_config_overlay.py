@@ -1,0 +1,115 @@
+"""config_overlay(): thread-local isolation, rollback, pool propagation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import config, config_overlay
+from repro.core import pool
+from repro.core.config import current_overlay, thread_overlay
+
+
+class TestOverlayBasics:
+    def test_overlay_shadows_and_restores(self):
+        assert config.top_k == 15
+        with config_overlay(top_k=3):
+            assert config.top_k == 3
+        assert config.top_k == 15
+
+    def test_nesting_inner_wins(self):
+        with config_overlay(top_k=3, sampling=False):
+            with config_overlay(top_k=9):
+                assert config.top_k == 9
+                assert config.sampling is False
+            assert config.top_k == 3
+
+    def test_direct_mutation_rolled_back(self):
+        with config_overlay():
+            config.streaming = True
+            config.top_k = 99
+            assert config.streaming is True and config.top_k == 99
+        assert config.streaming is False and config.top_k == 15
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown config field"):
+            with config_overlay(not_a_knob=1):
+                pass  # pragma: no cover
+
+    def test_overlay_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with config_overlay(top_k=2):
+                raise RuntimeError("boom")
+        assert config.top_k == 15
+
+    def test_effective_merges_layers(self):
+        with config_overlay(top_k=4):
+            effective = config.effective()
+        assert effective["top_k"] == 4
+        assert config.effective()["top_k"] == 15
+
+    def test_snapshot_reports_base_not_overlay(self):
+        with config_overlay(top_k=4):
+            assert config.snapshot()["top_k"] == 15
+
+
+class TestThreadIsolation:
+    def test_other_threads_see_base_values(self):
+        seen = {}
+
+        def reader():
+            seen["top_k"] = config.top_k
+
+        with config_overlay(top_k=3):
+            t = threading.Thread(target=reader)
+            t.start()
+            t.join()
+        assert seen["top_k"] == 15
+
+    def test_two_threads_hold_different_overlays(self):
+        barrier = threading.Barrier(2, timeout=10)
+        seen = {}
+
+        def session(name: str, k: int) -> None:
+            with thread_overlay({"top_k": k}):
+                barrier.wait()  # both overlays active simultaneously
+                seen[name] = config.top_k
+                barrier.wait()
+
+        threads = [
+            threading.Thread(target=session, args=("a", 3)),
+            threading.Thread(target=session, args=("b", 7)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == {"a": 3, "b": 7}
+        assert config.top_k == 15
+
+    def test_current_overlay_merges(self):
+        assert current_overlay() == {}
+        with config_overlay(top_k=3):
+            with config_overlay(sampling=False):
+                merged = current_overlay()
+        assert merged == {"top_k": 3, "sampling": False}
+
+
+class TestPoolPropagation:
+    def test_submitted_work_inherits_overlay(self):
+        with config_overlay(top_k=5):
+            future = pool.submit(lambda: config.top_k)
+            assert future.result(timeout=10) == 5
+        assert pool.submit(lambda: config.top_k).result(timeout=10) == 15
+
+    def test_nested_submission_inherits_too(self):
+        def outer():
+            return pool.submit(lambda: config.top_k).result(timeout=10)
+
+        # The nested submit happens *on the worker*; it must re-capture
+        # the overlay the worker is running under.  A single worker would
+        # deadlock on the nested wait, so pin two.
+        config.action_pool_workers = 2
+        with config_overlay(top_k=6):
+            assert pool.submit(outer).result(timeout=10) == 6

@@ -1,0 +1,96 @@
+"""Fair-share pool admission: priority bands, round-robin tags, context."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import config
+from repro.core import pool
+
+
+def _block_worker(gate: threading.Event):
+    """Occupy the single worker so subsequent submissions queue up."""
+    started = threading.Event()
+
+    def blocker():
+        started.set()
+        gate.wait(10)
+
+    future = pool.submit(blocker)
+    assert started.wait(10)
+    return future
+
+
+class TestFairShare:
+    def test_interactive_preempts_background(self):
+        config.action_pool_workers = 1
+        gate = threading.Event()
+        order: list[str] = []
+        try:
+            blocker = _block_worker(gate)
+            futures = [
+                pool.submit(lambda: order.append("bg"), tag="s1", background=True),
+                pool.submit(lambda: order.append("fg"), tag="s2"),
+            ]
+        finally:
+            gate.set()
+        for f in futures:
+            f.result(timeout=10)
+        blocker.result(timeout=10)
+        # The background item was queued first but drained second.
+        assert order == ["fg", "bg"]
+
+    def test_round_robin_across_tags(self):
+        config.action_pool_workers = 1
+        gate = threading.Event()
+        order: list[str] = []
+        try:
+            blocker = _block_worker(gate)
+            futures = [
+                pool.submit(lambda: order.append("a1"), tag="a"),
+                pool.submit(lambda: order.append("a2"), tag="a"),
+                pool.submit(lambda: order.append("a3"), tag="a"),
+                pool.submit(lambda: order.append("b1"), tag="b"),
+            ]
+        finally:
+            gate.set()
+        for f in futures:
+            f.result(timeout=10)
+        blocker.result(timeout=10)
+        # Tag b gets its turn after one item of tag a, not after all three.
+        assert order.index("b1") == 1, order
+
+    def test_cancel_before_start_prevents_run(self):
+        config.action_pool_workers = 1
+        gate = threading.Event()
+        ran: list[int] = []
+        try:
+            blocker = _block_worker(gate)
+            doomed = pool.submit(lambda: ran.append(1))
+            assert doomed.cancel()
+        finally:
+            gate.set()
+        blocker.result(timeout=10)
+        # Give the (no-op) dispatcher a moment to drain the queue item.
+        deadline = time.monotonic() + 5
+        while pool.stats()["queued_interactive"] and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert ran == []
+
+    def test_nested_submission_inherits_tag_and_band(self):
+        config.action_pool_workers = 2
+        seen: dict[str, object] = {}
+
+        def outer():
+            seen["tag"] = pool.current_tag()
+            inner = pool.submit(lambda: pool.current_tag())
+            return inner.result(timeout=10)
+
+        future = pool.submit(outer, tag="sess-9", background=True)
+        assert future.result(timeout=10) == "sess-9"
+        assert seen["tag"] == "sess-9"
+
+    def test_stats_shape(self):
+        stats = pool.stats()
+        assert {"workers", "queued_interactive", "queued_background"} <= set(stats)

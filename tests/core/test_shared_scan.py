@@ -338,6 +338,46 @@ class TestSampleLinks:
         derived = computation_cache.to_float(sample, "q")
         np.testing.assert_array_equal(derived, sample.column("q").to_float())
 
+    def test_derived_grouping_identical_and_prewarms(self):
+        """Sample groupings are sliced from the parent's, bit-identically."""
+        from repro.dataframe.groupby import _Grouping
+
+        config.sampling_start = 100
+        config.sampling_cap = 500
+        rng = np.random.default_rng(3)
+        frame = DataFrame({
+            "q": rng.normal(0, 1, 5_000),
+            "d": rng.choice(["a", "b", "c"], 5_000).tolist(),
+            "e": rng.choice(["x", "y", "z", "w"], 5_000).tolist(),
+        })
+        sample = get_sample(frame)
+        for keys in [("d",), ("e",), ("d", "e")]:
+            derived = computation_cache.grouping(sample, keys)
+            direct = _Grouping(
+                sample,
+                keys,
+                factorize=lambda name: computation_cache.factorize(sample, name),
+            )
+            np.testing.assert_array_equal(derived.group_ids, direct.group_ids)
+            np.testing.assert_array_equal(derived.valid, direct.valid)
+            assert derived.key_values == direct.key_values
+            assert derived.n_groups == direct.n_groups
+        # Deriving built the parent's grouping on the way: the exact pass
+        # (pass 2, on the full frame) starts from a hit.
+        hits_before = computation_cache.stats()["hits"]
+        computation_cache.grouping(frame, ("d", "e"))
+        assert computation_cache.stats()["hits"] == hits_before + 1
+
+    def test_derived_grouping_after_parent_mutation_falls_back(self):
+        frame, sample = self._linked_pair()
+        frame["q"] = np.zeros(len(frame))
+        derived = computation_cache.grouping(sample, ("d",))
+        from repro.dataframe.groupby import _Grouping
+
+        direct = _Grouping(sample, ("d",))
+        np.testing.assert_array_equal(derived.group_ids, direct.group_ids)
+        assert derived.key_values == direct.key_values
+
     def test_sample_results_match_unlinked_execution(self):
         frame, sample = self._linked_pair()
         spec = VisSpec("histogram", [

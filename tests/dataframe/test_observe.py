@@ -1,0 +1,69 @@
+"""Mutation observers: registration, emission, weakref lifecycle."""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro import LuxDataFrame
+from repro.dataframe import DataFrame, observe
+
+
+class TestObserve:
+    def test_plain_frame_emits_on_mutation(self):
+        frame = DataFrame({"a": [1, 2, 3]})
+        events = []
+        observe.register(frame, lambda f, op: events.append(op))
+        frame["b"] = [4, 5, 6]
+        del frame["b"]
+        assert events == ["setitem", "delitem"]
+
+    def test_unsubscribe_stops_events(self):
+        frame = DataFrame({"a": [1, 2, 3]})
+        events = []
+        unsubscribe = observe.register(frame, lambda f, op: events.append(op))
+        frame["b"] = [4, 5, 6]
+        unsubscribe()
+        frame["c"] = [7, 8, 9]
+        assert events == ["setitem"]
+        assert observe.observer_count(frame) == 0
+
+    def test_lux_frame_emits_mutation_and_intent(self):
+        frame = LuxDataFrame({"a": [1.0, 2.0, 3.0], "b": ["x", "y", "z"]})
+        events = []
+        observe.register(frame, lambda f, op: events.append(op))
+        frame["c"] = frame["a"]
+        frame.intent = ["a"]
+        frame.clear_intent()
+        assert events == ["mutation", "intent", "intent"]
+
+    def test_intent_epoch_tracks_recommendation_state(self):
+        frame = LuxDataFrame({"a": [1.0, 2.0, 3.0]})
+        v0 = (frame._data_version, frame._intent_epoch)
+        frame.intent = ["a"]
+        v1 = (frame._data_version, frame._intent_epoch)
+        assert v1 != v0 and v1[0] == v0[0]  # intent bumps epoch, not data
+        frame["b"] = frame["a"]
+        v2 = (frame._data_version, frame._intent_epoch)
+        assert v2[0] == v1[0] + 1
+
+    def test_broken_observer_contained(self):
+        frame = DataFrame({"a": [1, 2, 3]})
+
+        def broken(f, op):
+            raise RuntimeError("observer bug")
+
+        observe.register(frame, broken)
+        with pytest.warns(RuntimeWarning, match="observer failed"):
+            frame["b"] = [4, 5, 6]  # must not raise
+
+    def test_dead_frame_drops_entry(self):
+        frame = DataFrame({"a": [1, 2, 3]})
+        observe.register(frame, lambda f, op: None)
+        assert observe.observer_count(frame) == 1
+        del frame
+        gc.collect()
+        # No lingering keys: the registry is keyed by id + weakref and the
+        # callback fired on collection.
+        assert all(ref() is not None for ref, _ in observe._OBSERVERS.values())
