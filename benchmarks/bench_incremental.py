@@ -1,0 +1,282 @@
+"""Incremental recomputation benchmark: delta-scoped background passes.
+
+Measures the precompute engine's steady-state background work on the
+shared-scan frame shape (6 measures x 3 dims, the 40+-candidate
+recommendation pass) when a *single column* changes between passes:
+
+- ``full_pass``:        ``config.incremental_precompute = False``; every
+  version bump reruns the whole applicable action set, as PR 4 shipped.
+- ``incremental_pass``: the mutation's column-level delta is intersected
+  with each action's input footprint; only the affected actions rerun
+  and the rest are carried forward in the store (provenance ``carried``).
+
+The mutated column is a *dimension* (``d1``), so the expensive actions
+(Correlation over 15 measure pairs, Distribution over 6 histograms) are
+unaffected and only Occurrence reruns — the work reduction the paper's
+always-on promise needs to survive heavy multi-session traffic.
+
+Every run emits a ``BENCH_incremental.json`` trajectory artifact and
+gates:
+
+- the incremental pass must rerun **only** the affected-action subset
+  (Occurrence; Correlation and Distribution carried) and its stored
+  payloads must be byte-identical to a cold foreground recomputation of
+  the same version;
+- the background work reduction must clear the 3x acceptance floor, and
+  must not regress below ``TOLERANCE`` of the committed baseline
+  (``benchmarks/baselines/BENCH_incremental.json``) when comparable.
+
+Run directly (CI runs ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py \\
+        [--quick] [--rows N] [--out PATH] [--update-baseline]
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_service import build_lux_frame  # noqa: E402
+from bench_shared_scan import load_baseline  # noqa: E402
+
+from repro import config, config_overlay  # noqa: E402
+from repro.core import pool  # noqa: E402
+from repro.core.executor.cache import computation_cache  # noqa: E402
+from repro.service import SessionManager  # noqa: E402
+
+#: Allowed fraction of the baseline reduction before the gate trips.
+TOLERANCE = 0.6
+
+#: Acceptance floor: a single-dimension mutation must cost at least this
+#: much less background work than a full recompute.
+INCREMENTAL_FLOOR = 3.0
+
+#: The column mutated between passes and the expected partition around it.
+MUTATED_COLUMN = "d1"
+EXPECTED_RERUN = {"Occurrence"}
+EXPECTED_CARRIED = {"Correlation", "Distribution"}
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_incremental.json"
+
+
+def touch(session) -> None:
+    """A real single-column update: reverse the dimension's row order.
+
+    Only ``MUTATED_COLUMN``'s values move; every other column — and the
+    row set — is untouched, so the emitted delta names exactly one column.
+    """
+    session.frame[MUTATED_COLUMN] = session.frame[MUTATED_COLUMN].to_list()[::-1]
+
+
+def measure_passes(
+    manager: SessionManager, rows: int, rounds: int, incremental: bool
+) -> tuple[float, dict]:
+    """Best wall time of a post-mutation background pass, plus evidence.
+
+    Returns ``(seconds, info)`` where ``info`` carries the engine counter
+    deltas and, for the incremental condition, the final read's per-action
+    provenance and its identity against a cold foreground recomputation.
+    """
+    config.precompute = True
+    config.incremental_precompute = incremental
+    session = manager.create(build_lux_frame(rows))
+    assert manager.engine.wait_idle(300), "initial pass never settled"
+    before = manager.engine.stats()
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        touch(session)
+        assert manager.engine.wait_idle(300), "background pass stalled"
+        times.append(time.perf_counter() - start)
+    after = manager.engine.stats()
+    info: dict = {
+        "passes": rounds,
+        "actions_rerun": after["actions_rerun"] - before["actions_rerun"],
+        "actions_carried": after["actions_carried"] - before["actions_carried"],
+    }
+
+    response = session.recommendations(compute=False)
+    assert response is not None, "store must hold the final pass"
+    info["origins"] = response["freshness"]["actions"]
+
+    # Identity: the stored (partially carried) pass must match a true
+    # foreground recomputation of the very same version, with the store
+    # dropped and the frame's memoized set expired so nothing is reused.
+    manager.store.drop_session(session.id)
+    session.frame.expire_recommendations()
+    recomputed = session.recommendations()
+    assert recomputed["freshness"]["origin"] == "foreground"
+    info["identical"] = recomputed["actions"] == response["actions"]
+    manager.close(session.id)
+    return min(times), info
+
+
+def partition_failures(info: dict) -> list[str]:
+    """Check the incremental pass reran only the affected subset."""
+    failures = []
+    origins = info["origins"]
+    rerun = {a for a, o in origins.items() if o == "precompute"}
+    carried = {a for a, o in origins.items() if o == "carried"}
+    if not EXPECTED_RERUN <= rerun or rerun & EXPECTED_CARRIED:
+        failures.append(
+            f"rerun set {sorted(rerun)} is not the affected subset "
+            f"{sorted(EXPECTED_RERUN)}"
+        )
+    if not EXPECTED_CARRIED <= carried:
+        failures.append(
+            f"carried set {sorted(carried)} misses unaffected actions "
+            f"{sorted(EXPECTED_CARRIED)}"
+        )
+    return failures
+
+
+def comparable(baseline: dict | None, report: dict) -> bool:
+    return (
+        baseline is not None
+        and baseline.get("benchmark") == report["benchmark"]
+        and baseline.get("mode") == report["mode"]
+        and baseline.get("rows") == report["rows"]
+    )
+
+
+def gate(report: dict, baseline: dict | None) -> list[str]:
+    failures = list(report["partition_failures"])
+    if not report["identical"]:
+        failures.append(
+            "incremental pass payloads differ from foreground recomputation"
+        )
+    reduction = report["speedups"]["incremental"]
+    if reduction < INCREMENTAL_FLOOR:
+        failures.append(
+            f"background work reduction {reduction:.1f}x below the "
+            f"{INCREMENTAL_FLOOR}x acceptance floor"
+        )
+    if comparable(baseline, report):
+        base = baseline["speedups"]["incremental"]
+        if reduction < base * TOLERANCE:
+            failures.append(
+                f"incremental reduction {reduction:.1f}x regressed below "
+                f"{TOLERANCE:.0%} of baseline {base:.1f}x"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=50_000,
+                        help="frame size (default 50k)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timed passes per condition; best is reported")
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke run for CI (20k rows, 2 rounds)")
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_incremental.json"),
+                        help="trajectory artifact path")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
+                        help="committed baseline to gate against")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.rows, args.rounds = 20_000, 2
+
+    with contextlib.ExitStack() as stack:
+        stack.callback(computation_cache.clear)
+        stack.enter_context(config_overlay(precompute_debounce_s=0.0))
+        manager = SessionManager()
+        stack.callback(manager.shutdown)
+
+        cpu_count = os.cpu_count() or 1
+        print(f"incremental: {args.rows} rows, best of {args.rounds}, "
+              f"{cpu_count} cores, {pool.worker_count()} workers, "
+              f"mutating {MUTATED_COLUMN!r} per pass")
+
+        full, full_info = measure_passes(
+            manager, args.rows, args.rounds, incremental=False
+        )
+        print(f"  full_pass       : {full * 1e3:9.1f} ms "
+              f"({full_info['actions_rerun']} actions rerun)")
+        incr, incr_info = measure_passes(
+            manager, args.rows, args.rounds, incremental=True
+        )
+        print(f"  incremental_pass: {incr * 1e3:9.1f} ms "
+              f"({incr_info['actions_rerun']} rerun, "
+              f"{incr_info['actions_carried']} carried)")
+        print(f"  origins         : {incr_info['origins']}")
+
+        reduction = full / incr if incr > 0 else float("inf")
+        report = {
+            "schema": 1,
+            "benchmark": "incremental",
+            "mode": "quick" if args.quick else "full",
+            "rows": args.rows,
+            "rounds": args.rounds,
+            "cpu_count": cpu_count,
+            "python": platform.python_version(),
+            "mutated_column": MUTATED_COLUMN,
+            "timings_ms": {
+                "full_pass": round(full * 1e3, 3),
+                "incremental_pass": round(incr * 1e3, 3),
+            },
+            "speedups": {"incremental": round(reduction, 1)},
+            "actions": {
+                "full_rerun": full_info["actions_rerun"],
+                "incremental_rerun": incr_info["actions_rerun"],
+                "incremental_carried": incr_info["actions_carried"],
+            },
+            "origins": incr_info["origins"],
+            "partition_failures": partition_failures(incr_info),
+            "identical": bool(
+                full_info["identical"] and incr_info["identical"]
+            ),
+        }
+        print(f"  work reduction  : {reduction:9.1f}x")
+        print(f"  identical       : {report['identical']}")
+
+        args.out.write_text(json.dumps(report, indent=2) + "\n",
+                            encoding="utf-8")
+        print(f"  wrote {args.out}")
+
+        correctness = list(report["partition_failures"])
+        if not report["identical"]:
+            correctness.append(
+                "incremental pass payloads differ from foreground "
+                "recomputation"
+            )
+        if correctness:
+            # Correctness precedes every mode, including --update-baseline:
+            # a refresh must never record a wrong or non-incremental run.
+            for failure in correctness:
+                print(f"  GATE FAILED: {failure}")
+            return 1
+
+        if args.update_baseline:
+            args.baseline.parent.mkdir(parents=True, exist_ok=True)
+            args.baseline.write_text(
+                json.dumps(report, indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"  wrote baseline {args.baseline}")
+            return 0
+
+        baseline = load_baseline(args.baseline)
+        if not comparable(baseline, report):
+            print("  no comparable baseline; gating on absolute floors")
+        failures = gate(report, baseline)
+        for failure in failures:
+            print(f"  GATE FAILED: {failure}")
+        if not failures:
+            print("  all gates passed")
+        return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

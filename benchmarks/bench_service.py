@@ -102,9 +102,13 @@ def measure_precomputed(
         start = time.perf_counter()
         response = session.recommendations()
         times.append(time.perf_counter() - start)
-        assert response["freshness"]["origin"] == "precompute", (
-            "read did not hit the store"
-        )
+        # Incremental passes mix recomputed and carried provenance; any
+        # of the three store-served origins means zero foreground work.
+        assert response["freshness"]["origin"] in (
+            "precompute",
+            "carried",
+            "mixed",
+        ), "read did not hit the store"
     # Correctness: the stored payload must match a true foreground
     # recomputation of the very same version (store dropped AND the
     # frame's memoized set expired, so nothing is reused).
@@ -135,7 +139,7 @@ def measure_multi_session(
     start = time.perf_counter()
     for i in range(reads):
         response = sessions[i % n_sessions].recommendations()
-        assert response["freshness"]["origin"] == "precompute"
+        assert response["freshness"]["origin"] != "foreground"
     read_wall_s = time.perf_counter() - start
     for session in sessions:
         manager.close(session.id)

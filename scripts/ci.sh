@@ -36,3 +36,6 @@ python benchmarks/bench_sql_scan.py --quick --out BENCH_sql_scan.json
 
 echo "== service benchmark gate =="
 python benchmarks/bench_service.py --quick --out BENCH_service.json
+
+echo "== incremental benchmark gate =="
+python benchmarks/bench_incremental.py --quick --out BENCH_incremental.json

@@ -10,10 +10,10 @@ the shared pruning-aware ranker; custom user actions may override
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..compiler import CompiledVis, compile_intent
-from ..clause import Clause
+from ..clause import WILDCARD, Clause
 from ..config import config
 from ..metadata import Metadata
 from ..optimizer.sampling import rank_candidates
@@ -22,7 +22,61 @@ from ..vislist import VisList
 if TYPE_CHECKING:  # pragma: no cover
     from ..frame import LuxDataFrame
 
-__all__ = ["Action"]
+__all__ = ["Action", "Footprint", "intent_columns"]
+
+
+class Footprint:
+    """An action's declared input set: which columns (and whether intent)
+    its candidate generation and ranking read.
+
+    ``columns=None`` means *unknown* — the incremental precompute engine
+    treats the action as affected by every data change (the safe default
+    for user UDF actions).  ``intent=True`` marks a dependence on the
+    frame's intent clauses, so intent-only deltas rerun exactly the
+    intent-reading actions.
+    """
+
+    __slots__ = ("columns", "intent")
+
+    def __init__(
+        self, columns: "Iterable[str] | None" = None, intent: bool = True
+    ) -> None:
+        self.columns: "frozenset[str] | None" = (
+            None if columns is None else frozenset(str(c) for c in columns)
+        )
+        self.intent = bool(intent)
+
+    def union(self, other: "Footprint") -> "Footprint":
+        """The combined input set (used across two passes' declarations)."""
+        if self.columns is None or other.columns is None:
+            columns = None
+        else:
+            columns = self.columns | other.columns
+        return Footprint(columns, self.intent or other.intent)
+
+    def __repr__(self) -> str:
+        cols = "?" if self.columns is None else sorted(self.columns)
+        return f"<Footprint columns={cols} intent={self.intent}>"
+
+
+def intent_columns(ldf: "LuxDataFrame") -> "frozenset[str] | None":
+    """Column names the current intent references; None on wildcards.
+
+    A wildcard clause can bind to any column, so an intent containing one
+    makes the footprint unknowable without enumerating the search space —
+    callers degrade to "affected by everything".
+    """
+    columns: set[str] = set()
+    for clause in ldf.intent:
+        attr = clause.attribute
+        attrs = list(attr) if isinstance(attr, (list, tuple)) else [attr]
+        for name in attrs:
+            if not name:
+                continue
+            if str(name) == WILDCARD:
+                return None
+            columns.add(str(name))
+    return frozenset(columns)
 
 
 class Action(ABC):
@@ -43,6 +97,19 @@ class Action(ABC):
     @abstractmethod
     def candidates(self, ldf: "LuxDataFrame") -> list[CompiledVis]:
         """Enumerate the search space of candidate visualizations."""
+
+    def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
+        """The input set this action's generation reads, under ``metadata``.
+
+        The incremental precompute engine partitions a dirty version into
+        affected vs unaffected actions by intersecting footprints with the
+        mutation delta; an action whose footprint (declared now, unioned
+        with the one recorded at the previous pass) misses every changed
+        column is carried forward instead of rerun.  The default is the
+        conservative *unknown* footprint — always rerun — which is what
+        user UDF actions get unless they override this.
+        """
+        return Footprint(None, True)
 
     # ------------------------------------------------------------------
     def generate(self, ldf: "LuxDataFrame") -> VisList:

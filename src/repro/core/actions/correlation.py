@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING
 from ..clause import Clause
 from ..compiler import CompiledVis
 from ..metadata import Metadata
-from .base import Action
+from .base import Action, Footprint
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..frame import LuxDataFrame
@@ -46,3 +46,7 @@ class CorrelationAction(Action):
     def search_space_size(self, metadata: Metadata) -> int:
         m = len(metadata.measures)
         return m * (m - 1) // 2
+
+    def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
+        # Pairs of quantitative attributes: intent never enters the space.
+        return Footprint(metadata.measures, intent=False)

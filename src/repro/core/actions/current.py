@@ -6,7 +6,7 @@ from typing import TYPE_CHECKING
 
 from ..compiler import CompiledVis
 from ..metadata import Metadata
-from .base import Action
+from .base import Action, Footprint, intent_columns
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..frame import LuxDataFrame
@@ -31,3 +31,7 @@ class CurrentVisAction(Action):
     def estimated_cost(self, metadata: Metadata) -> float:
         # Always scheduled first: it is what the user explicitly asked for.
         return 0.0
+
+    def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
+        # Reads exactly the intent's columns (unknown under wildcards).
+        return Footprint(intent_columns(ldf), intent=True)

@@ -7,7 +7,7 @@ from typing import TYPE_CHECKING
 from ..clause import Clause
 from ..compiler import CompiledVis
 from ..metadata import Metadata
-from .base import Action
+from .base import Action, Footprint, intent_columns
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..frame import LuxDataFrame
@@ -40,3 +40,11 @@ class EnhanceAction(Action):
 
     def search_space_size(self, metadata: Metadata) -> int:
         return max(len(metadata.attributes) - 1, 0)
+
+    def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
+        # Pairs the intent with every other attribute: any column change
+        # can surface in a candidate, so the footprint is the whole frame.
+        intent = intent_columns(ldf)
+        if intent is None:
+            return Footprint(None, intent=True)
+        return Footprint(set(metadata.attributes) | intent, intent=True)

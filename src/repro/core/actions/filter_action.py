@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING
 from ..clause import Clause
 from ..compiler import CompiledVis
 from ..metadata import Metadata
-from .base import Action
+from .base import Action, Footprint, intent_columns
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..frame import LuxDataFrame
@@ -70,3 +70,12 @@ class FilterAction(Action):
         for attr in metadata.columns_of_type("nominal", "geographic"):
             total += min(metadata[attr].cardinality, MAX_VALUES_PER_ATTRIBUTE)
         return total
+
+    def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
+        # Candidate filters enumerate every categorical attribute's values;
+        # the charts themselves plot the intent's columns.
+        intent = intent_columns(ldf)
+        if intent is None:
+            return Footprint(None, intent=True)
+        categorical = metadata.columns_of_type("nominal", "geographic")
+        return Footprint(set(categorical) | intent, intent=True)

@@ -6,7 +6,7 @@ from typing import TYPE_CHECKING
 
 from ..compiler import CompiledVis
 from ..metadata import Metadata
-from .base import Action
+from .base import Action, Footprint, intent_columns
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..frame import LuxDataFrame
@@ -43,3 +43,7 @@ class GeneralizeAction(Action):
 
     def search_space_size(self, metadata: Metadata) -> int:
         return 3
+
+    def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
+        # Drops clauses from the intent: only the intent's columns appear.
+        return Footprint(intent_columns(ldf), intent=True)

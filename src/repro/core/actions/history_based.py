@@ -15,7 +15,7 @@ from ..compiler import CompiledVis
 from ..config import config
 from ..metadata import Metadata
 from ..vislist import VisList
-from .base import Action
+from .base import Action, Footprint
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..frame import LuxDataFrame
@@ -55,6 +55,13 @@ class PreAggregateAction(Action):
 
     def search_space_size(self, metadata: Metadata) -> int:
         return len(metadata.measures)
+
+    def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
+        # First dimension (the grouping key) against every measure.
+        columns = set(metadata.measures)
+        if metadata.dimensions:
+            columns.add(metadata.dimensions[0])
+        return Footprint(columns, intent=False)
 
 
 class PreFilterAction(Action):
@@ -97,3 +104,8 @@ class PreFilterAction(Action):
 
     def search_space_size(self, metadata: Metadata) -> int:
         return len(metadata.attributes)
+
+    def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
+        # Computed against the *parent* frame, whose mutations this
+        # frame's delta stream cannot see: stay conservative.
+        return Footprint(None, intent=False)

@@ -15,7 +15,7 @@ from ...vis.spec import VisSpec
 from ..compiler import CompiledVis
 from ..config import config
 from ..metadata import Metadata
-from .base import Action
+from .base import Action, Footprint
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..frame import LuxDataFrame
@@ -104,3 +104,12 @@ class IndexAction(Action):
     def estimated_cost(self, metadata: Metadata) -> float:
         # Pre-aggregated frames are tiny; this action is always cheap.
         return float(len(metadata.measures)) * max(metadata.n_rows, 1)
+
+    def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
+        # Plots every numeric storage column against the labelled index.
+        numeric = [
+            c
+            for c in ldf.columns
+            if ldf.column(c).dtype.name in ("int64", "float64")
+        ]
+        return Footprint(numeric, intent=False)

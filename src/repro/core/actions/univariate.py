@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING
 from ..clause import Clause
 from ..compiler import CompiledVis
 from ..metadata import Metadata
-from .base import Action
+from .base import Action, Footprint
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..frame import LuxDataFrame
@@ -46,6 +46,10 @@ class _UnivariateAction(Action):
 
     def search_space_size(self, metadata: Metadata) -> int:
         return len(self._columns(metadata))
+
+    def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
+        # One chart per column of the target type; intent never enters.
+        return Footprint(self._columns(metadata), intent=False)
 
 
 class DistributionAction(_UnivariateAction):

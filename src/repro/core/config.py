@@ -148,6 +148,14 @@ class Config:
     #: computes recommendations only on demand (foreground).
     precompute: bool = True
 
+    #: Incremental recomputation: partition each background pass into the
+    #: actions whose input footprint intersects the accumulated mutation
+    #: delta (rerun) and the rest (carried forward from the previous
+    #: stored pass, provenance ``carried``).  Off, every version bump
+    #: reruns the full action set — the ablation condition
+    #: ``benchmarks/bench_incremental.py`` measures.
+    incremental_precompute: bool = True
+
     def __getattribute__(self, name: str) -> Any:
         # Thread-local overlays shadow instance attributes.  The guard
         # order keeps the common case (no overlay anywhere) at one

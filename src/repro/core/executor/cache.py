@@ -23,8 +23,12 @@ Entries are keyed on *(frame identity, content version)*:
   ``LuxDataFrame._expire`` under the paper's *wflow* rules), so a slot
   recorded at version *v* is unreachable after any mutation.
   ``LuxDataFrame._expire`` additionally calls :meth:`ComputationCache.
-  invalidate` to free the slot's memory eagerly rather than waiting for
-  LRU pressure.
+  invalidate` with the mutation's column-level delta: when the row set is
+  intact and the changed columns are known, the slot is *migrated* to the
+  new version and only entries reading a changed column are evicted —
+  everything keyed on untouched columns survives the bump (delta-aware
+  invalidation).  Row-set changes, unknown deltas, and plain frames (which
+  never call ``invalidate``) fall back to whole-slot drop/replacement.
 
 Byte budget
 -----------
@@ -255,9 +259,65 @@ class ComputationCache:
             self._slots.pop(key, None)
             self._links.pop(key, None)
 
-    def invalidate(self, frame: "DataFrame") -> None:
-        """Eagerly drop ``frame``'s slot (called on ``_data_version`` bumps)."""
-        self._evict(id(frame))
+    def invalidate(self, frame: "DataFrame", delta: Any = None) -> None:
+        """Invalidate ``frame``'s slot after a ``_data_version`` bump.
+
+        Without a delta (or when the delta says the row set moved or the
+        changed columns are unknown) the whole slot is dropped, as before.
+        With a column-level delta the slot is *migrated* instead: it is
+        re-keyed to the frame's new version and only the entries that read
+        a changed column are evicted — floats, factorizations,
+        standardized vectors, and bin edges keyed on untouched columns,
+        groupings whose key columns are all untouched, and masks whose
+        filter columns are all untouched survive the bump.  Intent-only
+        deltas touch no data at all and keep the slot whole.
+        """
+        if delta is not None and getattr(delta, "intent_only", False):
+            return
+        if (
+            delta is None
+            or delta.columns_changed is None
+            or delta.rows_changed
+        ):
+            self._evict(id(frame))
+            return
+        self._migrate(frame, delta.columns_changed)
+
+    def _migrate(self, frame: "DataFrame", columns: frozenset) -> None:
+        """Re-key ``frame``'s slot to its current version, evicting only
+        the entries whose inputs intersect ``columns``.
+
+        Safe because the caller guarantees the row set is unchanged: a
+        cached vector over an untouched column is bit-identical at the new
+        version.  Sample links are deliberately *not* migrated — their
+        validity is version-pinned and a mutated parent or sample must
+        stop deriving (the link simply goes stale).
+        """
+        key = id(frame)
+        version = getattr(frame, "_data_version", 0)
+        with self._lock:
+            slot = self._slots.get(key)
+            if slot is None or slot.ref() is not frame:
+                return
+            with slot.lock:
+                if slot.version == version:
+                    return
+                slot.version = version
+                for section, affected in (
+                    ("floats", lambda k: k in columns),
+                    ("factorized", lambda k: k in columns),
+                    ("standardized", lambda k: k in columns),
+                    ("edges", lambda k: k[0] in columns),
+                    ("groupings", lambda k: any(c in columns for c in k)),
+                    (
+                        "masks",
+                        lambda k: any(attr in columns for attr, _, _ in k),
+                    ),
+                ):
+                    store: OrderedDict = getattr(slot, section)
+                    for entry_key in [k for k in store if affected(k)]:
+                        value = store.pop(entry_key)
+                        slot.nbytes -= _FrameSlot._SIZERS[section](value)
 
     def clear(self) -> None:
         with self._lock:

@@ -141,32 +141,36 @@ class LuxDataFrame(DataFrame):
         if op and op not in ("copy", "select_columns"):
             self._history.append(op)
 
-    def _notify_mutation(self, op: str) -> None:
+    def _notify_mutation(
+        self, op: str, delta: "observe.Delta | None" = None
+    ) -> None:
         if not hasattr(self, "_history"):
             self._setup_lux_state()
         self._history.append(op)
-        self._expire()
+        self._expire(op, delta)
         if not config.lazy_maintain and config.always_on:
             # no-opt condition: recompute eagerly after every change.
             self._refresh_all()
 
-    def _expire(self) -> None:
+    def _expire(self, op: str = "mutation", delta: "observe.Delta | None" = None) -> None:
         """Expire cached metadata/recommendations/sample (wflow rules).
 
         Bumping ``_data_version`` is what makes every version-keyed cache
         (the row sample, the executor's computation cache, its sample
-        links, the SQL executor's connection cache) unreachable; the
-        explicit ``invalidate`` below just frees the executor cache's
-        memory — this frame's slot and, when this frame is a registered
-        sample cut, its parent link — eagerly instead of waiting for
-        byte-budget pressure.
+        links, the SQL executor's connection cache) unreachable.  The
+        explicit ``invalidate`` below frees the executor cache's memory
+        eagerly — and, when ``delta`` names the changed columns with the
+        row set intact, *migrates* the slot instead: primitives keyed on
+        untouched columns survive the version bump (delta-aware
+        invalidation), so a single-column edit does not throw away every
+        other column's floats, factorizations, and masks.
         """
         self._metadata_fresh = False
         self._recs_fresh = False
         self._sample_cache = None
         self._data_version += 1
-        computation_cache.invalidate(self)
-        observe.emit(self, "mutation")
+        computation_cache.invalidate(self, delta)
+        observe.emit(self, op, delta)
 
     def expire_recommendations(self) -> None:
         self._recs_fresh = False
@@ -198,18 +202,22 @@ class LuxDataFrame(DataFrame):
         self._intent_clauses = []
         self._expire_recommendation_state()
 
-    def _expire_recommendation_state(self) -> None:
+    def _expire_recommendation_state(
+        self, delta: "observe.Delta | None" = None
+    ) -> None:
         """Expire recommendations (but not metadata) and signal observers.
 
         ``_intent_epoch`` is the recommendation-only sibling of
         ``_data_version``: the service's result store keys on both, so an
         intent change makes stored payloads unreachable without discarding
         data-level caches, and the emitted event lets the precompute
-        engine refresh the store in the background.
+        engine refresh the store in the background.  The default delta is
+        *intent-only* (no data dirty); callers that also shift semantics
+        (``set_data_type``) pass a richer delta naming the columns.
         """
         self._recs_fresh = False
         self._intent_epoch += 1
-        observe.emit(self, "intent")
+        observe.emit(self, "intent", delta or observe.Delta.intent())
 
     @property
     def current_vis(self) -> VisList | None:
@@ -264,7 +272,16 @@ class LuxDataFrame(DataFrame):
         stored = getattr(meta, "_overrides", {})
         stored.update(types)
         meta._overrides = stored
-        self._expire_recommendation_state()
+        # A type override changes what the named columns *mean* (action
+        # footprints shift) without touching their data: the delta names
+        # them so delta-aware consumers rerun exactly the affected actions.
+        self._expire_recommendation_state(
+            observe.Delta(
+                columns_changed=frozenset(types),
+                schema_changed=True,
+                intent_changed=True,
+            )
+        )
 
     @property
     def data_types(self) -> dict[str, str]:

@@ -153,14 +153,17 @@ class DataFrame:
     def _init_derived(self, parent: "DataFrame", op: str) -> None:
         """Hook for subclasses; base frames carry no extra state."""
 
-    def _notify_mutation(self, op: str) -> None:
+    def _notify_mutation(self, op: str, delta: "observe.Delta | None" = None) -> None:
         """Hook called after any in-place change; bumps ``_data_version``.
 
-        Subclasses overriding this must keep the version bump and the
-        observer emission (LuxDataFrame does so via its ``_expire`` rules).
+        ``delta`` describes what the mutation touched (column-level change
+        tracking); ``None`` means unknown and consumers assume everything
+        changed.  Subclasses overriding this must keep the version bump
+        and the observer emission (LuxDataFrame does so via its
+        ``_expire`` rules) and must propagate the delta.
         """
         object.__setattr__(self, "_data_version", self._data_version + 1)
-        observe.emit(self, op)
+        observe.emit(self, op, delta)
 
     # ------------------------------------------------------------------
     # Core protocol
@@ -237,17 +240,30 @@ class DataFrame:
             raise ValueError(
                 f"length mismatch: column of {len(col)} vs frame of {len(self)}"
             )
-        if key not in self._data:
+        added = key not in self._data
+        # Assigning the first column of an empty frame can change the row
+        # set (the index is rebuilt); treat that as a row-level change.
+        rows_changed = not self._column_order or (
+            self._index is not None and len(self._index) != len(col)
+        )
+        if added:
             self._column_order.append(key)
         self._data[key] = col
         if self._index is None or len(self._index) != len(col):
             self._index = RangeIndex(len(col))
-        self._notify_mutation("setitem")
+        self._notify_mutation(
+            "setitem",
+            observe.Delta.data(
+                [key], rows_changed=rows_changed, schema_changed=added
+            ),
+        )
 
     def __delitem__(self, key: str) -> None:
         del self._data[key]
         self._column_order.remove(key)
-        self._notify_mutation("delitem")
+        self._notify_mutation(
+            "delitem", observe.Delta.data([key], schema_changed=True)
+        )
 
     def __getattr__(self, name: str) -> Any:
         # Dot access to columns (``df.Age``), mirroring pandas.
@@ -326,14 +342,18 @@ class DataFrame:
         self, columns: Mapping[str, str], inplace: bool = False
     ) -> "DataFrame | None":
         target = self if inplace else self.copy()
+        renamed: set[str] = set()
         for old, new in columns.items():
             if old not in target._data:
                 continue
             target._data[str(new)] = target._data.pop(old)
             pos = target._column_order.index(old)
             target._column_order[pos] = str(new)
+            renamed.update((old, str(new)))
         if inplace:
-            self._notify_mutation("rename")
+            self._notify_mutation(
+                "rename", observe.Delta.data(renamed, schema_changed=True)
+            )
             return None
         target._init_derived(parent=self, op="rename")
         return target
@@ -349,7 +369,9 @@ class DataFrame:
             for c in names:
                 del self._data[c]
                 self._column_order.remove(c)
-            self._notify_mutation("drop")
+            self._notify_mutation(
+                "drop", observe.Delta.data(names, schema_changed=True)
+            )
             return None
         data = {
             name: self._data[name] for name in self._column_order if name not in names
@@ -367,19 +389,25 @@ class DataFrame:
             for name in self._column_order:
                 self._data[name] = self._data[name].filter(keep)
             self._index = self._index.filter(keep)
-            self._notify_mutation("dropna")
+            # Row-level change: every column's row alignment moved.
+            self._notify_mutation(
+                "dropna",
+                observe.Delta.data(self._column_order, rows_changed=True),
+            )
             return None
         return self._filter_rows(keep)
 
     def fillna(self, value: Any, inplace: bool = False) -> "DataFrame | None":
         if inplace:
+            filled: list[str] = []
             for name in self._column_order:
                 if self._data[name].mask.any():
                     try:
                         self._data[name] = self._data[name].fillna(value)
                     except (TypeError, ValueError):
                         continue
-            self._notify_mutation("fillna")
+                    filled.append(name)
+            self._notify_mutation("fillna", observe.Delta.data(filled))
             return None
         out = self.copy()
         out.fillna(value, inplace=True)

@@ -18,8 +18,12 @@ Endpoints
     and re-arms its background pass.
 ``GET /sessions/{id}/recommendations[?action=Enhance]``
     Specs + scores + freshness.  Served from the versioned store when the
-    precompute engine already ran at the current version (``freshness.
-    origin == "precompute"``), computed in the foreground otherwise.
+    precompute engine already ran at the current version, computed in the
+    foreground otherwise.  ``freshness.origin`` is ``precompute`` /
+    ``foreground`` / ``carried`` (incrementally carried forward because
+    the action's inputs did not change) / ``mixed`` (an incremental pass
+    combining recomputed and carried actions); ``freshness.actions`` maps
+    each action to its own provenance.
 ``DELETE /sessions/{id}``
     Close the session, freeing its store entries and watches.
 ``GET /healthz``

@@ -3,7 +3,7 @@
 The engine subscribes to each watched session's frame through
 ``repro.dataframe.observe`` (fired by ``DataFrame._notify_mutation`` /
 ``LuxDataFrame._expire`` on every ``_data_version`` bump, and by intent
-changes).  A mutation arms a debounce timer; when it fires, a full
+changes).  A mutation arms a debounce timer; when it fires, a
 recommendation pass is submitted to the shared worker pool **tagged with
 the session id and demoted to the background band**, so precompute work
 round-robins fairly across sessions and never delays interactive prints
@@ -21,11 +21,32 @@ Scheduling discipline per session:
   (:class:`~repro.core.errors.PassCancelled`) — and a fresh pass is
   scheduled.
 
+Incremental recomputation (``config.incremental_precompute``)
+-------------------------------------------------------------
+Mutation events carry a column-level :class:`~repro.dataframe.observe.
+Delta`; the engine accumulates them per session between stored passes.
+When a pass runs, the applicable actions are partitioned against the
+accumulated delta using each action's declared input
+:class:`~repro.core.actions.base.Footprint` (unioned with the footprint
+recorded at the previous pass, so a column *leaving* an action's space
+still reruns it): actions whose inputs intersect the delta — or that
+depend on intent when intent changed — are **rerun**; everything else is
+**carried forward** from the previous stored pass via
+:meth:`~repro.service.store.ResultStore.carry` (provenance ``carried``,
+original ``computed_at``).  Steady-state background work is therefore
+proportional to what changed, not to the whole action set; a carried
+result is by construction bit-identical to what a cold pass would
+recompute, because its inputs did not change.  Row-set changes, unknown
+deltas, wildcard intents, and evicted previous entries all degrade to a
+full pass — never to a wrong one.
+
 A completed pass lands in the :class:`~repro.service.store.ResultStore`
 keyed on the version it computed — *only* if that version is still
 current, so the store can never be populated with results for data that
 no longer exists.  The frame's own memoized recommendation cache is
-refreshed under the same guard, making in-process prints free too.
+refreshed under the same guard (merging carried VisLists from the
+previous memoized set on incremental passes), making in-process prints
+free too.
 """
 
 from __future__ import annotations
@@ -36,14 +57,21 @@ import warnings
 from typing import TYPE_CHECKING, Any
 
 from ..core import pool
+from ..core.actions.base import Footprint
 from ..core.actions.registry import default_registry
 from ..core.config import config
 from ..core.errors import LuxWarning, PassCancelled
-from ..core.optimizer.scheduler import run_actions
+from ..core.optimizer.scheduler import (
+    RecommendationSet,
+    run_actions,
+    schedule_actions,
+)
 from ..dataframe import observe
+from ..dataframe.observe import Delta
 from .session import serialize_recommendations
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..core.actions.base import Action
     from .session import Session
     from .store import ResultStore
 
@@ -59,6 +87,51 @@ class _Inflight:
         self.cancel = cancel
 
 
+class _SessionState:
+    """Incremental bookkeeping for one watched session.
+
+    ``last_version``/``footprints`` describe the engine's last *stored*
+    pass; ``delta``/``delta_version`` accumulate every mutation observed
+    since (the union of a burst, stamped with the newest version it
+    covers).  Publishing a pass clears the accumulator only when the
+    stored version covers it — a mutation racing the publish keeps its
+    delta for the next pass (conservative, never lossy).
+    """
+
+    __slots__ = ("last_version", "footprints", "delta", "delta_version")
+
+    def __init__(self) -> None:
+        self.last_version: tuple | None = None
+        self.footprints: dict[str, Footprint] = {}
+        self.delta: Delta | None = None
+        self.delta_version: tuple | None = None
+
+
+class _Plan:
+    """One pass's partition: what to rerun, what to carry, in what order."""
+
+    __slots__ = ("prev_version", "ordered_names", "affected", "carried", "footprints")
+
+    def __init__(
+        self,
+        prev_version: tuple | None,
+        ordered_names: list[str],
+        affected: "list[Action]",
+        carried: list[str],
+        footprints: dict[str, Footprint],
+    ) -> None:
+        self.prev_version = prev_version
+        self.ordered_names = ordered_names
+        self.affected = affected
+        self.carried = carried
+        self.footprints = footprints
+
+
+def _covers(version: tuple, other: tuple) -> bool:
+    """Componentwise: has ``version`` advanced at least to ``other``?"""
+    return all(v >= o for v, o in zip(version, other))
+
+
 class PrecomputeEngine:
     """Schedules and runs background recommendation passes per session."""
 
@@ -71,12 +144,17 @@ class PrecomputeEngine:
         self._unsubscribe: dict[str, Any] = {}
         self._timers: dict[str, threading.Timer] = {}
         self._inflight: dict[str, _Inflight] = {}
+        self._states: dict[str, _SessionState] = {}
         self._counters = {
             "scheduled": 0,
             "completed": 0,
             "cancelled": 0,
             "stale": 0,
             "failed": 0,
+            "incremental_passes": 0,
+            "actions_rerun": 0,
+            "actions_carried": 0,
+            "carry_misses": 0,
         }
 
     def debounce_s(self) -> float:
@@ -92,8 +170,15 @@ class PrecomputeEngine:
         with self._lock:
             if session.id in self._unsubscribe:
                 return
+            self._states[session.id] = _SessionState()
 
-            def on_mutation(_frame: Any, _op: str, s: "Session" = session) -> None:
+            def on_mutation(
+                _frame: Any, _op: str, delta: Delta, s: "Session" = session
+            ) -> None:
+                # Record the delta unconditionally (partitioning must see
+                # every change, even ones made while precompute was off);
+                # only the scheduling is gated on the master switch.
+                self._record_delta(s, delta)
                 if config.precompute:
                     self.schedule(s)
 
@@ -106,6 +191,7 @@ class PrecomputeEngine:
             unsubscribe = self._unsubscribe.pop(session.id, None)
             timer = self._timers.pop(session.id, None)
             inflight = self._inflight.pop(session.id, None)
+            self._states.pop(session.id, None)
         if unsubscribe is not None:
             unsubscribe()
         if timer is not None:
@@ -113,6 +199,19 @@ class PrecomputeEngine:
         if inflight is not None:
             inflight.cancel.set()
             inflight.future.cancel()
+
+    def _record_delta(self, session: "Session", delta: Delta) -> None:
+        """Fold one mutation into the session's accumulated delta."""
+        version = session.version  # post-bump: emit runs after the bump
+        with self._lock:
+            state = self._states.get(session.id)
+            if state is None:
+                return
+            state.delta = delta if state.delta is None else state.delta.union(delta)
+            if state.delta_version is None or _covers(
+                version, state.delta_version
+            ):
+                state.delta_version = version
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -155,12 +254,71 @@ class PrecomputeEngine:
             self._counters["scheduled"] += 1
 
     # ------------------------------------------------------------------
+    # Partitioning (the incremental half)
+    # ------------------------------------------------------------------
+    def _plan(
+        self,
+        session: "Session",
+        version: tuple,
+        frame: Any,
+        metadata: Any,
+        applicable: "list[Action]",
+    ) -> _Plan:
+        """Partition ``applicable`` into rerun vs carry-forward.
+
+        The ordered name list mirrors exactly what a full pass would
+        produce (``schedule_actions`` on current metadata), so the
+        manifest — and therefore the response — of an incremental pass is
+        indistinguishable from a cold one.
+        """
+        ordered = schedule_actions(applicable, metadata)
+        ordered_names = [a.name for a in ordered]
+        footprints: dict[str, Footprint] = {}
+        for action in ordered:
+            try:
+                footprints[action.name] = action.footprint(frame, metadata)
+            except Exception:  # a broken declaration degrades to "rerun"
+                footprints[action.name] = Footprint(None, True)
+
+        with self._lock:
+            state = self._states.get(session.id)
+            prev_version = state.last_version if state is not None else None
+            prev_footprints = dict(state.footprints) if state is not None else {}
+            delta = state.delta if state is not None else None
+
+        full = _Plan(None, ordered_names, list(ordered), [], footprints)
+        if not config.incremental_precompute or prev_version is None:
+            return full
+        if delta is None or delta.columns_changed is None or delta.rows_changed:
+            # Nothing recorded for a moved version (shouldn't happen, but
+            # never guess), or a change column-level reasoning can't scope.
+            return full
+
+        affected: "list[Action]" = []
+        carried: list[str] = []
+        for action in ordered:
+            prev_fp = prev_footprints.get(action.name)
+            if prev_fp is None:
+                affected.append(action)  # not part of the previous pass
+                continue
+            fp = footprints[action.name].union(prev_fp)
+            if (delta.intent_changed and fp.intent) or delta.touches(fp.columns):
+                affected.append(action)
+            elif self.store.get(session.id, prev_version, action.name) is None:
+                affected.append(action)  # previous result already evicted
+            else:
+                carried.append(action.name)
+        if not carried:
+            return full
+        return _Plan(prev_version, ordered_names, affected, carried, footprints)
+
+    # ------------------------------------------------------------------
     # The pass itself (runs on a pool worker, background band)
     # ------------------------------------------------------------------
     def _run_pass(
         self, session: "Session", version: tuple, cancel: threading.Event
     ) -> str:
-        """One full recommendation pass for ``session`` at ``version``."""
+        """One (possibly partial) recommendation pass at ``version``."""
         if cancel.is_set() or session.version != version:
             self._counters["stale"] += 1
             return "stale"
@@ -169,11 +327,18 @@ class PrecomputeEngine:
                 self._counters["stale"] += 1
                 return "stale"
             frame = session.frame
+            prev_recs = frame._recs_cache
+            prev_recs_version = frame._recs_version
             try:
                 with session.overlay():
                     metadata = frame.metadata
                     applicable = default_registry.applicable(frame)
-                    recs = run_actions(applicable, frame, metadata, cancel=cancel)
+                    plan = self._plan(
+                        session, version, frame, metadata, applicable
+                    )
+                    recs = run_actions(
+                        plan.affected, frame, metadata, cancel=cancel
+                    )
                     payloads = serialize_recommendations(recs)
             except PassCancelled:
                 self._counters["cancelled"] += 1
@@ -189,18 +354,97 @@ class PrecomputeEngine:
                 # exists (the mutation's own trigger scheduled a redo).
                 self._counters["stale"] += 1
                 return "stale"
-            if not session.overrides:
-                # Refresh the frame's memoized set so in-process prints
-                # are free — but only when the session runs under stock
-                # config: overlay-shaped results (say top_k=5) must not
-                # masquerade as the frame's plain recommendations to
-                # non-service readers holding the adopted frame.
-                frame._recs_cache = recs
-                frame._recs_version = version
-                frame._recs_fresh = True
-            self.store.put_pass(session.id, version, payloads, origin="precompute")
+            self._publish(session, version, plan, recs, payloads, prev_recs,
+                          prev_recs_version)
             self._counters["completed"] += 1
             return "completed"
+
+    def _publish(
+        self,
+        session: "Session",
+        version: tuple,
+        plan: _Plan,
+        recs: RecommendationSet,
+        payloads: dict[str, Any],
+        prev_recs: "RecommendationSet | None",
+        prev_recs_version: tuple,
+    ) -> None:
+        """Land one completed pass: carry, store, memoize, reset deltas."""
+        carried_ok = True
+        for name in plan.carried:
+            if not self.store.carry(session.id, plan.prev_version, version, name):
+                # Evicted between planning and publish: the pass cannot be
+                # served whole at this version (put_pass skips the
+                # manifest), so reads fall back to a foreground pass.
+                carried_ok = False
+                self._counters["carry_misses"] += 1
+        self.store.put_pass(
+            session.id,
+            version,
+            payloads,
+            origin="precompute",
+            manifest=plan.ordered_names,
+        )
+        self._refresh_memoized(
+            session, version, plan, recs, prev_recs, prev_recs_version
+        )
+        with self._lock:
+            self._counters["actions_rerun"] += len(plan.affected)
+            self._counters["actions_carried"] += len(plan.carried)
+            if plan.carried:
+                self._counters["incremental_passes"] += 1
+            state = self._states.get(session.id)
+            if state is not None and carried_ok:
+                state.last_version = version
+                state.footprints = plan.footprints
+                if state.delta_version is not None and _covers(
+                    version, state.delta_version
+                ):
+                    # Everything accumulated is covered by this pass; a
+                    # mutation racing the publish keeps its delta.
+                    state.delta = None
+                    state.delta_version = None
+
+    def _refresh_memoized(
+        self,
+        session: "Session",
+        version: tuple,
+        plan: _Plan,
+        recs: RecommendationSet,
+        prev_recs: "RecommendationSet | None",
+        prev_recs_version: tuple,
+    ) -> None:
+        """Refresh the frame's memoized set so in-process prints are free.
+
+        Only when the session runs under stock config: overlay-shaped
+        results (say top_k=5) must not masquerade as the frame's plain
+        recommendations to non-service readers holding the adopted frame.
+        On incremental passes the carried VisLists are merged in from the
+        previous memoized set; if that is unavailable, memoization is
+        simply skipped (store reads stay warm regardless).
+        """
+        if session.overrides:
+            return
+        frame = session.frame
+        if not plan.carried:
+            merged = recs
+        else:
+            if prev_recs is None or prev_recs_version != plan.prev_version:
+                return
+            if not all(name in prev_recs._results for name in plan.carried):
+                return
+            merged = RecommendationSet()
+            merged._expected = len(plan.ordered_names)
+            for name in plan.ordered_names:
+                if name in recs._results:
+                    merged._put(name, recs._results[name])
+                elif name in prev_recs._results:
+                    merged._put(name, prev_recs._results[name])
+                else:  # pragma: no cover - ordered ⊆ affected ∪ carried
+                    merged._expected -= 1
+        frame._recs_cache = merged
+        frame._recs_version = version
+        frame._recs_fresh = True
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -238,6 +482,7 @@ class PrecomputeEngine:
             self._unsubscribe.clear()
             self._timers.clear()
             self._inflight.clear()
+            self._states.clear()
         for unsubscribe in unsubs:
             unsubscribe()
         for timer in timers:

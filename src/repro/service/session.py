@@ -180,10 +180,17 @@ class Session:
             records = self.store.get_pass(self.id, version)
             if records is None:
                 return None
-        origin = next(iter(records.values()))["origin"]
+        origins = {name: r["origin"] for name, r in records.items()}
+        distinct = set(origins.values())
+        # An incremental pass mixes recomputed ("precompute") and
+        # carried-forward ("carried") actions; the overall origin reports
+        # "mixed" and the per-action map tells the two apart.
+        origin = distinct.pop() if len(distinct) == 1 else "mixed"
         payloads = {name: r["payload"] for name, r in records.items()}
         oldest = min(r["computed_at"] for r in records.values())
-        return self._respond(version, payloads, origin=origin, computed_at=oldest)
+        return self._respond(
+            version, payloads, origin=origin, computed_at=oldest, origins=origins
+        )
 
     def _respond(
         self,
@@ -191,6 +198,7 @@ class Session:
         payloads: dict[str, Any],
         origin: str,
         computed_at: float | None = None,
+        origins: dict[str, str] | None = None,
     ) -> dict[str, Any]:
         return {
             "session": self.id,
@@ -199,6 +207,9 @@ class Session:
             "freshness": {
                 "origin": origin,
                 "age_s": round(time.time() - (computed_at or time.time()), 3),
+                "actions": origins
+                if origins is not None
+                else {name: origin for name in payloads},
             },
         }
 

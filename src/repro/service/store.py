@@ -24,7 +24,17 @@ everything else and then be evicted itself.
 A *pass* (all actions computed against one version) is stored atomically:
 per-action entries plus a manifest listing the action names, so a
 whole-dashboard read can distinguish "pass complete" from "some actions
-evicted" and recompute only in the latter case.
+evicted" and recompute only in the latter case.  Evicting a pass member
+also purges the pass's manifest (a manifest naming missing entries would
+otherwise dangle forever), and a manifest is only written when every
+member it names is resident.
+
+Incremental recomputation adds a third provenance next to ``precompute``
+and ``foreground``: :meth:`ResultStore.carry` re-publishes an action's
+still-valid payload from the previous version under the new one with
+``origin == "carried"`` and the original ``computed_at``, so the engine's
+partial passes produce complete, manifest-backed versions without
+recomputing unaffected actions.
 """
 
 from __future__ import annotations
@@ -33,7 +43,7 @@ import json
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from ..core.config import config
 
@@ -46,10 +56,16 @@ MANIFEST = "_manifest"
 class _Entry:
     __slots__ = ("payload", "origin", "computed_at", "nbytes")
 
-    def __init__(self, payload: Any, origin: str, nbytes: int) -> None:
+    def __init__(
+        self,
+        payload: Any,
+        origin: str,
+        nbytes: int,
+        computed_at: float | None = None,
+    ) -> None:
         self.payload = payload
         self.origin = origin
-        self.computed_at = time.time()
+        self.computed_at = time.time() if computed_at is None else computed_at
         self.nbytes = nbytes
 
 
@@ -64,6 +80,7 @@ class ResultStore:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._carried = 0
 
     def budget_bytes(self) -> int:
         """The active byte budget; 0 means unbounded."""
@@ -83,26 +100,46 @@ class ResultStore:
         action: str,
         payload: Any,
         origin: str = "precompute",
+        computed_at: float | None = None,
     ) -> bool:
         """Insert one action's payload; False when it alone busts the budget."""
         nbytes = len(json.dumps(payload, separators=(",", ":")))
+        entry = _Entry(payload, origin, nbytes, computed_at=computed_at)
+        return self._insert(self._key(session_id, version, action), entry)
+
+    def _insert(self, key: tuple, entry: _Entry) -> bool:
+        """Insert a pre-sized entry and enforce the byte budget."""
         budget = self.budget_bytes()
-        if budget and nbytes > budget:
+        if budget and entry.nbytes > budget:
             return False
-        entry = _Entry(payload, origin, nbytes)
-        key = self._key(session_id, version, action)
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
                 self._nbytes -= old.nbytes
             self._entries[key] = entry
-            self._nbytes += nbytes
+            self._nbytes += entry.nbytes
             if budget:
                 while self._nbytes > budget and len(self._entries) > 1:
-                    _, evicted = self._entries.popitem(last=False)
-                    self._nbytes -= evicted.nbytes
-                    self._evictions += 1
+                    self._evict_lru()
         return True
+
+    def _evict_lru(self) -> None:
+        """Drop the LRU entry — and, when it is an action payload, the
+        manifest that lists it.
+
+        Without the purge, evicting a pass member mid-insertion (or later
+        under byte pressure) left a dangling manifest row: a pass that can
+        never be served whole again, whose manifest sat in the LRU
+        consuming bytes and answering action-existence probes for payloads
+        that no longer exist.  The caller holds ``self._lock``.
+        """
+        key, evicted = self._entries.popitem(last=False)
+        self._nbytes -= evicted.nbytes
+        self._evictions += 1
+        if key[2] != MANIFEST:
+            manifest = self._entries.pop((key[0], key[1], MANIFEST), None)
+            if manifest is not None:
+                self._nbytes -= manifest.nbytes
 
     def put_pass(
         self,
@@ -110,13 +147,77 @@ class ResultStore:
         version: tuple,
         payloads: Mapping[str, Any],
         origin: str = "precompute",
+        manifest: "Sequence[str] | None" = None,
     ) -> None:
-        """Store a whole pass: one entry per action plus the manifest."""
+        """Store a whole pass: one entry per action plus the manifest.
+
+        ``manifest`` overrides the listed action names — the incremental
+        engine passes the *full* ordered action set when some entries were
+        carried forward (already present at this version) rather than
+        inserted here.  The manifest is only written if every listed
+        action's entry is still resident: byte pressure during insertion
+        may already have evicted early members, and a manifest naming
+        missing entries would be dangling on arrival.  The residency
+        check and the manifest insert happen under one lock acquisition —
+        a concurrent writer evicting a member between the two would
+        otherwise re-create exactly the dangling row this guards against.
+        """
         for action, payload in payloads.items():
             self.put(session_id, version, action, payload, origin=origin)
-        self.put(
-            session_id, version, MANIFEST, list(payloads.keys()), origin=origin
-        )
+        names = list(manifest) if manifest is not None else list(payloads.keys())
+        nbytes = len(json.dumps(names, separators=(",", ":")))
+        budget = self.budget_bytes()
+        if budget and nbytes > budget:
+            return
+        entry = _Entry(names, origin, nbytes)
+        key = self._key(session_id, version, MANIFEST)
+        with self._lock:
+            if any(
+                self._key(session_id, version, name) not in self._entries
+                for name in names
+            ):
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._nbytes -= old.nbytes
+            self._entries[key] = entry
+            self._nbytes += nbytes
+            if budget:
+                while self._nbytes > budget and len(self._entries) > 1:
+                    self._evict_lru()
+
+    def carry(
+        self,
+        session_id: str,
+        old_version: tuple,
+        new_version: tuple,
+        action: str,
+    ) -> bool:
+        """Re-publish one action's payload under ``new_version``.
+
+        The incremental engine calls this for actions whose input
+        footprint missed the mutation delta: the previous pass's result is
+        still exactly what a cold pass would compute, so it is carried
+        forward under the new ``(session, data_version, intent_epoch)``
+        key with provenance ``carried`` and its original ``computed_at``.
+        Returns False when the source entry is gone (evicted) — the caller
+        must rerun the action instead.
+        """
+        with self._lock:
+            entry = self._entries.get(self._key(session_id, old_version, action))
+            if entry is None:
+                return False
+            # Reuse the source's exact byte size: re-serializing the
+            # payload here would put O(payload) CPU back on the very path
+            # whose point is doing no work for unaffected actions.
+            copied = _Entry(
+                entry.payload, "carried", entry.nbytes, computed_at=entry.computed_at
+            )
+        ok = self._insert(self._key(session_id, new_version, action), copied)
+        if ok:
+            with self._lock:
+                self._carried += 1
+        return ok
 
     def get(
         self, session_id: str, version: tuple, action: str
@@ -179,4 +280,5 @@ class ResultStore:
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "carried": self._carried,
             }

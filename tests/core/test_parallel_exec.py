@@ -123,6 +123,7 @@ class TestParallelEquivalence:
             DataFrameExecutor().execute_many(specs, frame)
 
 
+@pytest.mark.slow
 class TestConcurrentBatches:
     def test_overlapping_execute_many_threads(self, frame):
         """Stress: concurrent batch passes agree with serial, no deadlock."""

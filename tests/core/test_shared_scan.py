@@ -539,3 +539,103 @@ class TestRankingUsesBatch:
         out = rank_candidates(cands, employees, k=5)
         assert len(out) > 0
         assert all(v.data is not None for v in out)
+
+
+class TestDeltaAwareInvalidation:
+    """Column-level deltas migrate a slot instead of wiping it.
+
+    A LuxDataFrame mutation that names its changed columns (and leaves
+    the row set intact) must keep cached primitives for untouched
+    columns valid across the ``_data_version`` bump; everything reading
+    a changed column must go.
+    """
+
+    def _frame(self) -> LuxDataFrame:
+        n = 200
+        return LuxDataFrame({
+            "a": np.arange(n, dtype=float),
+            "b": np.arange(n, dtype=float) * 2,
+            "g": (["x", "y"] * (n // 2)),
+            "h": (["p", "q", "r", "s"] * (n // 4)),
+        })
+
+    def test_untouched_columns_survive_single_column_mutation(self):
+        frame = self._frame()
+        fa = computation_cache.to_float(frame, "a")
+        fb = computation_cache.to_float(frame, "b")
+        codes_g, _ = computation_cache.factorize(frame, "g")
+        grouping_g = computation_cache.grouping(frame, ("g",))
+        edges_a = computation_cache.bin_edges(frame, "a", 10)
+        frame["b"] = frame["b"] * 3  # delta: columns_changed == {"b"}
+        assert computation_cache.to_float(frame, "a") is fa
+        assert computation_cache.factorize(frame, "g")[0] is codes_g
+        assert computation_cache.grouping(frame, ("g",)) is grouping_g
+        assert computation_cache.bin_edges(frame, "a", 10) is edges_a
+        fresh_b = computation_cache.to_float(frame, "b")
+        assert fresh_b is not fb
+        assert float(fresh_b[1]) == 6.0  # recomputed from the new values
+
+    def test_grouping_with_changed_key_is_dropped(self):
+        frame = self._frame()
+        grouping_gh = computation_cache.grouping(frame, ("g", "h"))
+        grouping_g = computation_cache.grouping(frame, ("g",))
+        frame["h"] = frame["h"].to_list()[::-1]
+        assert computation_cache.grouping(frame, ("g",)) is grouping_g
+        assert computation_cache.grouping(frame, ("g", "h")) is not grouping_gh
+
+    def test_masks_keyed_on_changed_filter_column_are_dropped(self):
+        frame = self._frame()
+        ex = DataFrameExecutor()
+        ex.apply_filters(frame, [("g", "=", "x")])
+        ex.apply_filters(frame, [("h", "=", "p")])
+        assert computation_cache.stats()["masks"] == 2
+        frame["g"] = frame["g"].to_list()[::-1]
+        # Only the g-mask went; the h-mask survived the bump.
+        assert computation_cache.stats()["masks"] == 1
+        sub = ex.apply_filters(frame, [("h", "=", "p")])
+        assert len(sub) == 50
+
+    def test_row_level_mutation_drops_whole_slot(self):
+        frame = self._frame()
+        computation_cache.to_float(frame, "a")
+        computation_cache.grouping(frame, ("g",))
+        assert computation_cache.stats()["frames"] == 1
+        frame.dropna(inplace=True)  # rows_changed: no migration possible
+        assert computation_cache.stats()["bytes"] == 0 or (
+            computation_cache.stats()["floats"] == 0
+            and computation_cache.stats()["groupings"] == 0
+        )
+
+    def test_migration_keeps_byte_accounting_exact(self):
+        frame = self._frame()
+        computation_cache.to_float(frame, "a")
+        computation_cache.to_float(frame, "b")
+        before = computation_cache.stats()["bytes"]
+        frame["b"] = frame["b"] * 2
+        after = computation_cache.stats()["bytes"]
+        assert after == before - 200 * 8  # exactly b's float64 view
+
+    def test_plain_frame_still_fully_invalidated_by_version(self):
+        """Substrate frames have no expiry hook: version keying rules."""
+        frame = DataFrame({"a": np.arange(10.0), "b": np.arange(10.0)})
+        fa = computation_cache.to_float(frame, "a")
+        frame["b"] = np.arange(10.0) * 3
+        assert computation_cache.to_float(frame, "a") is not fa
+
+    def test_delta_correctness_through_executor(self):
+        """End to end: a group-by over the unchanged key after a measure
+        mutation reuses the grouping yet aggregates the new values."""
+        frame = self._frame()
+        ex = DataFrameExecutor()
+        spec = VisSpec("bar", [
+            Encoding("y", "g", "nominal"),
+            Encoding("x", "a", "quantitative", aggregate="mean"),
+        ])
+        before = ex.execute(spec, frame)
+        grouping_g = computation_cache.grouping(frame, ("g",))
+        frame["a"] = np.asarray(frame["a"].to_list()) + 100.0
+        assert computation_cache.grouping(frame, ("g",)) is grouping_g
+        spec.data = None
+        after = ex.execute(spec, frame)
+        for r_before, r_after in zip(before, after):
+            assert r_after["a"] == pytest.approx(r_before["a"] + 100.0)

@@ -46,6 +46,7 @@ class TestNotebookRuns:
         assert len(result.timings) == 38
         assert result.total() > 0
 
+    @pytest.mark.slow
     def test_communities_runs_small(self):
         result = build_communities_notebook(150, seed=1).run("all-opt")
         assert result.count("print_df") == 14

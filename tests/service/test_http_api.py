@@ -11,6 +11,10 @@ import pytest
 from repro import config
 from repro.service import make_server
 
+# Each test boots (and tears down) a real threaded HTTP server; the CI
+# smoke job skips these and leaves them to the full matrix.
+pytestmark = pytest.mark.slow
+
 CSV = "a,b,c\n" + "\n".join(f"{i % 7},{i * 1.5},g{i % 3}" for i in range(300))
 
 

@@ -195,7 +195,9 @@ class TestAlwaysOn:
         calls["n"] = 0
         response = session.recommendations()
         assert calls["n"] == 0, "store hit must not touch the executor"
-        assert response["freshness"]["origin"] == "precompute"
+        # "mixed" when the initial pass landed before the mutation (the
+        # redo then carries the unaffected actions forward).
+        assert response["freshness"]["origin"] in ("precompute", "mixed")
         # In-process prints are free too: the pass refreshed the frame's
         # memoized recommendation cache.
         assert session.frame._recs_fresh
@@ -207,6 +209,7 @@ class TestAlwaysOn:
         response = session.recommendations()
         assert response["freshness"]["origin"] == "foreground"
 
+    @pytest.mark.slow
     def test_concurrent_sessions_bit_identical_to_serial(self, manager):
         sessions = {
             k: manager.create(make_frame(seed=7), overrides={"top_k": k})
@@ -229,7 +232,7 @@ class TestAlwaysOn:
 
         for k, session in sessions.items():
             response = session.recommendations()
-            assert response["freshness"]["origin"] == "precompute"
+            assert response["freshness"]["origin"] != "foreground"
             reference = make_frame(seed=7)
             reference["derived"] = reference["q0"] * 2
             reference["flag"] = (reference["q1"] > 2).astype("int64")
@@ -263,6 +266,7 @@ class TestAlwaysOn:
         assert any(len(direct[name]) > 2 for name in direct.keys())
 
 
+@pytest.mark.slow
 class TestStaleCancellation:
     def test_stale_pass_never_stored_and_redone(self, manager):
         started = threading.Event()
