@@ -25,6 +25,13 @@ fi
 python -m ruff check .
 python -m ruff format --check .
 
+echo "== static analysis (tools/check) =="
+# Repo-specific invariant gate: lock discipline, mutation-delta
+# completeness, footprint coverage, config/SQL hygiene, identity-key and
+# route-auth rules.  Stdlib-only, so it can never be skipped for a
+# missing dependency.  The JSON report is uploaded as a CI artifact.
+python -m tools.check src --json CHECK_report.json
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 

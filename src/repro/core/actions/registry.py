@@ -43,6 +43,11 @@ __all__ = [
 class CustomAction(Action):
     """Adapter turning a user UDF into an Action."""
 
+    #: A UDF's inputs are opaque — it may read any column and the intent —
+    #: so the incremental engine must rerun it on every change.  Stated
+    #: explicitly rather than inherited silently (tools/check `footprint`).
+    footprint_unknown = True
+
     def __init__(
         self,
         name: str,

@@ -148,6 +148,10 @@ class Config:
     #: computes recommendations only on demand (foreground).
     precompute: bool = True
 
+    #: Bearer token required by the HTTP API on every route except
+    #: ``/healthz``; empty disables authentication (local notebooks).
+    service_auth_token: str = ""
+
     #: Incremental recomputation: partition each background pass into the
     #: actions whose input footprint intersects the accumulated mutation
     #: delta (rerun) and the rest (carried forward from the previous

@@ -139,26 +139,26 @@ class _FrameSlot:
         self.ref = ref
         self.version = version
         self.lock = threading.Lock()
-        self.nbytes = 0
-        self.hits = 0
-        self.misses = 0
+        self.nbytes = 0  # guarded-by: lock
+        self.hits = 0  # guarded-by: lock
+        self.misses = 0  # guarded-by: lock
         #: column name -> read-only float64 view (NaN at missing slots)
-        self.floats: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.floats: "OrderedDict[str, np.ndarray]" = OrderedDict()  # guarded-by: lock
         #: column name -> (codes, labels) from factorize()
-        self.factorized: "OrderedDict[str, tuple[np.ndarray, list[Any]]]" = (
+        self.factorized: "OrderedDict[str, tuple[np.ndarray, list[Any]]]" = (  # guarded-by: lock
             OrderedDict()
         )
         #: key tuple -> prepared _Grouping (the group-by's expensive half)
-        self.groupings: "OrderedDict[tuple[str, ...], _Grouping]" = OrderedDict()
+        self.groupings: "OrderedDict[tuple[str, ...], _Grouping]" = OrderedDict()  # guarded-by: lock
         #: column name -> standardized vector (or None when unusable)
-        self.standardized: "OrderedDict[str, np.ndarray | None]" = OrderedDict()
+        self.standardized: "OrderedDict[str, np.ndarray | None]" = OrderedDict()  # guarded-by: lock
         #: (column name, bin count) -> histogram bin edges
-        self.edges: "OrderedDict[tuple[str, int], np.ndarray]" = OrderedDict()
+        self.edges: "OrderedDict[tuple[str, int], np.ndarray]" = OrderedDict()  # guarded-by: lock
         #: filter signature -> boolean row mask
-        self.masks: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.masks: "OrderedDict[tuple, np.ndarray]" = OrderedDict()  # guarded-by: lock
 
     # The caller holds ``self.lock`` for all three helpers below.
-    def _get(self, section: str, key: Any) -> Any:
+    def _get(self, section: str, key: Any) -> Any:  # requires-lock: lock
         store: OrderedDict = getattr(self, section)
         if key in store:
             store.move_to_end(key)
@@ -167,7 +167,7 @@ class _FrameSlot:
         self.misses += 1
         return _MISSING
 
-    def _put(self, section: str, key: Any, value: Any) -> Any:
+    def _put(self, section: str, key: Any, value: Any) -> Any:  # requires-lock: lock
         """Insert unless a concurrent worker won the race; returns winner."""
         store: OrderedDict = getattr(self, section)
         existing = store.get(key, _MISSING)
@@ -180,7 +180,7 @@ class _FrameSlot:
         self.nbytes += self._SIZERS[section](value)
         return value
 
-    def _evict_one(self) -> bool:
+    def _evict_one(self) -> bool:  # requires-lock: lock
         """Drop the LRU entry of the first non-empty section; False if empty."""
         for section in self.SECTIONS:
             store: OrderedDict = getattr(self, section)
@@ -215,8 +215,8 @@ class ComputationCache:
     """Memoizes per-frame relational primitives across a candidate set."""
 
     def __init__(self, max_frames: int = 8, budget_bytes: int | None = None) -> None:
-        self._slots: "OrderedDict[int, _FrameSlot]" = OrderedDict()
-        self._links: dict[int, _SampleLink] = {}
+        self._slots: "OrderedDict[int, _FrameSlot]" = OrderedDict()  # guarded-by: _lock
+        self._links: dict[int, _SampleLink] = {}  # guarded-by: _lock
         self._lock = threading.RLock()
         self._max_frames = max_frames
         self._budget_override = budget_bytes
@@ -236,6 +236,8 @@ class ComputationCache:
 
     def _slot(self, frame: "DataFrame") -> _FrameSlot | None:
         """The live slot for ``frame``, creating/replacing as needed."""
+        # Identity key is weakref-validated on every read and evicted on
+        # collection, so a recycled id can never alias.  check: ignore[unstable-key]
         key = id(frame)
         version = getattr(frame, "_data_version", 0)
         with self._lock:
@@ -293,6 +295,7 @@ class ComputationCache:
         validity is version-pinned and a mutated parent or sample must
         stop deriving (the link simply goes stale).
         """
+        # Weakref-validated identity key (see _slot).  check: ignore[unstable-key]
         key = id(frame)
         version = getattr(frame, "_data_version", 0)
         with self._lock:
@@ -399,6 +402,7 @@ class ComputationCache:
         """
         if sample is parent:
             return
+        # Weakref-validated identity key (see _slot).  check: ignore[unstable-key]
         key = id(sample)
         try:
             sample_ref = weakref.ref(sample, lambda _, k=key: self._unlink(k))
@@ -425,7 +429,9 @@ class ComputationCache:
         self, frame: "DataFrame"
     ) -> "tuple[DataFrame, np.ndarray] | None":
         """(parent, row indices) when ``frame`` is a still-valid sample cut."""
-        link = self._links.get(id(frame))
+        with self._lock:
+            # Weakref-validated identity key (see _slot).  check: ignore[unstable-key]
+            link = self._links.get(id(frame))
         if link is None or link.sample_ref() is not frame:
             return None
         parent = link.parent_ref()

@@ -149,6 +149,8 @@ class SQLExecutor(Executor):
     name = "sql"
 
     def _connection(self, frame: DataFrame) -> sqlite3.Connection:
+        # Identity key is weakref-validated on every read and dropped on
+        # collection, so a recycled id never aliases.  check: ignore[unstable-key]
         key = id(frame)
         version = getattr(frame, "_data_version", 0)
         with _CONN_LOCK:

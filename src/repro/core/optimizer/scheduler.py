@@ -49,12 +49,12 @@ class RecommendationSet:
     """
 
     def __init__(self) -> None:
-        self._results: dict[str, "VisList"] = {}
-        self._order: list[str] = []
+        self._results: dict[str, "VisList"] = {}  # guarded-by: _lock
+        self._order: list[str] = []  # guarded-by: _lock
         self._lock = threading.Lock()
         self._done = threading.Event()
-        self._expected = 0
-        self._received = 0
+        self._expected = 0  # guarded-by: _lock
+        self._received = 0  # guarded-by: _lock
 
     def _put(self, name: str, vislist: "VisList") -> None:
         # Completion counts *puts*, not dict entries: two actions sharing a
@@ -69,29 +69,38 @@ class RecommendationSet:
                 self._done.set()
 
     # Mapping-style access -------------------------------------------------
+    # ``wait()`` orders these reads after the last expected ``_put``, but a
+    # straggler put (a superseded streaming action completing late) can
+    # still be writing — reads take the lock, not just the event.
     def __getitem__(self, name: str) -> "VisList":
         self.wait()
-        return self._results[name]
+        with self._lock:
+            return self._results[name]
 
     def __contains__(self, name: str) -> bool:
         self.wait()
-        return name in self._results
+        with self._lock:
+            return name in self._results
 
     def __iter__(self):
         self.wait()
-        return iter(self._order)
+        with self._lock:
+            return iter(list(self._order))
 
     def __len__(self) -> int:
         self.wait()
-        return len(self._results)
+        with self._lock:
+            return len(self._results)
 
     def keys(self) -> list[str]:
         self.wait()
-        return list(self._order)
+        with self._lock:
+            return list(self._order)
 
     def items(self):
         self.wait()
-        return [(k, self._results[k]) for k in self._order]
+        with self._lock:
+            return [(k, self._results[k]) for k in self._order]
 
     @property
     def ready(self) -> list[str]:

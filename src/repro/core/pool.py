@@ -69,14 +69,17 @@ _THREAD_PREFIX = "lux-worker"
 #: Band indices: interactive drains strictly before background.
 INTERACTIVE, BACKGROUND = 0, 1
 
-_POOL: ThreadPoolExecutor | None = None
-_POOL_SIZE: int = 0
-_LOCK = threading.Lock()
+_POOL: ThreadPoolExecutor | None = None  # guarded-by: _LOCK
+_POOL_SIZE: int = 0  # guarded-by: _LOCK
+
+#: Reentrant because a done-callback can fire synchronously on the
+#: submitting thread while it still holds the lock (see :func:`_forget`).
+_LOCK = threading.RLock()
 
 #: Inner future -> dispatcher, for every dispatcher not yet started.  A
 #: resize snapshots this map to re-submit whatever the retired pool
 #: cancelled.
-_PENDING: dict[Future, Callable[[], None]] = {}
+_PENDING: dict[Future, Callable[[], None]] = {}  # guarded-by: _LOCK
 
 #: The tag/band the *currently running* work item was submitted under;
 #: nested submissions inherit it so fan-out stays attributed.
@@ -129,7 +132,7 @@ class _FairQueue:
         return seen
 
 
-_QUEUE = _FairQueue()
+_QUEUE = _FairQueue()  # guarded-by: _LOCK
 
 
 def worker_count() -> int:
@@ -214,7 +217,21 @@ def _dispatch() -> None:
         item()
 
 
-def _submit_locked(run: Callable[[], None]) -> None:
+def _forget(inner: "Future[None]") -> None:
+    """Done-callback dropping a finished dispatcher from the pending map.
+
+    Runs on whatever thread completes the inner future — usually a pool
+    worker, but synchronously on the submitting thread when the future is
+    already done at ``add_done_callback`` time.  That thread still holds
+    ``_LOCK`` (hence the reentrant lock), and a worker-thread callback
+    takes it here: ``_retire_locked`` snapshots ``_PENDING`` under the
+    same lock, so an unlocked pop would race the resize hand-off.
+    """
+    with _LOCK:
+        _PENDING.pop(inner, None)
+
+
+def _submit_locked(run: Callable[[], None]) -> None:  # requires-lock: _LOCK
     """Enqueue ``run`` on the current pool, resizing first if needed."""
     global _POOL, _POOL_SIZE
     workers = worker_count()
@@ -227,10 +244,10 @@ def _submit_locked(run: Callable[[], None]) -> None:
         _POOL_SIZE = workers
     inner = _POOL.submit(run)
     _PENDING[inner] = run
-    inner.add_done_callback(lambda f: _PENDING.pop(f, None))
+    inner.add_done_callback(_forget)
 
 
-def _retire_locked() -> None:
+def _retire_locked() -> None:  # requires-lock: _LOCK
     """Retire the current pool, handing unstarted tasks to the successor.
 
     ``cancel_futures`` stops the retired pool's queue cold — its workers
@@ -252,7 +269,7 @@ def _retire_locked() -> None:
         for run in orphans:
             inner = _POOL.submit(run)
             _PENDING[inner] = run
-            inner.add_done_callback(lambda f: _PENDING.pop(f, None))
+            inner.add_done_callback(_forget)
 
 
 def stats() -> dict[str, Any]:

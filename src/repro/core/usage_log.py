@@ -36,7 +36,7 @@ class UsageLog:
     MAX_EVENTS = 10_000
 
     def __init__(self) -> None:
-        self._events: list[UsageEvent] = []
+        self._events: list[UsageEvent] = []  # guarded-by: _lock
         self._lock = threading.Lock()
         self.enabled = False
 

@@ -132,7 +132,7 @@ class Delta:
 
 
 #: frame id -> (weakref to the frame, ordered callback list).
-_OBSERVERS: dict[int, tuple["weakref.ref", list[Callable[..., None]]]] = {}
+_OBSERVERS: dict[int, tuple["weakref.ref", list[Callable[..., None]]]] = {}  # guarded-by: _LOCK
 _LOCK = threading.Lock()
 
 
@@ -145,6 +145,8 @@ def register(
     strong reference to the frame; when the frame dies the entry
     disappears with it.
     """
+    # Identity key is weakref-validated on read and dropped on collection,
+    # so a recycled id never aliases.  check: ignore[unstable-key]
     key = id(frame)
     with _LOCK:
         entry = _OBSERVERS.get(key)
@@ -163,6 +165,7 @@ def register(
 
 
 def unregister(frame: "DataFrame", callback: Callable[..., None]) -> None:
+    # Weakref-validated identity key (see register).  check: ignore[unstable-key]
     key = id(frame)
     with _LOCK:
         entry = _OBSERVERS.get(key)
@@ -182,6 +185,7 @@ def _drop(key: int) -> None:
 
 def observer_count(frame: "DataFrame") -> int:
     with _LOCK:
+        # Weakref-validated identity key (see register).  check: ignore[unstable-key]
         entry = _OBSERVERS.get(id(frame))
         return len(entry[1]) if entry is not None and entry[0]() is frame else 0
 
@@ -192,10 +196,15 @@ def emit(frame: "DataFrame", op: str, delta: Delta | None = None) -> None:
     ``delta`` defaults to :meth:`Delta.unknown` so emitters that cannot
     describe their change stay safe (consumers assume everything moved).
     """
+    # Deliberately unlocked fast-path probe: the common case (no observers)
+    # must not serialize every mutation on _LOCK; the worst case is a stale
+    # answer, re-checked under the lock below before anything is used.
+    # check: ignore[guarded-by, unstable-key]
     entry = _OBSERVERS.get(id(frame))
     if entry is None:
         return
     with _LOCK:
+        # Weakref-validated identity key (see register).  check: ignore[unstable-key]
         entry = _OBSERVERS.get(id(frame))
         if entry is None or entry[0]() is not frame:
             return

@@ -29,6 +29,12 @@ Endpoints
 ``GET /healthz``
     Liveness + pool / computation-cache / store / engine statistics.
 
+Authentication: when ``config.service_auth_token`` (or the explicit
+``auth_token`` constructor/CLI override) is non-empty, every route except
+``/healthz`` requires ``Authorization: Bearer <token>`` and answers 401
+otherwise.  An empty token (the default) disables the check for local,
+single-user notebooks.
+
 Run standalone::
 
     PYTHONPATH=src python -m repro.service.http_api --port 8080
@@ -38,6 +44,8 @@ or embed: ``server = make_server(manager, port=0); server.serve_background()``.
 
 from __future__ import annotations
 
+import functools
+import hmac
 import json
 import re
 import threading
@@ -46,6 +54,7 @@ from typing import Any, Callable
 from urllib.parse import parse_qsl
 
 from ..core import pool
+from ..core.config import config
 from ..core.errors import LuxError
 from ..core.executor.cache import computation_cache
 from ..dataframe.io import read_csv_string
@@ -89,6 +98,27 @@ class _ApiError(Exception):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
+
+
+def authenticated(handler: Callable[..., Any]) -> Callable[..., Any]:
+    """Route decorator: reject the request unless it bears the token.
+
+    Every handler ``_resolve`` can return must carry this or :func:`public`
+    — an explicit per-route decision that ``tools/check`` (rule
+    ``route-auth``) enforces, so a new endpoint cannot silently ship open.
+    """
+
+    @functools.wraps(handler)
+    def guarded(self: "_Handler", *args: Any) -> Any:
+        self._require_auth()
+        return handler(self, *args)
+
+    return guarded
+
+
+def public(handler: Callable[..., Any]) -> Callable[..., Any]:
+    """Route decorator marking an endpoint as deliberately unauthenticated."""
+    return handler
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -137,6 +167,15 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(parsed, dict):
             raise _ApiError(400, "request body must be a JSON object")
         return parsed
+
+    def _require_auth(self) -> None:
+        """Raise 401 unless the request bears the configured token."""
+        token = self.server.auth_token
+        if not token:
+            return
+        header = self.headers.get("Authorization") or ""
+        if not hmac.compare_digest(header, f"Bearer {token}"):
+            raise _ApiError(401, "missing or invalid bearer token")
 
     def _route(self, method: str) -> None:
         # One handler instance serves every request on a keep-alive
@@ -190,6 +229,7 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
+    @public
     def _healthz(self) -> tuple[int, dict[str, Any]]:
         manager = self.server.manager
         return 200, {
@@ -199,9 +239,11 @@ class _Handler(BaseHTTPRequestHandler):
             **manager.stats(),
         }
 
+    @authenticated
     def _list_sessions(self) -> tuple[int, dict[str, Any]]:
         return 200, {"sessions": self.server.manager.ids()}
 
+    @authenticated
     def _create_session(self) -> tuple[int, dict[str, Any]]:
         body = self._body()
         dataset = body.get("dataset")
@@ -230,19 +272,23 @@ class _Handler(BaseHTTPRequestHandler):
         )
         return 201, session.info()
 
+    @authenticated
     def _session_info(self, session_id: str) -> tuple[int, dict[str, Any]]:
         return 200, self.server.manager.get(session_id).info()
 
+    @authenticated
     def _close_session(self, session_id: str) -> tuple[int, dict[str, Any]]:
         if not self.server.manager.close(session_id):
             raise _ApiError(404, f"no such session: {session_id!r}")
         return 200, {"closed": session_id}
 
+    @authenticated
     def _set_intent(self, session_id: str) -> tuple[int, dict[str, Any]]:
         session = self.server.manager.get(session_id)
         session.set_intent(self._body().get("intent"))
         return 200, session.info()
 
+    @authenticated
     def _recommendations(
         self, session_id: str, params: dict[str, str]
     ) -> tuple[int, dict[str, Any]]:
@@ -270,10 +316,17 @@ class ServiceServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
+        auth_token: str | None = None,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.manager = manager
         self.verbose = verbose
+        # Resolved once at construction: handler threads are spawned by the
+        # server, so a thread-local config overlay on the caller would never
+        # reach them anyway — the explicit parameter is the override path.
+        self.auth_token = (
+            config.service_auth_token if auth_token is None else auth_token
+        )
         self._thread: threading.Thread | None = None
 
     @property
@@ -302,9 +355,12 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    auth_token: str | None = None,
 ) -> ServiceServer:
     """Build a server (port 0 picks an ephemeral port; see ``.address``)."""
-    return ServiceServer(manager or SessionManager(), host, port, verbose)
+    return ServiceServer(
+        manager or SessionManager(), host, port, verbose, auth_token
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -316,8 +372,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8080)
     parser.add_argument("--verbose", action="store_true")
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        help="Bearer token required on every route except /healthz "
+        "(default: config.service_auth_token; empty disables auth)",
+    )
     args = parser.parse_args(argv)
-    server = make_server(host=args.host, port=args.port, verbose=args.verbose)
+    server = make_server(
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        auth_token=args.auth_token,
+    )
     print(f"serving on {server.address} (Ctrl-C to stop)")
     try:
         server.serve_forever()

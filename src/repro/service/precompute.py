@@ -141,11 +141,11 @@ class PrecomputeEngine:
         self.store = store
         self._debounce_override = debounce_s
         self._lock = threading.Lock()
-        self._unsubscribe: dict[str, Any] = {}
-        self._timers: dict[str, threading.Timer] = {}
-        self._inflight: dict[str, _Inflight] = {}
-        self._states: dict[str, _SessionState] = {}
-        self._counters = {
+        self._unsubscribe: dict[str, Any] = {}  # guarded-by: _lock
+        self._timers: dict[str, threading.Timer] = {}  # guarded-by: _lock
+        self._inflight: dict[str, _Inflight] = {}  # guarded-by: _lock
+        self._states: dict[str, _SessionState] = {}  # guarded-by: _lock
+        self._counters = {  # guarded-by: _lock
             "scheduled": 0,
             "completed": 0,
             "cancelled": 0,
@@ -161,6 +161,11 @@ class PrecomputeEngine:
         if self._debounce_override is not None:
             return self._debounce_override
         return max(float(config.precompute_debounce_s), 0.0)
+
+    def _bump(self, name: str, by: int = 1) -> None:
+        """Increment one stats counter; pass workers race the stats reader."""
+        with self._lock:
+            self._counters[name] += by
 
     # ------------------------------------------------------------------
     # Watch / unwatch
@@ -320,11 +325,11 @@ class PrecomputeEngine:
     ) -> str:
         """One (possibly partial) recommendation pass at ``version``."""
         if cancel.is_set() or session.version != version:
-            self._counters["stale"] += 1
+            self._bump("stale")
             return "stale"
         with session.lock:
             if cancel.is_set() or session.version != version:
-                self._counters["stale"] += 1
+                self._bump("stale")
                 return "stale"
             frame = session.frame
             prev_recs = frame._recs_cache
@@ -341,10 +346,10 @@ class PrecomputeEngine:
                     )
                     payloads = serialize_recommendations(recs)
             except PassCancelled:
-                self._counters["cancelled"] += 1
+                self._bump("cancelled")
                 return "cancelled"
             except Exception as exc:
-                self._counters["failed"] += 1
+                self._bump("failed")
                 warnings.warn(f"precompute pass failed: {exc}", LuxWarning)
                 return "failed"
             if cancel.is_set() or session.version != version:
@@ -352,11 +357,11 @@ class PrecomputeEngine:
                 # store entries were already dropped and must not be
                 # re-inserted) or completed against data that no longer
                 # exists (the mutation's own trigger scheduled a redo).
-                self._counters["stale"] += 1
+                self._bump("stale")
                 return "stale"
             self._publish(session, version, plan, recs, payloads, prev_recs,
                           prev_recs_version)
-            self._counters["completed"] += 1
+            self._bump("completed")
             return "completed"
 
     def _publish(
@@ -377,7 +382,7 @@ class PrecomputeEngine:
                 # served whole at this version (put_pass skips the
                 # manifest), so reads fall back to a foreground pass.
                 carried_ok = False
-                self._counters["carry_misses"] += 1
+                self._bump("carry_misses")
         self.store.put_pass(
             session.id,
             version,

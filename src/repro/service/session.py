@@ -265,7 +265,7 @@ class SessionManager:
         self.engine = (
             engine if engine is not None else PrecomputeEngine(self.store)
         )
-        self._sessions: dict[str, Session] = {}
+        self._sessions: dict[str, Session] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------

@@ -73,14 +73,14 @@ class ResultStore:
     """Byte-budgeted LRU over serialized recommendation payloads."""
 
     def __init__(self, budget_bytes: int | None = None) -> None:
-        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.RLock()
         self._budget_override = budget_bytes
-        self._nbytes = 0
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._carried = 0
+        self._nbytes = 0  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._carried = 0  # guarded-by: _lock
 
     def budget_bytes(self) -> int:
         """The active byte budget; 0 means unbounded."""
@@ -123,7 +123,7 @@ class ResultStore:
                     self._evict_lru()
         return True
 
-    def _evict_lru(self) -> None:
+    def _evict_lru(self) -> None:  # requires-lock: _lock
         """Drop the LRU entry — and, when it is an action payload, the
         manifest that lists it.
 

@@ -18,6 +18,9 @@ pytestmark = pytest.mark.slow
 CSV = "a,b,c\n" + "\n".join(f"{i % 7},{i * 1.5},g{i % 3}" for i in range(300))
 
 
+TOKEN = "s3cret-token"
+
+
 @pytest.fixture
 def server():
     config.precompute_debounce_s = 0.0
@@ -27,13 +30,22 @@ def server():
     srv.stop()
 
 
-def call(server, method: str, path: str, body=None):
+@pytest.fixture
+def auth_server():
+    config.precompute_debounce_s = 0.0
+    srv = make_server(auth_token=TOKEN).serve_background()
+    yield srv
+    srv.manager.shutdown()
+    srv.stop()
+
+
+def call(server, method: str, path: str, body=None, token=None):
     data = json.dumps(body).encode() if body is not None else None
+    headers = {"Content-Type": "application/json"}
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
     request = urllib.request.Request(
-        server.address + path,
-        data=data,
-        method=method,
-        headers={"Content-Type": "application/json"},
+        server.address + path, data=data, method=method, headers=headers
     )
     try:
         with urllib.request.urlopen(request, timeout=60) as response:
@@ -125,6 +137,44 @@ class TestHTTPApi:
             f"/sessions/{info['session']}/recommendations?action=Bogus",
         )
         assert status == 404 and "Bogus" in err["error"]
+
+    def test_auth_disabled_by_default(self, server):
+        # Empty token (the default config) leaves every route open.
+        status, _ = call(server, "GET", "/sessions")
+        assert status == 200
+
+    def test_auth_required_on_every_route_except_healthz(self, auth_server):
+        # /healthz stays open for liveness probes.
+        status, health = call(auth_server, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        # Every other route answers 401 without (or with a wrong) token.
+        probes = [
+            ("GET", "/sessions", None),
+            ("POST", "/sessions", {"csv": CSV}),
+            ("GET", "/sessions/whatever", None),
+            ("DELETE", "/sessions/whatever", None),
+            ("POST", "/sessions/whatever/intent", {"intent": ["b"]}),
+            ("GET", "/sessions/whatever/recommendations", None),
+        ]
+        for method, path, body in probes:
+            status, err = call(auth_server, method, path, body)
+            assert status == 401, (method, path, status)
+            assert "bearer token" in err["error"]
+            status, _ = call(auth_server, method, path, body, token="wrong")
+            assert status == 401, (method, path, status)
+
+    def test_auth_accepts_the_configured_token(self, auth_server):
+        status, info = call(
+            auth_server, "POST", "/sessions", {"csv": CSV}, token=TOKEN
+        )
+        assert status == 201
+        session_id = info["session"]
+        status, listing = call(auth_server, "GET", "/sessions", token=TOKEN)
+        assert status == 200 and session_id in listing["sessions"]
+        status, closed = call(
+            auth_server, "DELETE", f"/sessions/{session_id}", token=TOKEN
+        )
+        assert status == 200 and closed["closed"] == session_id
 
     def test_keepalive_survives_error_with_body(self, server):
         """An error response must drain the request body (keep-alive)."""

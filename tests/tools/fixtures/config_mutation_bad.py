@@ -1,0 +1,7 @@
+"""Fixture: global config mutated in place outside core/config.py."""
+from repro.core.config import config
+
+
+def run_fast():
+    config.streaming = False  # BAD: leaks to every other thread forever
+    setattr(config, "top_k", 3)  # BAD: same mutation, dynamic spelling

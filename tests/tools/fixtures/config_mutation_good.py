@@ -1,0 +1,9 @@
+"""Fixture: config read freely; changes go through a scoped overlay."""
+from repro.core.config import config
+
+
+def run_fast(frame):
+    if config.streaming:
+        with config.overrides(top_k=3):
+            return frame.recommendations
+    return None

@@ -1,0 +1,13 @@
+"""Fixture: concrete Action with no footprint and no explicit marker."""
+
+
+class MysteryAction(Action):  # noqa: F821 - name-based fixture
+    name = "Mystery"
+
+    def applies_to(self, ldf):
+        return True
+
+    def generate(self, ldf):
+        # BAD: the incremental engine cannot tell which columns this
+        # reads, and nothing says so explicitly.
+        return []

@@ -1,0 +1,32 @@
+"""Fixture: actions either declare a footprint or mark it unknown."""
+
+
+class ScopedAction(Action):  # noqa: F821 - name-based fixture
+    name = "Scoped"
+
+    def footprint(self, ldf):
+        return {"intent"}
+
+    def generate(self, ldf):
+        return []
+
+
+class OpaqueAction(Action):  # noqa: F821 - name-based fixture
+    name = "Opaque"
+
+    #: Inputs are opaque by design; rerun on every change.
+    footprint_unknown = True
+
+    def generate(self, ldf):
+        return []
+
+
+class AbstractishAction(Action):  # noqa: F821 - name-based fixture
+    @abstractmethod  # noqa: F821
+    def generate(self, ldf):
+        ...
+
+
+class DerivedAction(ScopedAction):
+    # Inherits ScopedAction.footprint — no marker needed.
+    name = "Derived"

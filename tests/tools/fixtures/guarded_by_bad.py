@@ -1,0 +1,11 @@
+"""Fixture: guarded-by field read outside ``with self._lock``."""
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+
+    def size(self):
+        return len(self._entries)  # BAD: unlocked read of a guarded field

@@ -1,0 +1,23 @@
+"""Fixture: every guarded access happens under the lock (or declares it)."""
+import threading
+
+_REGISTRY = {}  # guarded-by: _LOCK
+_LOCK = threading.Lock()
+
+
+def lookup(key):
+    with _LOCK:
+        return _REGISTRY.get(key)
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+
+    def size(self):
+        with self._lock:
+            return len(self._entries)
+
+    def _evict_one(self):  # requires-lock: _lock
+        self._entries.popitem()

@@ -1,0 +1,8 @@
+"""Fixture: frame mutator writes internal state but never notifies."""
+
+
+class SilentFrame(DataFrame):  # noqa: F821 - name-based fixture
+    def drop_column(self, name):
+        order = [c for c in self._column_order if c != name]
+        self._column_order = order  # BAD: silent write, no delta emitted
+        del self._data[name]

@@ -1,0 +1,14 @@
+"""Fixture: every state write notifies observers with a column delta."""
+
+
+class NotifyingFrame(DataFrame):  # noqa: F821 - name-based fixture
+    def drop_column(self, name):
+        self._column_order = [c for c in self._column_order if c != name]
+        del self._data[name]
+        self._notify_mutation(
+            "drop_column",
+            Delta.data([name], schema_changed=True),  # noqa: F821
+        )
+
+    def read_only(self, name):
+        return self._data[name]

@@ -1,0 +1,17 @@
+"""Regression fixture: the PR-1 metadata-cache keying bug.
+
+The computation cache originally keyed per-frame state on a bare
+``id(frame)`` with no weakref validation: once a frame was collected and
+CPython recycled its id for a new frame, the new frame silently inherited
+the dead frame's cached metadata.  The ``unstable-key`` rule exists to
+catch this exact shape.
+"""
+
+_METADATA = {}
+
+
+def metadata_for(frame):
+    key = id(frame)
+    if key not in _METADATA:
+        _METADATA[key] = {"columns": list(frame.columns)}
+    return _METADATA[key]

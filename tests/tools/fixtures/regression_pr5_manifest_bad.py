@@ -1,0 +1,27 @@
+"""Regression fixture: the PR-5 dangling-manifest bug.
+
+The versioned result store's LRU eviction originally dropped entries
+outside the store lock, racing a concurrent publish: the manifest kept
+naming an action whose entry was already evicted, so reads returned a
+partial pass as if it were complete.  The ``guarded-by`` rule flags the
+unlocked access that made the race possible.
+"""
+import threading
+
+
+class ResultStore:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+        self._manifests = {}  # guarded-by: _lock
+
+    def publish(self, session, version, entries):
+        with self._lock:
+            self._entries.update(entries)
+            self._manifests[(session, version)] = sorted(entries)
+
+    def _evict_lru(self):
+        # BAD: unlocked eviction races publish; a manifest can end up
+        # naming an entry this just deleted.
+        while len(self._entries) > 128:
+            self._entries.popitem()

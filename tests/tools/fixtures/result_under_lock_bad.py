@@ -1,0 +1,13 @@
+"""Fixture: blocking on a future while holding a lock (deadlock shape)."""
+import threading
+
+
+class Runner:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def flush(self, future):
+        with self._lock:
+            # BAD: the worker that must complete this future may itself
+            # need _lock — classic lock-ordering deadlock.
+            return future.result()

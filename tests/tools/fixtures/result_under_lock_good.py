@@ -1,0 +1,14 @@
+"""Fixture: the future is awaited only after the lock is released."""
+import threading
+
+
+class Runner:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []  # guarded-by: _lock
+
+    def flush(self):
+        with self._lock:
+            drained = list(self._pending)
+            self._pending.clear()
+        return [future.result() for future in drained]

@@ -1,0 +1,15 @@
+"""Fixture: a routed handler with no authentication posture."""
+
+
+class Handler:
+    def _resolve(self, method):
+        if method == "GET":
+            return self._status, ()
+        return self._mutate, ()
+
+    @public  # noqa: F821 - name-based fixture
+    def _status(self):
+        return 200, {}
+
+    def _mutate(self):  # BAD: routed, but neither @authenticated nor @public
+        return 200, {}

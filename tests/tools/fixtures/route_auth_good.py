@@ -1,0 +1,16 @@
+"""Fixture: every routed handler declares its authentication posture."""
+
+
+class Handler:
+    def _resolve(self, method):
+        if method == "GET":
+            return self._status, ()
+        return self._mutate, ()
+
+    @public  # noqa: F821 - name-based fixture
+    def _status(self):
+        return 200, {}
+
+    @authenticated  # noqa: F821 - name-based fixture
+    def _mutate(self):
+        return 200, {}

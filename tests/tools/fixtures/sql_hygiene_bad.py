@@ -1,0 +1,9 @@
+"""Fixture: values interpolated straight into SQL text."""
+
+
+def count_rows(conn, table, threshold):
+    query = f"SELECT COUNT(*) FROM {table} WHERE value > {threshold}"  # BAD
+    also_bad = "SELECT * FROM data WHERE name = '%s'" % table  # BAD
+    concatenated = "DELETE FROM " + table  # BAD
+    formatted = "DROP TABLE {}".format(table)  # BAD
+    return conn.execute(query), also_bad, concatenated, formatted

@@ -1,0 +1,12 @@
+"""Fixture: SQL stays constant; values travel as bound parameters."""
+
+
+def count_rows(conn, threshold):
+    query = "SELECT COUNT(*) FROM data WHERE value > ?"
+    return conn.execute(query, (threshold,)).fetchone()[0]
+
+
+def describe(conn):
+    # Constant concatenation (no runtime value) is fine.
+    query = "SELECT name FROM sqlite_master " + "ORDER BY name"
+    return [row[0] for row in conn.execute(query)]

@@ -1,0 +1,14 @@
+"""Fixture: a real violation silenced by an inline suppression comment."""
+
+_CACHE = {}
+
+
+def remember_trailing(frame, value):
+    _CACHE[id(frame)] = value  # check: ignore[unstable-key]
+
+
+def remember_standalone(frame, value):
+    # Entries are weakref-validated on read, so a recycled id never
+    # aliases (mirrors the justification style used in src/).
+    # check: ignore[unstable-key]
+    _CACHE[id(frame)] = value

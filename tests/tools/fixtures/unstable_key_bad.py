@@ -1,0 +1,12 @@
+"""Fixture: raw id() used as a cache key (recycled-id aliasing)."""
+
+_CACHE = {}
+
+
+def remember(frame, value):
+    _CACHE[id(frame)] = value  # BAD: id can be recycled after collection
+
+
+def recall(frame):
+    key = id(frame)  # BAD: tainted name used as a key below
+    return _CACHE.get(key)

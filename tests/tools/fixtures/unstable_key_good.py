@@ -1,0 +1,11 @@
+"""Fixture: id() used for logging only, never as a mapping key."""
+
+_CACHE = {}
+
+
+def remember(name, value):
+    _CACHE[name] = value
+
+
+def describe(frame):
+    return f"frame object at {id(frame):#x}"

@@ -1,0 +1,1 @@
+"""Developer tooling for this repository (not shipped with the package)."""

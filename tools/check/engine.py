@@ -1,0 +1,347 @@
+"""Core engine for the repo's static analyzer.
+
+The engine owns everything rule-independent: loading and parsing source
+files, the comment conventions (suppressions and lock annotations), parent
+maps and scope queries over the AST, the cross-file class index, and the
+runner that applies the registered rules and folds suppressions into a
+:class:`Report`.
+
+Comment conventions (scanned line-by-line from the raw source):
+
+- ``check: ignore[rule-a, rule-b]`` inside a comment suppresses those
+  rules on that line; a comment-only line suppresses the line below it
+  too, so justifications fit without blowing the line length.
+- ``guarded-by: <lock>`` on a field- or global-initializing assignment
+  declares that every read/write of that name must hold ``<lock>``
+  (``with self.<lock>`` for instance fields, ``with <lock>`` for module
+  globals).
+- ``requires-lock: <lock>`` on a ``def`` line declares that callers hold
+  ``<lock>`` around every call, exempting the function body itself.
+
+Scope semantics: a ``with`` block protects only code lexically inside it
+*within the same function*.  Nested ``def``/``lambda`` bodies deliberately
+do NOT inherit the enclosing function's locks — closures may run later on
+another thread (this is exactly how the pool's done-callback race slipped
+in), so they must take the lock themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+__all__ = [
+    "ClassInfo",
+    "Project",
+    "Report",
+    "SourceModule",
+    "Violation",
+    "expr_key",
+    "run_paths",
+    "walk_scope",
+]
+
+SUPPRESS_RE = re.compile(r"#.*?\bcheck:\s*ignore\[([^\]]+)\]")
+GUARD_RE = re.compile(r"#.*?\bguarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+REQUIRES_RE = re.compile(r"#.*?\brequires-lock:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit, anchored to a source line."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule}: {self.message}"
+
+
+def expr_key(expr: ast.AST) -> Optional[str]:
+    """A canonical dotted key for a with-item/lock expression.
+
+    ``self._lock`` -> ``"self._lock"``, ``_LOCK`` -> ``"_LOCK"``,
+    ``slot.lock`` -> ``"slot.lock"``; calls and subscripts key on their
+    base so ``locks[i]`` and ``acquire_lock()`` still look lock-ish.
+    """
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = expr_key(expr.value)
+        return f"{base}.{expr.attr}" if base else expr.attr
+    if isinstance(expr, ast.Call):
+        return expr_key(expr.func)
+    if isinstance(expr, ast.Subscript):
+        base = expr_key(expr.value)
+        return f"{base}[]" if base else None
+    return None
+
+
+def walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested functions/lambdas.
+
+    Used by rules whose reasoning is per-scope (taint tracking, lock
+    holding): a nested closure is its own scope with its own rules.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _FUNCTION_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class SourceModule:
+    """One parsed source file plus its comment annotations."""
+
+    def __init__(self, path: Path, display: str, text: str) -> None:
+        self.path = path
+        self.display = display
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        #: line -> rules suppressed on that line.
+        self.suppressions: dict[int, set[str]] = {}
+        #: line -> lock name a field/global initialized there is guarded by.
+        self.guard_lines: dict[int, str] = {}
+        #: line -> lock name a ``def`` on that line requires from callers.
+        self.requires_lines: dict[int, str] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            suppress = SUPPRESS_RE.search(line)
+            if suppress:
+                rules = {
+                    r.strip() for r in suppress.group(1).split(",") if r.strip()
+                }
+                self.suppressions.setdefault(lineno, set()).update(rules)
+                if line.lstrip().startswith("#"):
+                    # Comment-only line: the suppression covers the next
+                    # line (where the flagged code actually lives).
+                    self.suppressions.setdefault(lineno + 1, set()).update(rules)
+            guard = GUARD_RE.search(line)
+            if guard:
+                self.guard_lines[lineno] = guard.group(1)
+            requires = REQUIRES_RE.search(line)
+            if requires:
+                self.requires_lines[lineno] = requires.group(1)
+
+    # ------------------------------------------------------------------
+    # Scope queries
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def nearest_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """Innermost enclosing function/lambda, or None at module level."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, _FUNCTION_NODES):
+                return ancestor
+        return None
+
+    def held_locks(self, node: ast.AST) -> set[str]:
+        """Keys of every ``with`` item held at ``node``.
+
+        Stops at the innermost function boundary: a closure does not
+        inherit the locks of the function that defines it (it may run
+        later, on another thread, with no lock held at all).
+        """
+        held: set[str] = set()
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    key = expr_key(item.context_expr)
+                    if key is not None:
+                        held.add(key)
+            if isinstance(ancestor, _FUNCTION_NODES):
+                break
+        return held
+
+    def requires_of(self, func: Optional[ast.AST]) -> set[str]:
+        """Locks a function's ``requires-lock`` annotation declares held."""
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            lock = self.requires_lines.get(func.lineno)
+            if lock is not None:
+                return {lock}
+        return set()
+
+    def class_defs(self) -> Iterator[ast.ClassDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef):
+                yield node
+
+
+@dataclass
+class ClassInfo:
+    """Cross-file class facts: bases by name, members defined locally."""
+
+    name: str
+    module: str
+    lineno: int
+    bases: list[str] = field(default_factory=list)
+    members: set[str] = field(default_factory=set)
+    node: Optional[ast.ClassDef] = None
+
+
+class Project:
+    """All modules under analysis plus a name-keyed class index.
+
+    Resolution is by *name*, not import graph: the repo has no duplicate
+    class names across its hierarchy roots, and name-level resolution
+    keeps the analyzer independent of import-time side effects.
+    """
+
+    def __init__(self, modules: list[SourceModule]) -> None:
+        self.modules = modules
+        self.classes: dict[str, ClassInfo] = {}
+        for module in modules:
+            for node in module.class_defs():
+                info = ClassInfo(node.name, module.display, node.lineno, node=node)
+                for base in node.bases:
+                    key = expr_key(base)
+                    if key is not None:
+                        info.bases.append(key.rsplit(".", 1)[-1])
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info.members.add(stmt.name)
+                    elif isinstance(stmt, ast.Assign):
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                info.members.add(target.id)
+                    elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        info.members.add(stmt.target.id)
+                self.classes.setdefault(node.name, info)
+
+    def derives_from(self, name: str, root: str) -> bool:
+        """True when class ``name`` is ``root`` or transitively extends it."""
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current == root:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is not None:
+                stack.extend(info.bases)
+        return False
+
+    def inherits_member(
+        self, name: str, member: str, stop: Optional[str] = None
+    ) -> bool:
+        """Does ``name`` (or an ancestor below ``stop``) define ``member``?"""
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen or current == stop:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if member in info.members:
+                return True
+            stack.extend(info.bases)
+        return False
+
+
+@dataclass
+class Report:
+    """Outcome of one analyzer run."""
+
+    violations: list[Violation]
+    suppressed: int
+    files_checked: int
+    errors: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+    def to_dict(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "errors": list(self.errors),
+            "violations": [
+                {
+                    "rule": v.rule,
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col,
+                    "message": v.message,
+                }
+                for v in self.violations
+            ],
+        }
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for path in paths:
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen and candidate.suffix == ".py":
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def run_paths(
+    paths: Iterable[str],
+    select: Optional[set[str]] = None,
+    root: Optional[Path] = None,
+) -> Report:
+    """Run every (selected) rule over the python files under ``paths``."""
+    from .rules import ALL_RULES
+
+    root = (root or Path.cwd()).resolve()
+    modules: list[SourceModule] = []
+    errors: list[str] = []
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        try:
+            display = file_path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            display = file_path.as_posix()
+        try:
+            text = file_path.read_text(encoding="utf-8")
+            modules.append(SourceModule(file_path, display, text))
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append(f"{display}: {exc}")
+    project = Project(modules)
+    rules = [r for r in ALL_RULES if select is None or r.id in select]
+    kept: list[Violation] = []
+    suppressed = 0
+    for module in modules:
+        for rule in rules:
+            for violation in rule.check(module, project):
+                if rule.id in module.suppressions.get(violation.line, set()):
+                    suppressed += 1
+                else:
+                    kept.append(violation)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return Report(kept, suppressed, len(modules), errors)

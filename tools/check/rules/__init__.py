@@ -1,0 +1,22 @@
+"""Rule registry: one instance per rule, in reporting order."""
+
+from .config_mutation import ConfigMutationRule
+from .footprint import FootprintRule
+from .guarded_by import GuardedByRule, ResultUnderLockRule
+from .mutation_delta import MutationDeltaRule
+from .route_auth import RouteAuthRule
+from .sql_hygiene import SqlHygieneRule
+from .unstable_key import UnstableKeyRule
+
+ALL_RULES = [
+    GuardedByRule(),
+    ResultUnderLockRule(),
+    MutationDeltaRule(),
+    FootprintRule(),
+    ConfigMutationRule(),
+    SqlHygieneRule(),
+    UnstableKeyRule(),
+    RouteAuthRule(),
+]
+
+__all__ = ["ALL_RULES"]

@@ -1,0 +1,78 @@
+"""Overlay-only config: no direct mutation of the config singleton.
+
+Sessions, benchmarks, and tests must scope settings with
+``config_overlay(...)`` / ``thread_overlay(...)``; assigning
+``config.field = ...`` (or ``setattr(config, ...)``) leaks state across
+threads and sessions — exactly the clobbering the overlay machinery was
+built to end.  Only ``core/config.py`` itself (the overlay internals and
+``apply_condition``/``restore``) may touch the singleton's base state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Project, SourceModule, Violation
+
+ALLOWED_SUFFIXES = ("core/config.py",)
+
+
+def _is_config(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Name):
+        return expr.id == "config"
+    if isinstance(expr, ast.Attribute):
+        return expr.attr == "config"
+    return False
+
+
+class ConfigMutationRule:
+    id = "config-mutation"
+    summary = (
+        "no 'config.x = ...' outside core/config.py; use config_overlay()"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Violation]:
+        if module.display.endswith(ALLOWED_SUFFIXES):
+            return []
+        out: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and _is_config(
+                        target.value
+                    ):
+                        out.append(
+                            Violation(
+                                self.id,
+                                module.display,
+                                node.lineno,
+                                node.col_offset,
+                                f"direct mutation 'config.{target.attr} = ...'"
+                                " leaks across threads/sessions; use "
+                                "config_overlay()/thread_overlay()",
+                            )
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "setattr"
+                and node.args
+                and _is_config(node.args[0])
+            ):
+                out.append(
+                    Violation(
+                        self.id,
+                        module.display,
+                        node.lineno,
+                        node.col_offset,
+                        "setattr(config, ...) mutates the shared singleton; "
+                        "use config_overlay()/thread_overlay()",
+                    )
+                )
+        return out

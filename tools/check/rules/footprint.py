@@ -1,0 +1,66 @@
+"""Footprint coverage for recommendation actions.
+
+Every concrete ``Action`` subclass must either define ``footprint()``
+(itself or via an ancestor below ``Action``) or carry an explicit
+``footprint_unknown = True`` class attribute.  The base class's default
+(unknown footprint: depends on everything) is deliberately NOT enough —
+silently inheriting it makes the incremental precompute engine rerun the
+action on every mutation, and that cost must be a visible, reviewed
+decision, not an accident of omission.
+
+Classes with their own abstract methods are treated as bases and skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Project, SourceModule, Violation, expr_key
+
+ABSTRACT_DECORATORS = {"abstractmethod", "abstractproperty"}
+
+
+def _is_abstract(classdef: ast.ClassDef) -> bool:
+    for stmt in classdef.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in stmt.decorator_list:
+                key = expr_key(decorator)
+                if key and key.rsplit(".", 1)[-1] in ABSTRACT_DECORATORS:
+                    return True
+    return False
+
+
+class FootprintRule:
+    id = "footprint"
+    summary = (
+        "concrete Action subclasses must define footprint() or set "
+        "footprint_unknown = True"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Violation]:
+        out: list[Violation] = []
+        for classdef in module.class_defs():
+            name = classdef.name
+            if name == "Action" or not project.derives_from(name, "Action"):
+                continue
+            if _is_abstract(classdef):
+                continue
+            if project.inherits_member(name, "footprint", stop="Action"):
+                continue
+            if project.inherits_member(name, "footprint_unknown", stop="Action"):
+                continue
+            out.append(
+                Violation(
+                    self.id,
+                    module.display,
+                    classdef.lineno,
+                    classdef.col_offset,
+                    f"action '{name}' neither defines footprint() nor sets "
+                    "footprint_unknown = True; the incremental engine would "
+                    "silently rerun it on every mutation",
+                )
+            )
+        return out

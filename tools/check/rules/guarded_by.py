@@ -1,0 +1,180 @@
+"""Lock discipline: ``guarded-by`` annotations and result-under-lock.
+
+``guarded-by``
+    A field initialized with a trailing ``# guarded-by: <lock>`` comment
+    (``self.X = ...`` in a method, or a module-global assignment) may only
+    be read or written while the declared lock is held: lexically inside
+    ``with self.<lock>`` / ``with <lock>``, or inside a function whose
+    ``def`` line carries ``# requires-lock: <lock>``.  ``__init__`` is
+    exempt for instance fields (no concurrent access before construction
+    completes), and module-level initialization is exempt for globals.
+    Closures do NOT inherit the enclosing function's locks — they may run
+    later on another thread (the pool's done-callback bug).
+
+``result-under-lock``
+    No blocking ``.result()`` call while any lock is held (lexically
+    inside a ``with`` over a lock-ish expression, or in a
+    ``requires-lock`` function).  The shared worker pool is bounded;
+    blocking on a future while serializing other workers behind a lock is
+    the classic self-deadlock shape.
+
+Cross-object accesses (``other.field``) are deliberately out of scope:
+the checker reasons about ``self`` and module globals only, which keeps
+it exact where it claims coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Project, SourceModule, Violation, expr_key
+
+
+def _is_lockish(key: str) -> bool:
+    return "lock" in key.rsplit(".", 1)[-1].lower()
+
+
+def _assign_targets(node: ast.AST) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        return [node.target]
+    return []
+
+
+def _module_guards(module: SourceModule) -> dict[str, str]:
+    """Module-global name -> lock, from annotated top-level assignments."""
+    guards: dict[str, str] = {}
+    for node in module.tree.body:
+        lock = module.guard_lines.get(node.lineno)
+        if lock is None:
+            continue
+        for target in _assign_targets(node):
+            if isinstance(target, ast.Name):
+                guards[target.id] = lock
+    return guards
+
+
+def _class_guards(classdef: ast.ClassDef, module: SourceModule) -> dict[str, str]:
+    """Instance-field name -> lock, from annotated ``self.X = ...`` lines."""
+    guards: dict[str, str] = {}
+    for node in ast.walk(classdef):
+        lock = module.guard_lines.get(getattr(node, "lineno", -1))
+        if lock is None:
+            continue
+        for target in _assign_targets(node):
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                guards[target.attr] = lock
+    return guards
+
+
+class GuardedByRule:
+    id = "guarded-by"
+    summary = (
+        "fields/globals annotated '# guarded-by: <lock>' must only be "
+        "accessed under that lock"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Violation]:
+        out: list[Violation] = []
+        guards = _module_guards(module)
+        if guards:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Name) or node.id not in guards:
+                    continue
+                func = module.nearest_function(node)
+                if func is None:
+                    continue  # module-level initialization
+                lock = guards[node.id]
+                if lock in module.requires_of(func):
+                    continue
+                if lock in module.held_locks(node):
+                    continue
+                out.append(
+                    Violation(
+                        self.id,
+                        module.display,
+                        node.lineno,
+                        node.col_offset,
+                        f"global '{node.id}' is guarded by '{lock}' but "
+                        f"accessed outside 'with {lock}'",
+                    )
+                )
+        for classdef in module.class_defs():
+            field_guards = _class_guards(classdef, module)
+            if not field_guards:
+                continue
+            for node in ast.walk(classdef):
+                if not (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in field_guards
+                ):
+                    continue
+                func = module.nearest_function(node)
+                if func is None:
+                    continue  # class-body level
+                if (
+                    isinstance(func, ast.FunctionDef)
+                    and func.name == "__init__"
+                    and module.parent(func) is classdef
+                ):
+                    continue
+                lock = field_guards[node.attr]
+                if lock in module.requires_of(func):
+                    continue
+                if f"self.{lock}" in module.held_locks(node):
+                    continue
+                out.append(
+                    Violation(
+                        self.id,
+                        module.display,
+                        node.lineno,
+                        node.col_offset,
+                        f"'self.{node.attr}' is guarded by 'self.{lock}' "
+                        f"but accessed outside 'with self.{lock}'",
+                    )
+                )
+        return out
+
+
+class ResultUnderLockRule:
+    id = "result-under-lock"
+    summary = "no blocking Future.result() call while holding a lock"
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "result"
+            ):
+                continue
+            held = {k for k in module.held_locks(node) if _is_lockish(k)}
+            func = module.nearest_function(node)
+            held |= module.requires_of(func)
+            if not held:
+                continue
+            receiver = expr_key(node.func.value) or "<expr>"
+            out.append(
+                Violation(
+                    self.id,
+                    module.display,
+                    node.lineno,
+                    node.col_offset,
+                    f"blocking '{receiver}.result()' while holding "
+                    f"{sorted(held)} can deadlock the shared pool",
+                )
+            )
+        return out

@@ -1,0 +1,154 @@
+"""Mutation-delta completeness for dataframe classes.
+
+Any method of a ``DataFrame``-derived class that writes the frame's
+internal state (``_data`` / ``_column_order`` / ``_index`` — by
+assignment, deletion, or a mutating container call) must notify observers
+with an explicit column-level delta: ``self._notify_mutation(op, delta)``
+with a non-None delta argument.  A silent write leaves the computation
+cache, the precompute engine, and the versioned store reasoning about
+data that already moved.
+
+Constructors and the internal wrap/expiry helpers are exempt — they run
+before the frame is shared or *are* the notification path.  Writes
+through a local alias (``target = self; target._data[...] = ...``) are an
+accepted false negative; the repo's mutators all write ``self.*``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Project, SourceModule, Violation
+
+WATCHED = {"_data", "_column_order", "_index"}
+MUTATOR_METHODS = {
+    "append",
+    "clear",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "remove",
+    "reverse",
+    "setdefault",
+    "sort",
+    "update",
+}
+EXEMPT_METHODS = {
+    "__init__",
+    "_expire",
+    "_init_derived",
+    "_notify_mutation",
+    "_setup_lux_state",
+    "_wrap",
+}
+
+
+def _flatten_targets(target: ast.expr) -> Iterable[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+    else:
+        yield target
+
+
+def _is_watched_self(expr: ast.expr) -> bool:
+    """True for ``self.<watched>`` or a subscript of it."""
+    if isinstance(expr, ast.Subscript):
+        return _is_watched_self(expr.value)
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in WATCHED
+    )
+
+
+def _writes(method: ast.AST) -> list[ast.AST]:
+    hits: list[ast.AST] = []
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                for leaf in _flatten_targets(target):
+                    if _is_watched_self(leaf):
+                        hits.append(node)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if _is_watched_self(target):
+                    hits.append(node)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATOR_METHODS
+            and _is_watched_self(node.func.value)
+        ):
+            hits.append(node)
+    return hits
+
+
+def _notifies_with_delta(method: ast.AST) -> bool:
+    for node in ast.walk(method):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+            and node.func.attr == "_notify_mutation"
+        ):
+            continue
+        delta: ast.expr | None = None
+        if len(node.args) >= 2:
+            delta = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "delta":
+                    delta = keyword.value
+        if delta is not None and not (
+            isinstance(delta, ast.Constant) and delta.value is None
+        ):
+            return True
+    return False
+
+
+class MutationDeltaRule:
+    id = "mutation-delta"
+    summary = (
+        "DataFrame methods writing internal state must call "
+        "_notify_mutation with a Delta"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Violation]:
+        out: list[Violation] = []
+        for classdef in module.class_defs():
+            if not project.derives_from(classdef.name, "DataFrame"):
+                continue
+            for stmt in classdef.body:
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if stmt.name in EXEMPT_METHODS:
+                    continue
+                writes = _writes(stmt)
+                if not writes or _notifies_with_delta(stmt):
+                    continue
+                first = min(writes, key=lambda n: n.lineno)
+                out.append(
+                    Violation(
+                        self.id,
+                        module.display,
+                        first.lineno,
+                        first.col_offset,
+                        f"'{classdef.name}.{stmt.name}' mutates frame state "
+                        "without calling self._notify_mutation(op, delta) "
+                        "with a column-level Delta",
+                    )
+                )
+        return out

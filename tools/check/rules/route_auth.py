@@ -1,0 +1,73 @@
+"""Route authentication coverage for the HTTP API.
+
+Any class with a ``_resolve`` routing method (the dispatch table shape
+``http_api._Handler`` uses) must declare an authentication posture on
+every route handler ``_resolve`` can return: either ``@authenticated``
+(bearer-token check runs before the handler) or ``@public`` (explicitly
+reviewed as unauthenticated, e.g. ``/healthz``).  An undecorated handler
+is a route that silently bypasses auth — exactly the regression this
+rule exists to stop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Project, SourceModule, Violation, expr_key
+
+AUTH_DECORATORS = {"authenticated", "public"}
+
+
+class RouteAuthRule:
+    id = "route-auth"
+    summary = (
+        "every handler a _resolve() routing table returns must be "
+        "@authenticated or @public"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Violation]:
+        out: list[Violation] = []
+        for classdef in module.class_defs():
+            methods = {
+                stmt.name: stmt
+                for stmt in classdef.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            resolve = methods.get("_resolve")
+            if resolve is None:
+                continue
+            referenced: set[str] = set()
+            for node in ast.walk(resolve):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    for sub in ast.walk(node.value):
+                        if (
+                            isinstance(sub, ast.Attribute)
+                            and isinstance(sub.value, ast.Name)
+                            and sub.value.id == "self"
+                        ):
+                            referenced.add(sub.attr)
+            for name in sorted(referenced):
+                handler = methods.get(name)
+                if handler is None:
+                    continue
+                decorators = {
+                    (expr_key(d) or "").rsplit(".", 1)[-1]
+                    for d in handler.decorator_list
+                }
+                if decorators & AUTH_DECORATORS:
+                    continue
+                out.append(
+                    Violation(
+                        self.id,
+                        module.display,
+                        handler.lineno,
+                        handler.col_offset,
+                        f"route handler '{classdef.name}.{name}' is returned "
+                        "by _resolve() but carries neither @authenticated "
+                        "nor @public",
+                    )
+                )
+        return out

@@ -1,0 +1,110 @@
+"""SQL string hygiene: no ad-hoc interpolation into SQL text.
+
+Building SQL by f-string, ``%`` formatting, ``str.format``, or ``+``
+concatenation is only allowed inside the two executor modules that own
+the quoting helpers (``sql_compile.py`` builds every fragment through
+``quote()``/``sql_literal()``; ``sql_exec.py`` composes those fragments).
+Anywhere else, a string literal containing SQL keywords combined with
+runtime values is flagged — the injection-shaped bug class, and also the
+place where unquoted identifiers silently break on exotic column names.
+
+Detection is keyword-based on the *literal* parts (uppercase SQL verbs),
+so JSON/vega-lite/string templating elsewhere in the repo stays out of
+scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..engine import Project, SourceModule, Violation
+
+ALLOWED_SUFFIXES = ("sql_compile.py", "sql_exec.py")
+
+SQL_RE = re.compile(
+    r"\b(SELECT|INSERT INTO|DELETE FROM|CREATE TABLE|DROP TABLE|"
+    r"UNION ALL|GROUP BY|ORDER BY|WHERE)\b"
+)
+
+
+def _sqlish(value: object) -> bool:
+    return isinstance(value, str) and SQL_RE.search(value) is not None
+
+
+def _binop_leaves(node: ast.expr) -> Iterable[ast.expr]:
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        yield from _binop_leaves(node.left)
+        yield from _binop_leaves(node.right)
+    else:
+        yield node
+
+
+class SqlHygieneRule:
+    id = "sql-hygiene"
+    summary = (
+        "SQL text may only be composed via the quoting helpers in "
+        "sql_compile.py"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Violation]:
+        if module.display.endswith(ALLOWED_SUFFIXES):
+            return []
+        out: list[Violation] = []
+
+        def flag(node: ast.expr, how: str) -> None:
+            out.append(
+                Violation(
+                    self.id,
+                    module.display,
+                    node.lineno,
+                    node.col_offset,
+                    f"SQL text composed via {how}; route identifiers and "
+                    "literals through repro.core.executor.sql_compile",
+                )
+            )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.JoinedStr):
+                has_values = any(
+                    isinstance(part, ast.FormattedValue) for part in node.values
+                )
+                has_sql = any(
+                    isinstance(part, ast.Constant) and _sqlish(part.value)
+                    for part in node.values
+                )
+                if has_values and has_sql:
+                    flag(node, "f-string interpolation")
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+                if isinstance(node.left, ast.Constant) and _sqlish(
+                    node.left.value
+                ):
+                    flag(node, "%-formatting")
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+                parent = module.parent(node)
+                if isinstance(parent, ast.BinOp) and isinstance(
+                    parent.op, ast.Add
+                ):
+                    continue  # only flag the outermost chain once
+                leaves = list(_binop_leaves(node))
+                has_sql = any(
+                    isinstance(leaf, ast.Constant) and _sqlish(leaf.value)
+                    for leaf in leaves
+                )
+                has_values = any(
+                    not isinstance(leaf, ast.Constant) for leaf in leaves
+                )
+                if has_sql and has_values:
+                    flag(node, "'+' concatenation")
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "format"
+                and isinstance(node.func.value, ast.Constant)
+                and _sqlish(node.func.value.value)
+            ):
+                flag(node, "str.format()")
+        return out

@@ -1,0 +1,118 @@
+"""Unstable identity keying: no ``id(...)`` as a dict/cache key.
+
+``id()`` is recycled the moment its object is collected, so a raw-id key
+silently aliases a cache entry onto an unrelated object (the PR-1 cache
+bug).  The rule flags ``id(...)`` used directly as a subscript key, as
+the key argument of ``.get``/``.pop``/``.setdefault``, or in an
+``in``/``not in`` membership test — and, per scope, any
+``name = id(...)`` whose name is later used as a key the same way.
+
+Legitimate uses pair the id key with a weakref that both validates
+identity on every read and evicts the entry on collection; those sites
+carry a ``check: ignore[unstable-key]`` with that justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Project, SourceModule, Violation, walk_scope
+
+KEY_METHODS = {"get", "pop", "setdefault"}
+
+_SCOPE_NODES = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+class UnstableKeyRule:
+    id = "unstable-key"
+    summary = "no id(...) used as a dict/cache key (ids are recycled)"
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Violation]:
+        out: list[Violation] = []
+        scopes = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, _SCOPE_NODES)
+        ]
+        for scope in scopes:
+            out.extend(self._check_scope(module, scope))
+        return out
+
+    def _check_scope(
+        self, module: SourceModule, scope: ast.AST
+    ) -> list[Violation]:
+        tainted: dict[str, ast.AST] = {}
+        for node in walk_scope(scope):
+            if isinstance(node, ast.Assign) and _is_id_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tainted[target.id] = node
+
+        direct: list[ast.AST] = []
+        used_tainted: set[str] = set()
+
+        def inspect_key_expr(expr: ast.AST) -> None:
+            for sub in ast.walk(expr):
+                if _is_id_call(sub):
+                    direct.append(sub)
+                elif isinstance(sub, ast.Name) and sub.id in tainted:
+                    used_tainted.add(sub.id)
+
+        for node in walk_scope(scope):
+            if isinstance(node, ast.Subscript):
+                inspect_key_expr(node.slice)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in KEY_METHODS
+                and node.args
+            ):
+                inspect_key_expr(node.args[0])
+            elif isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+            ):
+                inspect_key_expr(node.left)
+
+        out: list[Violation] = []
+        seen: set[tuple[int, int]] = set()
+        for hit in direct:
+            anchor = (hit.lineno, hit.col_offset)
+            if anchor in seen:
+                continue
+            seen.add(anchor)
+            out.append(
+                Violation(
+                    self.id,
+                    module.display,
+                    hit.lineno,
+                    hit.col_offset,
+                    "id(...) used directly as a mapping key; ids are "
+                    "recycled after collection (key on a weakref-validated "
+                    "identity instead)",
+                )
+            )
+        for name in sorted(used_tainted):
+            assign = tainted[name]
+            out.append(
+                Violation(
+                    self.id,
+                    module.display,
+                    assign.lineno,
+                    assign.col_offset,
+                    f"'{name}' holds id(...) and is used as a mapping key; "
+                    "ids are recycled after collection (key on a weakref-"
+                    "validated identity instead)",
+                )
+            )
+        return out
