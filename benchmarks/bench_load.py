@@ -1,0 +1,685 @@
+"""Production load harness: concurrent HTTP clients over a scenario matrix.
+
+Drives N concurrent sessions against the **real HTTP API** (an in-process
+``ThreadingHTTPServer`` on an ephemeral port — real sockets, real JSON,
+real handler threads) with a mixed workload per session: column mutations
+(touch writes), intent changes, and recommendation reads.  The frame
+shapes come from the adversarial scenario matrix in
+``repro.data.synthetic.SCENARIOS``:
+
+- ``wide``       500+ columns (capped quantitative share),
+- ``highcard``   nominal cardinality approaching the row count,
+- ``skewed``     lognormal measures + Zipf category frequencies,
+- ``datetime``   temporal-dominant at wildly different spans,
+- ``nullheavy``  30-70% masked values per column.
+
+Per scenario the harness reports read-latency percentiles (p50/p95/p99),
+the precompute backlog depth over time (sampled from ``/healthz`` by a
+monitor thread), and cross-session fairness as Jain's index over
+per-session completed reads — the macro check on the pool's per-tag
+round-robin.  Two focused sections ride along:
+
+- ``saturation``: with ``config.precompute_queue_limit`` forced to 2 and
+  a debounce window wide enough to hold timers armed, concurrent writes
+  must be answered **429 + Retry-After** instead of queueing unboundedly;
+  the sampled backlog must respect the bound; and once the backlog
+  drains, recommendations served over HTTP must be **bit-identical** to
+  an unloaded foreground computation of the same frame.
+- ``eviction``: the same workload against a store whose byte budget is a
+  few payloads wide — evictions must actually occur and reads must keep
+  succeeding (foreground fallback, not errors).
+
+Every run emits a ``BENCH_load.json`` trajectory artifact and gates:
+
+- **hard** (correctness, even under ``--update-baseline``): at least one
+  429 with a sane ``Retry-After`` under forced saturation, sampled
+  backlog depth never above the bound, post-drain payloads identical to
+  the unloaded reference, at least one store eviction under pressure,
+  zero transport/HTTP errors in the mixed workload;
+- **floor**: Jain fairness >= ``FAIRNESS_FLOOR`` across the session set;
+- **trajectory**: aggregate read p95 must not exceed the committed
+  baseline's (``benchmarks/baselines/BENCH_load.json``) by more than
+  ``MAX_SLOWDOWN`` when one is comparable.
+
+Run directly (CI runs ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_load.py \\
+        [--quick] [--sessions N] [--duration S] [--out PATH] \\
+        [--update-baseline]
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import os
+import platform
+import random
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_shared_scan import load_baseline  # noqa: E402
+
+from repro import config, config_overlay  # noqa: E402
+from repro.core.executor.cache import computation_cache  # noqa: E402
+from repro.data.synthetic import SCENARIOS, make_scenario  # noqa: E402
+from repro.service import ResultStore, SessionManager, make_server  # noqa: E402
+from repro.service.session import Session  # noqa: E402
+
+#: Latency trajectory gate: aggregate read p95 may grow at most this much
+#: over the committed baseline before the gate trips (lenient — shared CI
+#: runners are noisy and the worst scenario's p95 is tail-of-the-tail;
+#: the hard gates are the correctness ones).
+MAX_SLOWDOWN = 4.0
+
+#: Jain's-index floor over per-session read totals summed across the
+#: whole scenario matrix.  Per-scenario indices are reported but not
+#: gated: on a 1-core box one multi-second foreground pass skews any
+#: single 2-second window, while the matrix-wide totals are stable.
+FAIRNESS_FLOOR = 0.5
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_load.json"
+
+#: Mixed-workload op mix (cumulative probability thresholds).
+P_MUTATE = 0.15       # touch write: bumps the version, arms precompute
+P_INTENT = 0.25       # set / clear intent (re-keys the whole pass)
+
+#: Scenario frame sizes, (quick, full).  ``wide`` keeps its 500 columns
+#: in both modes — width is the point — and scales rows instead.
+SCENARIO_ROWS = {
+    "wide": (300, 1500),
+    "highcard": (800, 5000),
+    "skewed": (800, 5000),
+    "datetime": (800, 5000),
+    "nullheavy": (800, 5000),
+}
+
+
+# ----------------------------------------------------------------------
+# Tiny HTTP client (urllib, keep-alive not required)
+# ----------------------------------------------------------------------
+def call(
+    base: str,
+    method: str,
+    path: str,
+    body: dict | None = None,
+) -> tuple[int, dict, dict]:
+    """One API call -> (status, headers, parsed JSON body)."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return (
+                response.status,
+                dict(response.headers),
+                json.loads(response.read().decode("utf-8")),
+            )
+    except urllib.error.HTTPError as exc:
+        payload = exc.read().decode("utf-8")
+        try:
+            parsed = json.loads(payload)
+        except ValueError:
+            parsed = {"error": payload}
+        return exc.code, dict(exc.headers), parsed
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile over a pre-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[rank]
+
+
+def jain(counts: list[int]) -> float:
+    """Jain's fairness index: 1.0 = perfectly even, 1/n = one hog."""
+    if not counts or sum(counts) == 0:
+        return 0.0
+    total = sum(counts)
+    return (total * total) / (len(counts) * sum(c * c for c in counts))
+
+
+# ----------------------------------------------------------------------
+# Backlog monitor: polls /healthz like an operator's dashboard would
+# ----------------------------------------------------------------------
+class Monitor:
+    """Samples backlog depth / store bytes from ``/healthz`` on a thread."""
+
+    def __init__(self, base: str, interval_s: float = 0.05) -> None:
+        self.base = base
+        self.interval_s = interval_s
+        self.backlog: list[int] = []
+        self.store_bytes: list[int] = []
+        self.queued: list[int] = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                _, _, health = call(self.base, "GET", "/healthz")
+            except OSError:
+                break
+            self.backlog.append(int(health["precompute"]["backlog_depth"]))
+            self.store_bytes.append(int(health["store"]["bytes"]))
+            queues = health["pool"].get("queues", {})
+            self.queued.append(
+                sum(sum(band.values()) for band in queues.values())
+            )
+            self._stop.wait(self.interval_s)
+
+    def __enter__(self) -> "Monitor":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5)
+
+    def summary(self) -> dict:
+        samples = self.backlog or [0]
+        return {
+            "samples": len(self.backlog),
+            "backlog_peak": max(samples),
+            "backlog_mean": round(sum(samples) / len(samples), 2),
+            "pool_queued_peak": max(self.queued or [0]),
+        }
+
+
+# ----------------------------------------------------------------------
+# Mixed workload
+# ----------------------------------------------------------------------
+class Worker:
+    """One session's client: seeded op mix until the shared deadline."""
+
+    def __init__(
+        self, base: str, session: dict, seed: int, deadline: float
+    ) -> None:
+        self.base = base
+        self.session_id = session["session"]
+        self.columns = session["columns"]
+        self.rng = random.Random(seed)
+        self.deadline = deadline
+        self.read_latencies: list[float] = []
+        self.ops = {"reads": 0, "mutates": 0, "intents": 0, "rejected": 0}
+        self.errors: list[str] = []
+
+    def run(self) -> None:
+        sid = self.session_id
+        while time.perf_counter() < self.deadline:
+            roll = self.rng.random()
+            if roll < P_MUTATE:
+                column = self.rng.choice(self.columns)
+                status, headers, _ = call(
+                    self.base,
+                    "POST",
+                    f"/sessions/{sid}/mutate",
+                    {"column": column},
+                )
+                self._account("mutates", status, headers)
+            elif roll < P_INTENT:
+                intent = (
+                    [self.rng.choice(self.columns)]
+                    if self.rng.random() < 0.7
+                    else None
+                )
+                status, headers, _ = call(
+                    self.base,
+                    "POST",
+                    f"/sessions/{sid}/intent",
+                    {"intent": intent},
+                )
+                self._account("intents", status, headers)
+            else:
+                start = time.perf_counter()
+                status, _, _ = call(
+                    self.base, "GET", f"/sessions/{sid}/recommendations"
+                )
+                if status == 200:
+                    self.read_latencies.append(time.perf_counter() - start)
+                    self.ops["reads"] += 1
+                else:
+                    self.errors.append(f"read -> {status}")
+
+    def _account(self, op: str, status: int, headers: dict) -> None:
+        if status == 200:
+            self.ops[op] += 1
+        elif status == 429:
+            # Backpressure is an expected, non-error answer: note it,
+            # yield briefly (the real Retry-After would stall the whole
+            # bench), and move on.
+            self.ops["rejected"] += 1
+            if "Retry-After" not in headers:
+                self.errors.append("429 without Retry-After")
+            time.sleep(0.02)
+        else:
+            self.errors.append(f"{op} -> {status}")
+
+
+def run_scenario(
+    base: str,
+    name: str,
+    rows: int,
+    n_sessions: int,
+    duration_s: float,
+    seed: int,
+) -> dict:
+    """Mixed workload for one scenario; returns its report section."""
+    sessions = []
+    for i in range(n_sessions):
+        status, _, info = call(
+            base,
+            "POST",
+            "/sessions",
+            {"dataset": f"synthetic-{name}", "rows": rows,
+             "config": {"top_k": 3}},
+        )
+        assert status == 201, f"create {name} session -> {status}: {info}"
+        sessions.append(info)
+
+    deadline = time.perf_counter() + duration_s
+    workers = [
+        Worker(base, session, seed * 1000 + i, deadline)
+        for i, session in enumerate(sessions)
+    ]
+    with Monitor(base) as monitor:
+        threads = [
+            threading.Thread(target=worker.run, daemon=True)
+            for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    for session in sessions:
+        call(base, "DELETE", f"/sessions/{session['session']}")
+
+    latencies = sorted(
+        latency for worker in workers for latency in worker.read_latencies
+    )
+    read_counts = [worker.ops["reads"] for worker in workers]
+    ops = {
+        key: sum(worker.ops[key] for worker in workers)
+        for key in ("reads", "mutates", "intents", "rejected")
+    }
+    errors = [error for worker in workers for error in worker.errors]
+    return {
+        "rows": rows,
+        "columns": len(sessions[0]["columns"]),
+        "sessions": n_sessions,
+        "ops": ops,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50) * 1e3, 3),
+            "p95": round(percentile(latencies, 0.95) * 1e3, 3),
+            "p99": round(percentile(latencies, 0.99) * 1e3, 3),
+        },
+        "reads_per_s": round(ops["reads"] / duration_s, 1),
+        "fairness_jain": round(jain(read_counts), 3),
+        "reads_per_session": read_counts,
+        "backlog": monitor.summary(),
+        "errors": errors[:10],
+        "error_count": len(errors),
+    }
+
+
+# ----------------------------------------------------------------------
+# Saturation: forced backpressure + post-drain identity
+# ----------------------------------------------------------------------
+def run_saturation(base: str, manager: SessionManager, rows: int) -> dict:
+    """Force 429s at queue_limit=2, then prove the drain loses nothing.
+
+    Base-mutates ``precompute_queue_limit`` / ``precompute_debounce_s``
+    (base, not an overlay: the writes arrive on HTTP handler threads,
+    which a caller-thread overlay would never reach) and restores both
+    before returning.  A wide debounce keeps each write's timer armed,
+    so three sessions' writes in quick succession must push the backlog
+    to the bound and get the third rejected with 429 + Retry-After.
+    After the drain, every session's recommendations over HTTP must be
+    byte-identical to an unloaded in-process foreground pass over the
+    same deterministic frame.
+    """
+    scenario = "skewed"
+    sessions = []
+    for _ in range(3):
+        status, _, info = call(
+            base,
+            "POST",
+            "/sessions",
+            {"dataset": f"synthetic-{scenario}", "rows": rows,
+             "config": {"top_k": 3}},
+        )
+        assert status == 201, f"saturation create -> {status}: {info}"
+        sessions.append(info["session"])
+    # Session creation schedules an immediate first pass; let those clear
+    # (and do so *before* tightening the limit — a create's own admission
+    # check must not trip on its siblings') so the saturation below is
+    # exactly the writes we issue.
+    assert manager.engine.wait_idle(120), "initial passes never settled"
+    prior_limit = config.precompute_queue_limit
+    prior_debounce = config.precompute_debounce_s
+    config.precompute_queue_limit = 2
+    config.precompute_debounce_s = 1.0
+
+    rejected = 0
+    retry_after = None
+    backlog_peak = 0
+    statuses = []
+    try:
+        with Monitor(base, interval_s=0.02) as monitor:
+            for sid in sessions:
+                status, headers, _ = call(
+                    base,
+                    "POST",
+                    f"/sessions/{sid}/mutate",
+                    {"column": "heavy_tail"},
+                )
+                statuses.append(status)
+                if status == 429:
+                    rejected += 1
+                    retry_after = headers.get("Retry-After")
+            backlog_now = manager.engine.stats()["backlog_depth"]
+            # Drain: armed timers fire after the debounce, passes run dry.
+            assert manager.engine.wait_idle(300), "saturation drain stalled"
+            backlog_peak = max(monitor.backlog + [backlog_now])
+
+        # The rejected write was refused before any state changed:
+        # retrying it after the drain must succeed and precompute
+        # normally (still at the tight limit — the backlog is empty now).
+        retry_status, _, _ = call(
+            base,
+            "POST",
+            f"/sessions/{sessions[-1]}/mutate",
+            {"column": "heavy_tail"},
+        )
+        assert manager.engine.wait_idle(300), "post-retry drain stalled"
+    finally:
+        config.precompute_queue_limit = prior_limit
+        config.precompute_debounce_s = prior_debounce
+
+    # Identity: unloaded reference — same deterministic frame, same
+    # overrides, pure foreground pass, no server, no store.
+    reference = Session(
+        "reference",
+        make_scenario(scenario, n_rows=rows),
+        overrides={"top_k": 3},
+    ).recommendations()
+    identical = True
+    for sid in sessions:
+        status, _, response = call(
+            base, "GET", f"/sessions/{sid}/recommendations"
+        )
+        if status != 200 or response["actions"] != reference["actions"]:
+            identical = False
+    for sid in sessions:
+        call(base, "DELETE", f"/sessions/{sid}")
+    retry_after_int = int(retry_after) if retry_after else 0
+    return {
+        "queue_limit": 2,
+        "write_statuses": statuses,
+        "rejected": rejected,
+        "retry_after_s": retry_after_int,
+        "retry_after_valid": 1 <= retry_after_int <= 60,
+        "backlog_peak": backlog_peak,
+        "backlog_within_limit": backlog_peak <= 2,
+        "retry_succeeded": retry_status == 200,
+        "identical": identical,
+    }
+
+
+# ----------------------------------------------------------------------
+# Eviction: the store under memory pressure
+# ----------------------------------------------------------------------
+def run_eviction(rows: int, n_sessions: int, rounds: int) -> dict:
+    """Mutate/read loop against a store a few payloads wide.
+
+    Uses a dedicated in-process manager with an explicit tiny byte
+    budget (the config knob is MB-granular) so evictions are guaranteed;
+    reads must keep succeeding via the foreground fallback.
+    """
+    store = ResultStore(budget_bytes=96 * 1024)
+    manager = SessionManager(store=store)
+    reads_ok = True
+    try:
+        sessions = [
+            manager.create(
+                make_scenario("highcard", n_rows=rows, seed=i),
+                overrides={"top_k": 3},
+            )
+            for i in range(n_sessions)
+        ]
+        for _ in range(rounds):
+            for session in sessions:
+                session.mutate(session.frame.columns[0])
+            manager.engine.wait_idle(120)
+            for session in sessions:
+                response = session.recommendations()
+                reads_ok = reads_ok and bool(response["actions"])
+        stats = store.stats()
+    finally:
+        manager.shutdown()
+    return {
+        "budget_bytes": stats["budget_bytes"],
+        "bytes_peak": stats["bytes_peak"],
+        "evictions": stats["evictions"],
+        "reads_ok": reads_ok,
+    }
+
+
+# ----------------------------------------------------------------------
+# Gating
+# ----------------------------------------------------------------------
+def comparable(baseline: dict | None, report: dict) -> bool:
+    return (
+        baseline is not None
+        and baseline.get("benchmark") == report["benchmark"]
+        and baseline.get("mode") == report["mode"]
+        and baseline.get("sessions") == report["sessions"]
+    )
+
+
+def hard_failures(report: dict) -> list[str]:
+    """Correctness gates — these refuse even ``--update-baseline``."""
+    failures: list[str] = []
+    saturation = report["saturation"]
+    if saturation["rejected"] < 1:
+        failures.append("forced saturation produced no 429")
+    if not saturation["retry_after_valid"]:
+        failures.append(
+            f"Retry-After {saturation['retry_after_s']!r} outside [1, 60]"
+        )
+    if not saturation["backlog_within_limit"]:
+        failures.append(
+            f"backlog peaked at {saturation['backlog_peak']} above the "
+            f"limit of {saturation['queue_limit']}"
+        )
+    if not saturation["retry_succeeded"]:
+        failures.append("retried write after drain did not return 200")
+    if not saturation["identical"]:
+        failures.append(
+            "post-drain recommendations differ from the unloaded reference"
+        )
+    if report["eviction"]["evictions"] < 1:
+        failures.append("store under pressure evicted nothing")
+    if not report["eviction"]["reads_ok"]:
+        failures.append("reads failed under store eviction pressure")
+    errors = sum(s["error_count"] for s in report["scenarios"].values())
+    if errors:
+        failures.append(f"{errors} transport/HTTP errors in mixed workload")
+    return failures
+
+
+def gate(report: dict, baseline: dict | None) -> list[str]:
+    failures = hard_failures(report)
+    fairness = report["aggregate"]["fairness_jain"]
+    if fairness < FAIRNESS_FLOOR:
+        failures.append(
+            f"matrix-wide fairness {fairness:.3f} below the "
+            f"{FAIRNESS_FLOOR} floor"
+        )
+    if comparable(baseline, report):
+        base_p95 = baseline["aggregate"]["latency_ms"]["p95"]
+        p95 = report["aggregate"]["latency_ms"]["p95"]
+        if base_p95 > 0 and p95 > base_p95 * MAX_SLOWDOWN:
+            failures.append(
+                f"aggregate read p95 {p95:.1f} ms exceeds "
+                f"{MAX_SLOWDOWN}x baseline {base_p95:.1f} ms"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=4,
+                        help="concurrent sessions per scenario (default 4)")
+    parser.add_argument("--duration", type=float, default=6.0,
+                        help="seconds of mixed workload per scenario")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke run for CI (smaller frames, "
+                        "2s per scenario)")
+    parser.add_argument("--scenarios", default=None,
+                        help="comma-separated subset of "
+                        f"{sorted(SCENARIOS)} (default: all)")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_load.json"))
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    parser.add_argument("--update-baseline", action="store_true")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.duration = 2.0
+    names = (
+        args.scenarios.split(",") if args.scenarios else sorted(SCENARIOS)
+    )
+    for name in names:
+        if name not in SCENARIOS:
+            parser.error(f"unknown scenario {name!r}")
+
+    with contextlib.ExitStack() as stack:
+        stack.callback(computation_cache.clear)
+        # Base mutation (rolled back when the overlay exits), NOT an
+        # overlay kwarg: the workload arrives on HTTP handler threads,
+        # which never see the caller thread's overlay.
+        stack.enter_context(config_overlay())
+        config.precompute_debounce_s = 0.05
+        manager = SessionManager()
+        stack.callback(manager.shutdown)
+        server = make_server(manager)
+        stack.callback(server.stop)
+        server.serve_background()
+        base = server.address
+
+        cpu_count = os.cpu_count() or 1
+        mode = "quick" if args.quick else "full"
+        print(f"load: {args.sessions} sessions x {args.duration}s per "
+              f"scenario ({mode}), {cpu_count} cores, serving on {base}")
+
+        scenarios: dict[str, dict] = {}
+        for name in names:
+            rows = SCENARIO_ROWS[name][0 if args.quick else 1]
+            section = run_scenario(
+                base, name, rows, args.sessions, args.duration, args.seed
+            )
+            scenarios[name] = section
+            lat = section["latency_ms"]
+            print(f"  {name:10s} rows={rows:<6d} reads={section['ops']['reads']:<5d} "
+                  f"p50={lat['p50']:8.1f} ms p95={lat['p95']:8.1f} ms "
+                  f"p99={lat['p99']:8.1f} ms jain={section['fairness_jain']:.3f} "
+                  f"backlog_peak={section['backlog']['backlog_peak']}")
+
+        print("  saturating (queue_limit=2)...")
+        saturation = run_saturation(
+            base, manager, rows=300 if args.quick else 800
+        )
+        print(f"  saturation  statuses={saturation['write_statuses']} "
+              f"retry_after={saturation['retry_after_s']}s "
+              f"backlog_peak={saturation['backlog_peak']} "
+              f"identical={saturation['identical']}")
+
+        eviction = run_eviction(
+            rows=300 if args.quick else 800,
+            n_sessions=3,
+            rounds=2 if args.quick else 4,
+        )
+        print(f"  eviction    evictions={eviction['evictions']} "
+              f"bytes_peak={eviction['bytes_peak']} "
+              f"reads_ok={eviction['reads_ok']}")
+
+        # Aggregate latency takes the worst scenario per percentile — a
+        # conservative "no scenario may regress" stance that stays
+        # meaningful when the matrix mixes fast and slow frame shapes.
+        # Fairness aggregates per-session read totals across the whole
+        # matrix (session i of every scenario sums into slot i): stable
+        # where any single scenario's 2-second window is not.
+        totals = [
+            sum(s["reads_per_session"][i] for s in scenarios.values())
+            for i in range(args.sessions)
+        ]
+        aggregate = {
+            "reads": sum(s["ops"]["reads"] for s in scenarios.values()),
+            "latency_ms": {
+                "p50": max(s["latency_ms"]["p50"] for s in scenarios.values()),
+                "p95": max(s["latency_ms"]["p95"] for s in scenarios.values()),
+                "p99": max(s["latency_ms"]["p99"] for s in scenarios.values()),
+            },
+            "fairness_jain": round(jain(totals), 3),
+            "fairness_jain_min": min(
+                s["fairness_jain"] for s in scenarios.values()
+            ),
+        }
+
+        report = {
+            "schema": 1,
+            "benchmark": "load",
+            "mode": mode,
+            "sessions": args.sessions,
+            "duration_s": args.duration,
+            "seed": args.seed,
+            "cpu_count": cpu_count,
+            "python": platform.python_version(),
+            "scenarios": scenarios,
+            "aggregate": aggregate,
+            "saturation": saturation,
+            "eviction": eviction,
+        }
+        args.out.write_text(json.dumps(report, indent=2) + "\n",
+                            encoding="utf-8")
+        print(f"  wrote {args.out}")
+
+        blockers = hard_failures(report)
+        if blockers:
+            # Correctness precedes every mode, including --update-baseline.
+            for failure in blockers:
+                print(f"  GATE FAILED: {failure}")
+            return 1
+
+        if args.update_baseline:
+            args.baseline.parent.mkdir(parents=True, exist_ok=True)
+            args.baseline.write_text(
+                json.dumps(report, indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"  wrote baseline {args.baseline}")
+            return 0
+
+        baseline = load_baseline(args.baseline)
+        if not comparable(baseline, report):
+            print("  no comparable baseline; gating on absolute floors")
+        failures = gate(report, baseline)
+        for failure in failures:
+            print(f"  GATE FAILED: {failure}")
+        if not failures:
+            print("  all gates passed")
+        return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

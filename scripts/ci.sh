@@ -46,3 +46,9 @@ python benchmarks/bench_service.py --quick --out BENCH_service.json
 
 echo "== incremental benchmark gate =="
 python benchmarks/bench_incremental.py --quick --out BENCH_incremental.json
+
+echo "== load benchmark gate =="
+# End-to-end over real HTTP: scenario matrix latency/fairness trajectory,
+# plus hard correctness gates (saturation -> 429 + Retry-After -> drain ->
+# bit-identical results; store eviction under pressure).
+python benchmarks/bench_load.py --quick --out BENCH_load.json

@@ -152,6 +152,14 @@ class Config:
     #: ``/healthz``; empty disables authentication (local notebooks).
     service_auth_token: str = ""
 
+    #: Backpressure bound on the precompute backlog (armed debounce timers
+    #: plus queued/in-flight background passes, across all sessions).  At
+    #: the limit the engine sheds superseded work first, defers what it
+    #: cannot shed, and the HTTP API rejects further mutation-facing
+    #: writes with 429 + ``Retry-After`` instead of queueing unboundedly.
+    #: 0 disables the bound.
+    precompute_queue_limit: int = 128
+
     #: Incremental recomputation: partition each background pass into the
     #: actions whose input footprint intersects the accumulated mutation
     #: delta (rerun) and the rest (carried forward from the previous

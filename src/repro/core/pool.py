@@ -123,6 +123,13 @@ class _FairQueue:
             sum(len(b) for b in ring.values()) for ring in self._bands
         )  # type: ignore[return-value]
 
+    def depths(self) -> tuple[dict[str, int], dict[str, int]]:
+        """Per-tag queued-item counts, one dict per band (empty tags elided)."""
+        return tuple(
+            {tag: len(bucket) for tag, bucket in ring.items() if bucket}
+            for ring in self._bands
+        )  # type: ignore[return-value]
+
     def tags(self) -> list[str]:
         seen: list[str] = []
         for ring in self._bands:
@@ -276,12 +283,19 @@ def stats() -> dict[str, Any]:
     """Queue/pool introspection for the service's ``/healthz`` endpoint."""
     with _LOCK:
         interactive, background = _QUEUE.counts()
+        depth_interactive, depth_background = _QUEUE.depths()
         return {
             "workers": _POOL_SIZE or worker_count(),
             "alive": _POOL is not None,
             "queued_interactive": interactive,
             "queued_background": background,
             "queued_tags": _QUEUE.tags(),
+            # Per-band, per-tag queue depths: the operator's view of who
+            # is waiting where (the service tags items with session ids).
+            "queues": {
+                "interactive": depth_interactive,
+                "background": depth_background,
+            },
         }
 
 

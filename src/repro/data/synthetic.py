@@ -1,19 +1,57 @@
-"""Synthetic width-scaling dataset (§9.3 / Fig. 12 left).
+"""Synthetic datasets: the width-scaling frame and the load-test matrix.
 
-Reproduces the paper's construction exactly: a 100k-row frame with 78%
-quantitative columns (half integers, half floats), 20% nominal columns
-whose cardinalities follow a geometric series between 1 and 10000, and 2%
-temporal columns.
+:func:`make_width_dataset` reproduces the paper's §9.3 / Fig. 12 (left)
+construction exactly: a 100k-row frame with 78% quantitative columns
+(half integers, half floats), 20% nominal columns whose cardinalities
+follow a geometric series between 1 and 10000, and 2% temporal columns.
+
+The ``SCENARIOS`` registry adds the adversarial frame shapes the load
+harness (``benchmarks/bench_load.py``) drives through the service —
+each one stresses a different part of the pipeline:
+
+``wide``
+    500+ columns.  Metadata inference and enumeration scale with width;
+    the quantitative share is capped (~40 columns) because Correlation
+    enumerates measure *pairs* and would otherwise go quadratic.
+``highcard``
+    Nominal columns whose cardinality approaches the row count —
+    group-bys degenerate toward one row per group and the occurrence
+    interestingness collapses.
+``skewed``
+    Heavy-tailed measures (lognormal, ``sigma`` up to 3) and Zipf-
+    distributed nominal frequencies — bin edges and group sizes are
+    dominated by outliers.
+``datetime``
+    Temporal-dominant: most columns are dates at wildly different spans,
+    exercising datetime binning/granularity selection on every pass.
+``nullheavy``
+    30–70% missing values per column (masked NaN / None), stressing the
+    mask-aware aggregation paths.
+
+All generators are deterministic in ``(n_rows, seed)`` — the load
+harness's post-drain identity check depends on two independently built
+frames being bit-identical.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 import numpy as np
 
 from ..core.frame import LuxDataFrame
 from .minifaker import MiniFaker
 
-__all__ = ["make_width_dataset"]
+__all__ = [
+    "SCENARIOS",
+    "make_datetime_scenario",
+    "make_highcard_scenario",
+    "make_nullheavy_scenario",
+    "make_scenario",
+    "make_skewed_scenario",
+    "make_wide_scenario",
+    "make_width_dataset",
+]
 
 
 def _geometric_cardinalities(n: int, lo: int = 1, hi: int = 10_000) -> list[int]:
@@ -59,3 +97,163 @@ def make_width_dataset(
     for i in range(n_temporal):
         data[f"date_{i}"] = faker.dates(n_rows)
     return LuxDataFrame(data)
+
+
+# ----------------------------------------------------------------------
+# Load-harness scenario matrix
+# ----------------------------------------------------------------------
+
+
+def make_wide_scenario(
+    n_rows: int = 2_000, seed: int = 0, n_cols: int = 500
+) -> LuxDataFrame:
+    """500+ column frame with a capped quantitative share.
+
+    Width stresses metadata inference and action enumeration.  Only ~8%
+    of columns are quantitative: Correlation enumerates
+    ``C(measures, 2)`` pairs, so an uncapped 500-wide frame would spend
+    the whole pass on one action instead of exercising breadth.
+    """
+    faker = MiniFaker(seed)
+    n_quant = max(n_cols // 12, 4)          # ~40 at the default width
+    n_temporal = max(n_cols // 50, 2)
+    n_nominal = n_cols - n_quant - n_temporal
+    data: dict[str, object] = {}
+    for i in range(n_quant // 2):
+        data[f"q_int_{i}"] = faker.integers(n_rows, 0, 10_000)
+    for i in range(n_quant - n_quant // 2):
+        data[f"q_float_{i}"] = np.round(faker.floats(n_rows, mean=50, std=15), 3)
+    for i, card in enumerate(_geometric_cardinalities(n_nominal)):
+        data[f"nom_{i}"] = faker.words(n_rows, cardinality=card)
+    for i in range(n_temporal):
+        data[f"date_{i}"] = faker.dates(n_rows, span_days=365 * (i + 1))
+    return LuxDataFrame(data)
+
+
+def make_highcard_scenario(n_rows: int = 5_000, seed: int = 0) -> LuxDataFrame:
+    """Nominal cardinality approaching the row count.
+
+    Group-bys degenerate toward one row per group: the occurrence
+    action's bars explode and uniqueness-based type inference sits right
+    on its ID-detection boundary.
+    """
+    faker = MiniFaker(seed)
+    return LuxDataFrame(
+        {
+            "near_unique": faker.words(n_rows, cardinality=max(n_rows // 2, 2)),
+            "high_card": faker.words(n_rows, cardinality=max(n_rows // 10, 2)),
+            "mid_card": faker.words(n_rows, cardinality=200),
+            "name": faker.names(n_rows),
+            "company": faker.companies(n_rows),
+            "city": faker.cities(n_rows),
+            "amount": np.round(faker.lognormals(n_rows, mean=3.0, sigma=1.0), 2),
+            "score": np.round(faker.floats(n_rows, mean=0.0, std=1.0), 4),
+            "count": faker.integers(n_rows, 0, 500),
+        }
+    )
+
+
+def make_skewed_scenario(n_rows: int = 10_000, seed: int = 0) -> LuxDataFrame:
+    """Heavy-tailed measures and Zipf-distributed nominal frequencies.
+
+    Bin edges computed from the data range collapse almost all mass into
+    the first bin; group sizes span four orders of magnitude.
+    """
+    faker = MiniFaker(seed)
+    pool = faker._word_pool(50)
+    # Zipf ranks clipped into the pool: rank 1 dominates, the tail is
+    # a near-empty long tail of groups.
+    ranks = np.minimum(faker.rng.zipf(1.6, size=n_rows), len(pool)) - 1
+    return LuxDataFrame(
+        {
+            "zipf_cat": [pool[r] for r in ranks],
+            "uniform_cat": faker.words(n_rows, cardinality=12),
+            "heavy_tail": np.round(faker.lognormals(n_rows, mean=0.0, sigma=3.0), 4),
+            "mild_tail": np.round(faker.lognormals(n_rows, mean=2.0, sigma=1.0), 4),
+            "power_int": (faker.rng.pareto(1.5, size=n_rows) * 100).astype(np.int64),
+            "normal_ref": np.round(faker.floats(n_rows, mean=100, std=10), 3),
+            "when": faker.dates(n_rows, span_days=730),
+        }
+    )
+
+
+def make_datetime_scenario(n_rows: int = 5_000, seed: int = 0) -> LuxDataFrame:
+    """Temporal-dominant frame: dates at wildly different spans.
+
+    Every pass exercises datetime granularity selection — from a span
+    of one month (day-level bins) out to a couple of decades
+    (year-level bins) — plus enough measures for line charts to rank.
+    """
+    faker = MiniFaker(seed)
+    data: dict[str, object] = {}
+    spans = [30, 90, 365, 365 * 3, 365 * 8, 365 * 20]
+    for span in spans:
+        data[f"ts_{span}d"] = faker.dates(
+            n_rows, start="2005-01-01", span_days=span
+        )
+    data["event"] = faker.words(n_rows, cardinality=8)
+    data["reading"] = np.round(faker.floats(n_rows, mean=20, std=5), 3)
+    data["volume"] = faker.integers(n_rows, 0, 1_000)
+    return LuxDataFrame(data)
+
+
+def make_nullheavy_scenario(n_rows: int = 5_000, seed: int = 0) -> LuxDataFrame:
+    """30–70% missing values per column (masked NaN / None).
+
+    Aggregation, binning, and cardinality counting must all route
+    through the mask-aware paths; the densities differ per column so
+    joint charts see mismatched coverage.
+    """
+    faker = MiniFaker(seed)
+    rng = faker.rng
+
+    def _holey_floats(frac: float, mean: float, std: float) -> np.ndarray:
+        values = faker.floats(n_rows, mean=mean, std=std)
+        values[rng.random(n_rows) < frac] = np.nan
+        return np.round(values, 3)
+
+    def _holey_words(frac: float, cardinality: int) -> list:
+        words = faker.words(n_rows, cardinality=cardinality)
+        drop = rng.random(n_rows) < frac
+        return [None if d else w for w, d in zip(words, drop)]
+
+    return LuxDataFrame(
+        {
+            "sparse_70": _holey_floats(0.7, 10, 2),
+            "sparse_50": _holey_floats(0.5, 100, 30),
+            "sparse_30": _holey_floats(0.3, -5, 1),
+            "cat_sparse_60": _holey_words(0.6, 10),
+            "cat_sparse_40": _holey_words(0.4, 40),
+            "dense_anchor": np.round(faker.floats(n_rows, mean=0, std=1), 4),
+            "dense_cat": faker.words(n_rows, cardinality=6),
+        }
+    )
+
+
+#: The load-harness scenario matrix: name -> generator(n_rows=, seed=).
+SCENARIOS: "dict[str, Callable[..., LuxDataFrame]]" = {
+    "wide": make_wide_scenario,
+    "highcard": make_highcard_scenario,
+    "skewed": make_skewed_scenario,
+    "datetime": make_datetime_scenario,
+    "nullheavy": make_nullheavy_scenario,
+}
+
+
+def make_scenario(
+    name: str, n_rows: int | None = None, seed: int = 0
+) -> LuxDataFrame:
+    """Build one scenario frame by registry name.
+
+    ``n_rows=None`` takes the scenario's own default size; unknown names
+    raise ``KeyError`` listing the registry.
+    """
+    try:
+        generator = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    if n_rows is None:
+        return generator(seed=seed)
+    return generator(n_rows=n_rows, seed=seed)

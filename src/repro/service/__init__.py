@@ -26,12 +26,13 @@ Quickstart (HTTP)::
 """
 
 from .http_api import ServiceServer, make_server
-from .precompute import PrecomputeEngine
+from .precompute import PrecomputeEngine, QueueSaturated
 from .session import Session, SessionManager, serialize_recommendations
 from .store import ResultStore
 
 __all__ = [
     "PrecomputeEngine",
+    "QueueSaturated",
     "ResultStore",
     "ServiceServer",
     "Session",

@@ -8,7 +8,9 @@ Endpoints
 ---------
 ``POST /sessions``
     Create a session.  JSON body fields: ``dataset`` (a bundled generator:
-    hpi | airbnb | covid | communities) *or* ``csv`` (inline CSV text);
+    hpi | airbnb | covid | communities, or a load-test scenario
+    ``synthetic-{wide,highcard,skewed,datetime,nullheavy}``) *or*
+    ``csv`` (inline CSV text);
     optional ``rows`` (airbnb size), ``config`` (per-session overlay, e.g.
     ``{"top_k": 5}``), ``intent``.  Returns the session info.
 ``GET /sessions`` / ``GET /sessions/{id}``
@@ -16,6 +18,11 @@ Endpoints
 ``POST /sessions/{id}/intent``
     Body ``{"intent": [...]}`` (empty/null clears).  Steers the session
     and re-arms its background pass.
+``POST /sessions/{id}/mutate``
+    Body ``{"column": name}`` touches the column (content no-op that
+    bumps the data version — the load harness's write op); with
+    ``"values": [...]`` the column is assigned (or created) from the
+    list.  Returns the session info at the new version.
 ``GET /sessions/{id}/recommendations[?action=Enhance]``
     Specs + scores + freshness.  Served from the versioned store when the
     precompute engine already ran at the current version, computed in the
@@ -27,7 +34,16 @@ Endpoints
 ``DELETE /sessions/{id}``
     Close the session, freeing its store entries and watches.
 ``GET /healthz``
-    Liveness + pool / computation-cache / store / engine statistics.
+    Liveness + pool / computation-cache / store / engine statistics,
+    including the precompute backlog depth against its bound and the
+    pool's per-band/per-tag queue depths.
+
+Backpressure: every mutation-facing write (session create, intent,
+mutate) passes the precompute engine's admission check *before* touching
+any state.  At saturation (``config.precompute_queue_limit``) the API
+answers **429** with a ``Retry-After`` header instead of queueing
+unboundedly; rejected writes have no side effects, so a client simply
+retries after the indicated delay.
 
 Authentication: when ``config.service_auth_token`` (or the explicit
 ``auth_token`` constructor/CLI override) is non-empty, every route except
@@ -58,6 +74,7 @@ from ..core.config import config
 from ..core.errors import LuxError
 from ..core.executor.cache import computation_cache
 from ..dataframe.io import read_csv_string
+from .precompute import QueueSaturated
 from .session import SessionManager
 
 __all__ = ["ServiceServer", "make_server", "main"]
@@ -70,6 +87,7 @@ def _datasets() -> dict[str, Callable[..., Any]]:
         make_covid_stringency,
         make_hpi,
     )
+    from ..data.synthetic import SCENARIOS, make_scenario
 
     def airbnb(rows: int | None = None) -> Any:
         return make_airbnb(n_rows=int(rows or 10_000))
@@ -83,12 +101,23 @@ def _datasets() -> dict[str, Callable[..., Any]]:
 
         return build
 
-    return {
+    def scenario(name: str) -> Callable[..., Any]:
+        def build(rows: int | None = None) -> Any:
+            return make_scenario(name, n_rows=int(rows) if rows else None)
+
+        return build
+
+    makers: dict[str, Callable[..., Any]] = {
         "hpi": wrap(make_hpi),
         "covid": wrap(make_covid_stringency),
         "communities": wrap(make_communities),
         "airbnb": airbnb,
     }
+    # The load-harness scenario matrix rides along as synthetic-<name>
+    # datasets (optional ``rows`` sets the frame size).
+    for name in SCENARIOS:
+        makers[f"synthetic-{name}"] = scenario(name)
+    return makers
 
 
 _SESSION_PATH = re.compile(r"^/sessions/([0-9a-zA-Z_-]+)(/[a-z_]+)?$")
@@ -134,7 +163,12 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send(self, status: int, body: dict[str, Any]) -> None:
+    def _send(
+        self,
+        status: int,
+        body: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         # Keep-alive discipline: any declared request body must be fully
         # consumed before the response, or its bytes would be parsed as
         # the connection's next request line (error paths can respond
@@ -144,6 +178,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
@@ -186,6 +222,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(*handler(*args))
         except _ApiError as exc:
             self._send(exc.status, {"error": str(exc)})
+        except QueueSaturated as exc:
+            # Backpressure: the precompute backlog is at its bound, so the
+            # write was refused before any state changed.  Degrade
+            # gracefully — tell the client when to come back.
+            self._send(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                headers={"Retry-After": str(exc.retry_after_s)},
+            )
         except KeyError as exc:
             self._send(404, {"error": str(exc.args[0]) if exc.args else "not found"})
         except (LuxError, ValueError) as exc:
@@ -213,6 +258,8 @@ class _Handler(BaseHTTPRequestHandler):
                     return self._close_session, (session_id,)
             elif sub == "/intent" and method == "POST":
                 return self._set_intent, (session_id,)
+            elif sub == "/mutate" and method == "POST":
+                return self._mutate, (session_id,)
             elif sub == "/recommendations" and method == "GET":
                 return self._recommendations, (session_id, params)
         raise _ApiError(404, f"no route for {method} {path}")
@@ -245,6 +292,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     @authenticated
     def _create_session(self) -> tuple[int, dict[str, Any]]:
+        # Admission before any work: a rejected create must not even
+        # build the frame, let alone register a session.
+        self.server.manager.engine.admit()
         body = self._body()
         dataset = body.get("dataset")
         csv_text = body.get("csv")
@@ -285,7 +335,22 @@ class _Handler(BaseHTTPRequestHandler):
     @authenticated
     def _set_intent(self, session_id: str) -> tuple[int, dict[str, Any]]:
         session = self.server.manager.get(session_id)
+        self.server.manager.engine.admit()
         session.set_intent(self._body().get("intent"))
+        return 200, session.info()
+
+    @authenticated
+    def _mutate(self, session_id: str) -> tuple[int, dict[str, Any]]:
+        session = self.server.manager.get(session_id)
+        self.server.manager.engine.admit()
+        body = self._body()
+        column = body.get("column")
+        if not isinstance(column, str) or not column:
+            raise _ApiError(400, "provide 'column' (string) to mutate")
+        values = body.get("values")
+        if values is not None and not isinstance(values, list):
+            raise _ApiError(400, "'values' must be a JSON array")
+        session.mutate(column, values)
         return 200, session.info()
 
     @authenticated

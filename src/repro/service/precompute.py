@@ -47,20 +47,51 @@ no longer exists.  The frame's own memoized recommendation cache is
 refreshed under the same guard (merging carried VisLists from the
 previous memoized set on incremental passes), making in-process prints
 free too.
+
+Backpressure (``config.precompute_queue_limit``)
+------------------------------------------------
+The *backlog* — armed debounce timers plus queued/in-flight passes,
+summed across sessions — is bounded.  At the limit the engine degrades
+in three graduated steps rather than queueing unboundedly:
+
+1. **Shed stale** (:meth:`~PrecomputeEngine._shed_stale_locked`): oldest
+   first, cancel in-flight passes whose version the session has already
+   moved past (their results would be discarded at publish anyway) and
+   timers made redundant by a live pass at the current version.  Shedding
+   never loses information — the accumulated delta survives, so the next
+   pass still covers the change.
+2. **Defer**: a trigger that cannot be admitted parks the session in a
+   FIFO; when any pass completes (freeing a slot) the oldest deferred
+   session is resumed.  A deferred session's store goes stale, and reads
+   fall back to a correct foreground pass in the meantime.
+3. **Reject writes**: :meth:`~PrecomputeEngine.admit` is the admission
+   check mutation-facing HTTP writes make *before* touching the frame;
+   at saturation it raises :class:`QueueSaturated` (HTTP 429 with a
+   ``Retry-After`` estimated from the backlog and an EWMA of recent pass
+   durations).  The check and the shed happen under one lock acquisition,
+   so a slot freed between "is it full?" and "enqueue" is observed rather
+   than spuriously rejected.
+
+Because rejected writes never mutate, shed work is always superseded, and
+deferred work resumes on drain, results after the backlog drains are
+bit-identical to an unloaded run — the property
+``benchmarks/bench_load.py`` gates end-to-end.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 import warnings
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Any
 
 from ..core import pool
 from ..core.actions.base import Footprint
 from ..core.actions.registry import default_registry
 from ..core.config import config
-from ..core.errors import LuxWarning, PassCancelled
+from ..core.errors import LuxError, LuxWarning, PassCancelled
 from ..core.optimizer.scheduler import (
     RecommendationSet,
     run_actions,
@@ -75,16 +106,40 @@ if TYPE_CHECKING:  # pragma: no cover
     from .session import Session
     from .store import ResultStore
 
-__all__ = ["PrecomputeEngine"]
+__all__ = ["PrecomputeEngine", "QueueSaturated"]
+
+
+class QueueSaturated(LuxError):
+    """The precompute backlog is at its bound; the write should be retried.
+
+    Raised by :meth:`PrecomputeEngine.admit` — the HTTP layer maps it to
+    429 with a ``Retry-After`` header carrying :attr:`retry_after_s`.
+    """
+
+    def __init__(self, retry_after_s: int) -> None:
+        super().__init__(
+            f"precompute backlog is full; retry after {retry_after_s}s"
+        )
+        self.retry_after_s = retry_after_s
 
 
 class _Inflight:
-    __slots__ = ("version", "future", "cancel")
+    __slots__ = ("version", "future", "cancel", "session", "shed")
 
-    def __init__(self, version: tuple, future: Any, cancel: threading.Event):
+    def __init__(
+        self,
+        version: tuple,
+        future: Any,
+        cancel: threading.Event,
+        session: "Session",
+    ):
         self.version = version
         self.future = future
         self.cancel = cancel
+        self.session = session
+        #: Shed passes abort at their next cancel checkpoint; they stop
+        #: counting toward the backlog the moment they are shed.
+        self.shed = False
 
 
 class _SessionState:
@@ -140,11 +195,19 @@ class PrecomputeEngine:
     ) -> None:
         self.store = store
         self._debounce_override = debounce_s
-        self._lock = threading.Lock()
+        #: Reentrant: ``schedule`` decides admission and submits under one
+        #: acquisition (no check-then-act window), which nests into
+        #: ``_submit_locked``.
+        self._lock = threading.RLock()
         self._unsubscribe: dict[str, Any] = {}  # guarded-by: _lock
         self._timers: dict[str, threading.Timer] = {}  # guarded-by: _lock
         self._inflight: dict[str, _Inflight] = {}  # guarded-by: _lock
         self._states: dict[str, _SessionState] = {}  # guarded-by: _lock
+        #: Sessions whose trigger arrived at saturation, FIFO; resumed as
+        #: passes complete and free backlog slots.
+        self._deferred: "OrderedDict[str, Session]" = OrderedDict()  # guarded-by: _lock
+        #: EWMA of completed pass wall-clock, feeding Retry-After.
+        self._avg_pass_s: float | None = None  # guarded-by: _lock
         self._counters = {  # guarded-by: _lock
             "scheduled": 0,
             "completed": 0,
@@ -155,12 +218,20 @@ class PrecomputeEngine:
             "actions_rerun": 0,
             "actions_carried": 0,
             "carry_misses": 0,
+            "rejected": 0,
+            "shed_stale": 0,
+            "deferred": 0,
+            "resumed": 0,
         }
 
     def debounce_s(self) -> float:
         if self._debounce_override is not None:
             return self._debounce_override
         return max(float(config.precompute_debounce_s), 0.0)
+
+    def queue_limit(self) -> int:
+        """The backlog bound (0 = unbounded)."""
+        return max(int(config.precompute_queue_limit), 0)
 
     def _bump(self, name: str, by: int = 1) -> None:
         """Increment one stats counter; pass workers race the stats reader."""
@@ -197,6 +268,7 @@ class PrecomputeEngine:
             timer = self._timers.pop(session.id, None)
             inflight = self._inflight.pop(session.id, None)
             self._states.pop(session.id, None)
+            self._deferred.pop(session.id, None)
         if unsubscribe is not None:
             unsubscribe()
         if timer is not None:
@@ -204,6 +276,7 @@ class PrecomputeEngine:
         if inflight is not None:
             inflight.cancel.set()
             inflight.future.cancel()
+        self._resume_deferred()
 
     def _record_delta(self, session: "Session", delta: Delta) -> None:
         """Fold one mutation into the session's accumulated delta."""
@@ -219,44 +292,170 @@ class PrecomputeEngine:
                 state.delta_version = version
 
     # ------------------------------------------------------------------
+    # Backpressure (the bounded half)
+    # ------------------------------------------------------------------
+    def backlog_depth(self) -> int:
+        """Armed timers + live (unshed) passes, across all sessions."""
+        with self._lock:
+            return self._backlog_locked()
+
+    def _backlog_locked(self) -> int:  # requires-lock: _lock
+        live = sum(
+            1
+            for i in self._inflight.values()
+            if not i.future.done() and not i.shed
+        )
+        return len(self._timers) + live
+
+    def _holds_slot_locked(self, session_id: str) -> bool:  # requires-lock: _lock
+        """Whether the session already occupies a backlog slot.
+
+        Re-arming or superseding its own slot never grows the backlog, so
+        such triggers bypass the admission check.
+        """
+        if session_id in self._timers:
+            return True
+        inflight = self._inflight.get(session_id)
+        return (
+            inflight is not None
+            and not inflight.future.done()
+            and not inflight.shed
+        )
+
+    def _shed_stale_locked(self) -> None:  # requires-lock: _lock
+        """Shed superseded backlog, oldest first, to free slots.
+
+        Sheds (a) in-flight passes whose version the session has moved
+        past — their publish would be discarded anyway — and (b) timers
+        made redundant by a live pass already running at the session's
+        current version.  Accumulated deltas survive, so shedding defers
+        work without ever losing it.
+        """
+        for inflight in list(self._inflight.values()):
+            if inflight.future.done() or inflight.shed:
+                continue
+            if inflight.version != inflight.session.version:
+                inflight.shed = True
+                inflight.cancel.set()
+                inflight.future.cancel()
+                self._counters["shed_stale"] += 1
+        for sid in list(self._timers):
+            inflight = self._inflight.get(sid)
+            if (
+                inflight is not None
+                and not inflight.future.done()
+                and not inflight.shed
+                and inflight.version == inflight.session.version
+            ):
+                self._timers.pop(sid).cancel()
+                self._counters["shed_stale"] += 1
+
+    def _saturated_locked(self) -> bool:  # requires-lock: _lock
+        """Whether the backlog is at its bound, after shedding stale work.
+
+        The shed happens under the same lock acquisition as the check, so
+        a slot that frees between "is it full?" and "enqueue" is used
+        rather than spuriously rejected.
+        """
+        limit = self.queue_limit()
+        if limit <= 0:
+            return False
+        if self._backlog_locked() < limit:
+            return False
+        self._shed_stale_locked()
+        return self._backlog_locked() >= limit
+
+    def admit(self) -> None:
+        """Admission check for mutation-facing writes.
+
+        Call *before* mutating: raises :class:`QueueSaturated` when the
+        backlog (including deferred sessions) is at its bound, carrying a
+        ``Retry-After`` estimate.  A no-op when the bound is disabled.
+        """
+        if self.queue_limit() <= 0:
+            return
+        with self._lock:
+            if self._deferred or self._saturated_locked():
+                self._counters["rejected"] += 1
+                raise QueueSaturated(self._retry_after_locked())
+
+    def _retry_after_locked(self) -> int:  # requires-lock: _lock
+        """Seconds until a retry plausibly finds a free slot."""
+        pending = self._backlog_locked() + len(self._deferred)
+        per_pass = max(self._avg_pass_s or 0.0, self.debounce_s(), 0.05)
+        return max(1, min(60, math.ceil(pending * per_pass)))
+
+    def _resume_deferred(self) -> None:
+        """Submit deferred sessions while backlog slots are free (FIFO)."""
+        while True:
+            with self._lock:
+                if not self._deferred or self._saturated_locked():
+                    return
+                _, session = self._deferred.popitem(last=False)
+                self._counters["resumed"] += 1
+                self._submit_locked(session)
+
+    # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, session: "Session", immediate: bool = False) -> None:
-        """Arm (or re-arm) the session's debounce; submit when it fires."""
+        """Arm (or re-arm) the session's debounce; submit when it fires.
+
+        At saturation a session not already holding a backlog slot is
+        deferred instead (resumed FIFO as passes complete), so the
+        backlog bound holds even for triggers that raced past
+        :meth:`admit` — the mutation's delta is already recorded, and a
+        read meanwhile falls back to a correct foreground pass.
+        """
         delay = 0.0 if immediate else self.debounce_s()
+        pending: threading.Timer | None = None
         with self._lock:
             pending = self._timers.pop(session.id, None)
+            if (
+                pending is None
+                and not self._holds_slot_locked(session.id)
+                and self._saturated_locked()
+            ):
+                if session.id not in self._deferred:
+                    self._deferred[session.id] = session
+                    self._counters["deferred"] += 1
+            elif delay <= 0:
+                self._submit_locked(session)
+            else:
+                timer = threading.Timer(delay, self._submit, args=(session,))
+                timer.daemon = True
+                self._timers[session.id] = timer
+                timer.start()
         if pending is not None:
             pending.cancel()
-        if delay <= 0:
-            self._submit(session)
-            return
-        timer = threading.Timer(delay, self._submit, args=(session,))
-        timer.daemon = True
-        with self._lock:
-            self._timers[session.id] = timer
-        timer.start()
 
     def _submit(self, session: "Session") -> None:
         with self._lock:
-            self._timers.pop(session.id, None)
-            version = session.version
-            inflight = self._inflight.get(session.id)
-            if inflight is not None and not inflight.future.done():
-                if inflight.version == version:
-                    return  # dedup: same state already queued/running
-                # Stale: the version moved while a pass was in flight.
-                inflight.cancel.set()
-                inflight.future.cancel()
-                self._counters["cancelled"] += 1
-            cancel = threading.Event()
-            future = pool.submit(
-                lambda: self._run_pass(session, version, cancel),
-                tag=session.id,
-                background=True,
-            )
-            self._inflight[session.id] = _Inflight(version, future, cancel)
-            self._counters["scheduled"] += 1
+            self._submit_locked(session)
+
+    def _submit_locked(self, session: "Session") -> None:  # requires-lock: _lock
+        self._timers.pop(session.id, None)
+        version = session.version
+        inflight = self._inflight.get(session.id)
+        if inflight is not None and not inflight.future.done():
+            if inflight.version == version and not inflight.shed:
+                return  # dedup: same state already queued/running
+            # Stale: the version moved while a pass was in flight.
+            inflight.cancel.set()
+            inflight.future.cancel()
+            self._counters["cancelled"] += 1
+        cancel = threading.Event()
+        future = pool.submit(
+            lambda: self._run_pass(session, version, cancel),
+            tag=session.id,
+            background=True,
+        )
+        self._inflight[session.id] = _Inflight(version, future, cancel, session)
+        self._counters["scheduled"] += 1
+        # A completing (or cancelled) pass frees a backlog slot: resume
+        # the oldest deferred session.  Runs on whatever thread completes
+        # the future, never while it still counts toward the backlog.
+        future.add_done_callback(lambda _f: self._resume_deferred())
 
     # ------------------------------------------------------------------
     # Partitioning (the incremental half)
@@ -327,6 +526,7 @@ class PrecomputeEngine:
         if cancel.is_set() or session.version != version:
             self._bump("stale")
             return "stale"
+        started = time.perf_counter()
         with session.lock:
             if cancel.is_set() or session.version != version:
                 self._bump("stale")
@@ -361,8 +561,17 @@ class PrecomputeEngine:
                 return "stale"
             self._publish(session, version, plan, recs, payloads, prev_recs,
                           prev_recs_version)
+            self._record_pass_duration(time.perf_counter() - started)
             self._bump("completed")
             return "completed"
+
+    def _record_pass_duration(self, duration_s: float) -> None:
+        """Fold one completed pass into the Retry-After EWMA."""
+        with self._lock:
+            if self._avg_pass_s is None:
+                self._avg_pass_s = duration_s
+            else:
+                self._avg_pass_s = 0.7 * self._avg_pass_s + 0.3 * duration_s
 
     def _publish(
         self,
@@ -459,8 +668,12 @@ class PrecomputeEngine:
         end = time.monotonic() + timeout
         while time.monotonic() < end:
             with self._lock:
-                busy = bool(self._timers) or any(
-                    not i.future.done() for i in self._inflight.values()
+                busy = (
+                    bool(self._timers)
+                    or bool(self._deferred)
+                    or any(
+                        not i.future.done() for i in self._inflight.values()
+                    )
                 )
             if not busy:
                 return True
@@ -475,6 +688,10 @@ class PrecomputeEngine:
                 "in_flight": sum(
                     1 for i in self._inflight.values() if not i.future.done()
                 ),
+                "backlog_depth": self._backlog_locked(),
+                "queue_limit": self.queue_limit(),
+                "deferred_pending": len(self._deferred),
+                "avg_pass_ms": round((self._avg_pass_s or 0.0) * 1e3, 3),
                 **self._counters,
             }
 
@@ -488,6 +705,7 @@ class PrecomputeEngine:
             self._timers.clear()
             self._inflight.clear()
             self._states.clear()
+            self._deferred.clear()
         for unsubscribe in unsubs:
             unsubscribe()
         for timer in timers:

@@ -123,6 +123,30 @@ class Session:
         return self.frame.intent
 
     # ------------------------------------------------------------------
+    def mutate(self, column: str, values: Any = None) -> None:
+        """Apply one column-level mutation, session-scoped.
+
+        ``values=None`` *touches* ``column`` (rewrites it to itself — a
+        content no-op that still bumps the data version and arms the
+        precompute engine; the load harness's write op).  With ``values``
+        the column is assigned (or created) from the given sequence.
+        Emits the same column-level delta any in-process mutation would,
+        so incremental precompute scopes the rerun correctly.
+        """
+        with self.lock, self.overlay():
+            frame = self.frame
+            if values is None:
+                if column not in frame.columns:
+                    raise KeyError(f"no such column: {column!r}")
+                frame[column] = frame[column]
+            else:
+                if len(values) != len(frame):
+                    raise ValueError(
+                        f"values length {len(values)} != frame rows {len(frame)}"
+                    )
+                frame[column] = values
+
+    # ------------------------------------------------------------------
     def recommendations(
         self, action: str | None = None, compute: bool = True
     ) -> dict[str, Any] | None:

@@ -77,6 +77,7 @@ class ResultStore:
         self._lock = threading.RLock()
         self._budget_override = budget_bytes
         self._nbytes = 0  # guarded-by: _lock
+        self._bytes_peak = 0  # guarded-by: _lock
         self._hits = 0  # guarded-by: _lock
         self._misses = 0  # guarded-by: _lock
         self._evictions = 0  # guarded-by: _lock
@@ -118,6 +119,7 @@ class ResultStore:
                 self._nbytes -= old.nbytes
             self._entries[key] = entry
             self._nbytes += entry.nbytes
+            self._bytes_peak = max(self._bytes_peak, self._nbytes)
             if budget:
                 while self._nbytes > budget and len(self._entries) > 1:
                     self._evict_lru()
@@ -182,6 +184,7 @@ class ResultStore:
                 self._nbytes -= old.nbytes
             self._entries[key] = entry
             self._nbytes += nbytes
+            self._bytes_peak = max(self._bytes_peak, self._nbytes)
             if budget:
                 while self._nbytes > budget and len(self._entries) > 1:
                     self._evict_lru()
@@ -275,6 +278,7 @@ class ResultStore:
             return {
                 "entries": len(self._entries),
                 "bytes": self._nbytes,
+                "bytes_peak": self._bytes_peak,
                 "budget_bytes": self.budget_bytes(),
                 "sessions": len({k[0] for k in self._entries}),
                 "hits": self._hits,

@@ -94,3 +94,31 @@ class TestFairShare:
     def test_stats_shape(self):
         stats = pool.stats()
         assert {"workers", "queued_interactive", "queued_background"} <= set(stats)
+        assert set(stats["queues"]) == {"interactive", "background"}
+
+    def test_per_tag_queue_depths(self):
+        """stats()['queues'] breaks queued work down per band, per tag —
+        the /healthz view an operator uses to see who is waiting where."""
+        config.action_pool_workers = 1
+        gate = threading.Event()
+        try:
+            blocker = _block_worker(gate)
+            futures = [
+                pool.submit(lambda: None, tag="s1", background=True),
+                pool.submit(lambda: None, tag="s1", background=True),
+                pool.submit(lambda: None, tag="s2", background=True),
+                pool.submit(lambda: None, tag="s1"),
+            ]
+            queues = pool.stats()["queues"]
+            assert queues["background"] == {"s1": 2, "s2": 1}
+            assert queues["interactive"] == {"s1": 1}
+        finally:
+            gate.set()
+        for f in futures:
+            f.result(timeout=10)
+        blocker.result(timeout=10)
+        # Drained queues report empty (zero-count tags are elided).
+        deadline = time.monotonic() + 5
+        while any(pool.stats()["queues"].values()) and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert pool.stats()["queues"] == {"interactive": {}, "background": {}}
