@@ -30,6 +30,15 @@ Run directly (CI runs ``--quick``)::
 
     PYTHONPATH=src python benchmarks/bench_service.py \\
         [--quick] [--rows N] [--sessions N] [--out PATH] [--update-baseline]
+
+``--multiproc`` switches to the sharded-tier benchmark
+(``BENCH_service_multiproc.json``): a worker-count scaling section
+(supervisor with 1 vs 4 worker processes; precompute wall-clock and
+threaded store-read throughput must both scale **>= 1.8x** — measured
+only on hosts with >= 4 cores, loudly skipped otherwise) and a restart
+recovery section (warm restore from session snapshots must be **>= 10x**
+faster than a cold rebuild, with bit-identical payloads) that runs on
+every host.
 """
 
 from __future__ import annotations
@@ -59,7 +68,18 @@ TOLERANCE = 0.6
 #: than cold reads (the issue's bar; in practice the ratio is >100x).
 PRECOMPUTE_FLOOR = 5.0
 
+#: Warm restart (snapshot restore + first store-hit read) vs cold start
+#: (rebuild the data + foreground pass) acceptance floor.
+RECOVERY_FLOOR = 10.0
+
+#: Required speedup at 4 workers vs 1 for both precompute wall-clock and
+#: read throughput (gated only on hosts with >= 4 cores).
+SCALING_FLOOR = 1.8
+
 BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_service.json"
+MULTIPROC_BASELINE_PATH = (
+    Path(__file__).parent / "baselines" / "BENCH_service_multiproc.json"
+)
 
 
 def build_lux_frame(rows: int, seed: int = 0) -> LuxDataFrame:
@@ -151,6 +171,292 @@ def measure_multi_session(
     }
 
 
+# ----------------------------------------------------------------------
+# Multi-process (sharded tier) sections
+# ----------------------------------------------------------------------
+def strip_freshness(response: dict) -> str:
+    # The session id is not part of the payload contract (a cold rebuild
+    # registers fresh ids); freshness carries wall-clock ages.
+    return json.dumps(
+        {
+            k: v
+            for k, v in response.items()
+            if k not in ("freshness", "session")
+        },
+        sort_keys=True,
+    )
+
+
+def measure_worker_scaling(
+    rows: int, n_sessions: int, n_workers: int, reads: int = 240
+) -> dict:
+    """Precompute wall-clock + threaded read throughput at one worker count.
+
+    Sessions live in spawned worker processes behind a Supervisor; reads
+    go through the supervisor's pre-serialized payload passthrough, from
+    several threads at once — the router-side picture an HTTP deployment
+    sees.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import Supervisor
+
+    snap = config.snapshot()
+    config.precompute = True
+    config.precompute_debounce_s = 0.0
+    try:
+        sup = Supervisor(n_workers=n_workers)
+        try:
+            ids = [
+                sup.create_session(
+                    {
+                        "dataset": "synthetic-skewed",
+                        "rows": rows,
+                        "config": {"top_k": 3},
+                    }
+                )["session"]
+                for _ in range(n_sessions)
+            ]
+            assert sup.wait_idle(600), "create passes never settled"
+
+            start = time.perf_counter()
+            for sid in ids:
+                sup.mutate(sid, {"column": "heavy_tail"})
+            assert sup.wait_idle(600), "precompute never settled"
+            precompute_wall_s = time.perf_counter() - start
+
+            def read(i: int) -> None:
+                payload = sup.recommendations(ids[i % len(ids)])
+                assert payload  # pre-serialized JSON string
+
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=8) as executor:
+                list(executor.map(read, range(reads)))
+            read_wall_s = time.perf_counter() - start
+        finally:
+            sup.stop()
+    finally:
+        config.restore(snap)
+    return {
+        "workers": n_workers,
+        "sessions": n_sessions,
+        "precompute_wall_ms": round(precompute_wall_s * 1e3, 1),
+        "reads": reads,
+        "reads_per_s": round(reads / read_wall_s) if read_wall_s > 0 else 0,
+    }
+
+
+def measure_recovery(rows: int, n_sessions: int = 3) -> dict:
+    """Warm restart (snapshot restore) vs cold start (rebuild + compute).
+
+    Both timings cover the full path an operator waits on after a
+    restart: cold = rebuild the data, register the session, run the
+    first foreground pass; warm = restore snapshots from disk, serve the
+    first read from the rehydrated store.  Payloads must be
+    bit-identical to the pre-shutdown reference either way.
+    """
+    import shutil
+    import tempfile
+
+    from repro.data.synthetic import make_scenario
+    from repro.service import SnapshotStore
+
+    tmp = tempfile.mkdtemp(prefix="lux-recovery-")
+    try:
+        with config_overlay(precompute_debounce_s=0.0, precompute=True):
+            manager = SessionManager(
+                snapshots=SnapshotStore(tmp, interval_s=0.0)
+            )
+            references = []
+            ids = []
+            for _ in range(n_sessions):
+                session = manager.create(
+                    make_scenario("skewed", n_rows=rows),
+                    overrides={"top_k": 3},
+                )
+                session.mutate("heavy_tail")
+                ids.append(session.id)
+            assert manager.engine.wait_idle(600), "recovery prep stalled"
+            for sid in ids:
+                references.append(
+                    strip_freshness(manager.get(sid).recommendations())
+                )
+            manager.shutdown()  # flushes every session's snapshot
+
+        # Cold start: the no-persistence world — rebuild everything and
+        # compute the first response in the foreground.
+        with config_overlay(precompute=False):
+            cold_manager = SessionManager()
+            start = time.perf_counter()
+            cold_responses = []
+            for _ in range(n_sessions):
+                session = cold_manager.create(
+                    make_scenario("skewed", n_rows=rows),
+                    overrides={"top_k": 3},
+                )
+                session.mutate("heavy_tail")
+                response = session.recommendations()
+                assert response["freshness"]["origin"] == "foreground"
+                cold_responses.append(response)
+            cold_s = time.perf_counter() - start
+            cold_manager.shutdown()
+
+        # Warm start: restore the snapshot directory, serve from it.
+        # (Identity serialization happens after the clock stops — it is
+        # verification overhead, not part of either recovery path.)
+        with config_overlay(precompute_debounce_s=0.0):
+            warm_manager = SessionManager(snapshots=SnapshotStore(tmp))
+            start = time.perf_counter()
+            restored = warm_manager.restore_sessions()
+            warm_responses = {}
+            for sid in restored:
+                warm_responses[sid] = warm_manager.get(sid).recommendations()
+            warm_s = time.perf_counter() - start
+            warm_manager.shutdown()
+
+        identical = (
+            sorted(restored) == sorted(ids)
+            and all(
+                r["freshness"]["origin"] != "foreground"
+                for r in warm_responses.values()
+            )
+            and [strip_freshness(warm_responses[sid]) for sid in ids]
+            == references
+            and [strip_freshness(r) for r in cold_responses] == references
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "sessions": n_sessions,
+        "cold_ms": round(cold_s * 1e3, 1),
+        "warm_ms": round(warm_s * 1e3, 1),
+        "speedup": round(cold_s / warm_s, 1) if warm_s > 0 else float("inf"),
+        "identical": identical,
+    }
+
+
+def gate_multiproc(report: dict, baseline: dict | None) -> list[str]:
+    failures: list[str] = []
+    recovery = report["recovery"]
+    if not recovery["identical"]:
+        failures.append(
+            "restored payloads differ from the pre-restart reference"
+        )
+    if recovery["speedup"] < RECOVERY_FLOOR:
+        failures.append(
+            f"warm recovery {recovery['speedup']:.1f}x below the "
+            f"{RECOVERY_FLOOR}x acceptance floor"
+        )
+    scaling = report["scaling"]
+    if not scaling.get("skipped"):
+        for metric in ("precompute_scaling", "read_scaling"):
+            if scaling[metric] < SCALING_FLOOR:
+                failures.append(
+                    f"{metric} {scaling[metric]:.2f}x at 4 workers below "
+                    f"the {SCALING_FLOOR}x floor"
+                )
+    if comparable(baseline, report):
+        base = baseline["recovery"]["speedup"]
+        if recovery["speedup"] < base * TOLERANCE:
+            failures.append(
+                f"warm recovery {recovery['speedup']:.1f}x regressed below "
+                f"{TOLERANCE:.0%} of baseline {base:.1f}x"
+            )
+    return failures
+
+
+def run_multiproc(args: argparse.Namespace) -> int:
+    cpu_count = os.cpu_count() or 1
+    n_sessions = max(4, 2 * args.sessions)
+    print(
+        f"service multiproc: {args.rows} rows, {n_sessions} sessions, "
+        f"{cpu_count} cores"
+    )
+
+    if cpu_count >= 4:
+        single = measure_worker_scaling(args.rows, n_sessions, 1)
+        multi = measure_worker_scaling(args.rows, n_sessions, 4)
+        scaling = {
+            "single": single,
+            "multi": multi,
+            "precompute_scaling": round(
+                single["precompute_wall_ms"] / multi["precompute_wall_ms"], 2
+            )
+            if multi["precompute_wall_ms"]
+            else 0.0,
+            "read_scaling": round(
+                multi["reads_per_s"] / single["reads_per_s"], 2
+            )
+            if single["reads_per_s"]
+            else 0.0,
+        }
+        print(
+            f"  1 worker : precompute {single['precompute_wall_ms']:.0f} ms, "
+            f"{single['reads_per_s']} reads/s"
+        )
+        print(
+            f"  4 workers: precompute {multi['precompute_wall_ms']:.0f} ms, "
+            f"{multi['reads_per_s']} reads/s"
+        )
+        print(
+            f"  scaling  : precompute {scaling['precompute_scaling']:.2f}x, "
+            f"reads {scaling['read_scaling']:.2f}x"
+        )
+    else:
+        reason = (
+            f"host has {cpu_count} core(s); the 1-vs-4-worker scaling "
+            "section needs >= 4"
+        )
+        scaling = {"skipped": True, "reason": reason}
+        print(f"  SCALING SKIPPED (NOT GATED): {reason}")
+
+    recovery = measure_recovery(min(args.rows, 20_000))
+    print(
+        f"  recovery : cold {recovery['cold_ms']:.0f} ms, "
+        f"warm {recovery['warm_ms']:.0f} ms "
+        f"({recovery['speedup']:.1f}x), identical={recovery['identical']}"
+    )
+
+    report = {
+        "schema": 1,
+        "benchmark": "service_multiproc",
+        "mode": "quick" if args.quick else "full",
+        "rows": args.rows,
+        "cpu_count": cpu_count,
+        "python": platform.python_version(),
+        "scaling": scaling,
+        "recovery": recovery,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"  wrote {args.out}")
+
+    if not recovery["identical"]:
+        # Correctness precedes every mode, including --update-baseline.
+        print(
+            "  GATE FAILED: restored payloads differ from the "
+            "pre-restart reference"
+        )
+        return 1
+
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"  wrote baseline {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    if not comparable(baseline, report):
+        print("  no comparable baseline; gating on absolute floors")
+    failures = gate_multiproc(report, baseline)
+    for failure in failures:
+        print(f"  GATE FAILED: {failure}")
+    if not failures:
+        print("  all gates passed")
+    return 1 if failures else 0
+
+
 def comparable(baseline: dict | None, report: dict) -> bool:
     return (
         baseline is not None
@@ -192,15 +498,31 @@ def main(argv: list[str] | None = None) -> int:
                         help="session count for the throughput section")
     parser.add_argument("--quick", action="store_true",
                         help="small smoke run for CI (20k rows, 2 rounds)")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_service.json"),
-                        help="trajectory artifact path")
-    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
+    parser.add_argument("--multiproc", action="store_true",
+                        help="benchmark the sharded multi-process tier "
+                        "(worker scaling + snapshot recovery) instead")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="trajectory artifact path (default "
+                        "BENCH_service.json / BENCH_service_multiproc.json)")
+    parser.add_argument("--baseline", type=Path, default=None,
                         help="committed baseline to gate against")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the committed baseline from this run")
     args = parser.parse_args(argv)
     if args.quick:
         args.rows, args.rounds = 20_000, 2
+    if args.out is None:
+        args.out = Path(
+            "BENCH_service_multiproc.json"
+            if args.multiproc
+            else "BENCH_service.json"
+        )
+    if args.baseline is None:
+        args.baseline = (
+            MULTIPROC_BASELINE_PATH if args.multiproc else BASELINE_PATH
+        )
+    if args.multiproc:
+        return run_multiproc(args)
 
     with contextlib.ExitStack() as stack:
         stack.callback(computation_cache.clear)

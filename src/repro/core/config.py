@@ -168,6 +168,30 @@ class Config:
     #: ``benchmarks/bench_incremental.py`` measures.
     incremental_precompute: bool = True
 
+    #: Worker-process count of the sharded service tier (sessions are
+    #: routed by a consistent hash of the session id; one SessionManager
+    #: + PrecomputeEngine per worker).  0 keeps the service single-process
+    #: (no supervisor, the PR-4 architecture).
+    service_shards: int = 0
+
+    #: Directory for per-session snapshots (frame columns + intent +
+    #: history + stored results), enabling warm recovery after a restart.
+    #: Empty disables persistence.
+    service_snapshot_dir: str = ""
+
+    #: Minimum seconds between snapshot writes per session; a completed
+    #: background pass inside the window skips its save (the next one
+    #: outside the window, or a shutdown flush, persists it).  0.0 saves
+    #: on every published pass.
+    service_snapshot_interval_s: float = 0.0
+
+    #: Per-request timeout on supervisor -> worker RPCs; a worker that
+    #: does not answer inside the window is reported unreachable (HTTP
+    #: 503) instead of hanging the router thread.  ``/healthz`` probes
+    #: use the tighter ``min(2.0, this)`` so aggregation never blocks on
+    #: a dead worker.
+    service_rpc_timeout_s: float = 30.0
+
     def __getattribute__(self, name: str) -> Any:
         # Thread-local overlays shadow instance attributes.  The guard
         # order keeps the common case (no overlay anywhere) at one

@@ -101,6 +101,7 @@ class LuxDataFrame(DataFrame):
         "_exported",
         "_data_version",
         "_intent_epoch",
+        "_restored_type_overrides",
     }
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
@@ -128,6 +129,10 @@ class LuxDataFrame(DataFrame):
         object.__setattr__(self, "_exported", [])
         object.__setattr__(self, "_data_version", 0)
         object.__setattr__(self, "_intent_epoch", 0)
+        #: Explicit set_data_type overrides carried across a snapshot
+        #: restore: the restored frame has no metadata cache yet, so the
+        #: first _compute_metadata seeds its overrides from here.
+        object.__setattr__(self, "_restored_type_overrides", {})
 
     def _init_derived(self, parent: DataFrame | None, op: str) -> None:
         """Propagate Lux state from parent to derived frames (§6, history)."""
@@ -251,10 +256,13 @@ class LuxDataFrame(DataFrame):
         # mutation already expired (served as current by the next pass).
         # Freshness holds only if the version never moved while computing.
         start_version = self._data_version
-        overrides = {}
         if self._metadata_cache is not None:
             # Preserve explicit user data-type overrides across refreshes.
             overrides = getattr(self._metadata_cache, "_overrides", {})
+        else:
+            # First computation after a snapshot restore: the overrides
+            # live on the frame until a metadata cache exists to hold them.
+            overrides = dict(getattr(self, "_restored_type_overrides", {}) or {})
         meta = compute_metadata(self)
         for name, data_type in overrides.items():
             if name in meta:

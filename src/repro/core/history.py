@@ -9,12 +9,22 @@ through intermediate objects.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 __all__ = ["Event", "History"]
 
 _clock = itertools.count()
+_clock_lock = threading.Lock()
+
+
+def _advance_clock(floor: int) -> None:
+    """Ensure future :meth:`Event.new` timestamps are ``>= floor``."""
+    with _clock_lock:
+        global _clock
+        current = next(_clock)
+        _clock = itertools.count(max(current + 1, floor))
 
 #: Ops that mark the frame as derived-by-filtering.
 FILTER_OPS = {"filter", "head", "tail", "take", "slice", "dropna"}
@@ -71,6 +81,28 @@ class History:
 
     def copy(self) -> "History":
         return History(self._events)
+
+    # ------------------------------------------------------------------
+    # Persistence (service snapshots)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> list[list]:
+        """JSON-safe event list (``[[op, time], ...]``) for snapshots."""
+        return [[e.op, e.time] for e in self._events]
+
+    @classmethod
+    def from_payload(cls, payload: Iterable) -> "History":
+        """Rebuild a history from :meth:`to_payload` output.
+
+        The module clock is advanced past the largest restored timestamp
+        so events appended after the restore still sort strictly later —
+        ``extend_from`` orders by ``time``, and a freshly-counted event
+        colliding with a restored one would scramble derived-frame
+        histories.
+        """
+        events = [Event(op=str(op), time=int(t)) for op, t in payload]
+        if events:
+            _advance_clock(max(e.time for e in events) + 1)
+        return cls(events)
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self._events)

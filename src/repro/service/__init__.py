@@ -23,12 +23,22 @@ Quickstart (HTTP)::
     curl -X POST localhost:8080/sessions -d '{"dataset": "hpi"}'
     curl localhost:8080/sessions/<id>/recommendations
     curl localhost:8080/healthz
+
+Scaling out: ``--shards N`` (or ``config.service_shards``) serves the
+same HTTP surface from N worker *processes*, sessions routed by a
+consistent hash of the id; ``--snapshot-dir`` (or
+``config.service_snapshot_dir``) persists per-session snapshots so
+restarted workers come back warm.  See :mod:`repro.service.supervisor`
+and :mod:`repro.service.persist`.
 """
 
 from .http_api import ServiceServer, make_server
+from .persist import SnapshotStore
 from .precompute import PrecomputeEngine, QueueSaturated
 from .session import Session, SessionManager, serialize_recommendations
+from .shard import ShardService, WorkerUnreachable, shard_for
 from .store import ResultStore
+from .supervisor import Supervisor
 
 __all__ = [
     "PrecomputeEngine",
@@ -37,6 +47,11 @@ __all__ = [
     "ServiceServer",
     "Session",
     "SessionManager",
+    "ShardService",
+    "SnapshotStore",
+    "Supervisor",
+    "WorkerUnreachable",
     "make_server",
     "serialize_recommendations",
+    "shard_for",
 ]

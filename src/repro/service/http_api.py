@@ -1,8 +1,13 @@
 """Stdlib-only HTTP JSON API over the recommendation service.
 
 No framework, no new dependencies: :class:`http.server.ThreadingHTTPServer`
-with one handler class routing a small REST surface onto a
-:class:`~repro.service.session.SessionManager`.
+with one handler class routing a small REST surface onto a *backend* —
+either a :class:`LocalBackend` (one in-process
+:class:`~repro.service.session.SessionManager`, the default) or a
+:class:`ShardBackend` (a :class:`~repro.service.supervisor.Supervisor`
+routing sessions across N worker processes; see
+:mod:`repro.service.shard`).  The HTTP surface is identical in both
+modes — clients cannot tell how many processes serve them.
 
 Endpoints
 ---------
@@ -36,14 +41,21 @@ Endpoints
 ``GET /healthz``
     Liveness + pool / computation-cache / store / engine statistics,
     including the precompute backlog depth against its bound and the
-    pool's per-band/per-tag queue depths.
+    pool's per-band/per-tag queue depths.  In shard mode the top-level
+    aggregates sum across workers, a ``workers`` list carries each
+    worker's stanza, and a dead worker appears as a
+    ``worker_unreachable`` stanza (probed under a short timeout — a
+    crashed worker can never hang the health check) with the aggregate
+    ``status`` degraded.
 
 Backpressure: every mutation-facing write (session create, intent,
 mutate) passes the precompute engine's admission check *before* touching
 any state.  At saturation (``config.precompute_queue_limit``) the API
 answers **429** with a ``Retry-After`` header instead of queueing
 unboundedly; rejected writes have no side effects, so a client simply
-retries after the indicated delay.
+retries after the indicated delay.  In shard mode a request routed to a
+dead worker answers **503** with ``Retry-After: 1`` — the supervisor
+restarts crashed workers, which recover warm from session snapshots.
 
 Authentication: when ``config.service_auth_token`` (or the explicit
 ``auth_token`` constructor/CLI override) is non-empty, every route except
@@ -54,6 +66,8 @@ single-user notebooks.
 Run standalone::
 
     PYTHONPATH=src python -m repro.service.http_api --port 8080
+    PYTHONPATH=src python -m repro.service.http_api --port 8080 \\
+        --shards 4 --snapshot-dir /var/lib/lux/snapshots
 
 or embed: ``server = make_server(manager, port=0); server.serve_background()``.
 """
@@ -66,67 +80,38 @@ import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 from urllib.parse import parse_qsl
 
-from ..core import pool
 from ..core.config import config
 from ..core.errors import LuxError
-from ..core.executor.cache import computation_cache
-from ..dataframe.io import read_csv_string
 from .precompute import QueueSaturated
 from .session import SessionManager
+from .shard import (
+    RequestError,
+    WorkerUnreachable,
+    apply_mutate_body,
+    create_session_from_body,
+    healthz_payload,
+)
 
-__all__ = ["ServiceServer", "make_server", "main"]
+if TYPE_CHECKING:  # pragma: no cover
+    from .supervisor import Supervisor
 
-def _datasets() -> dict[str, Callable[..., Any]]:
-    """Bundled dataset name -> generator taking an optional row cap."""
-    from ..data import (
-        make_airbnb,
-        make_communities,
-        make_covid_stringency,
-        make_hpi,
-    )
-    from ..data.synthetic import SCENARIOS, make_scenario
-
-    def airbnb(rows: int | None = None) -> Any:
-        return make_airbnb(n_rows=int(rows or 10_000))
-
-    def wrap(maker: Callable[[], Any]) -> Callable[..., Any]:
-        def build(rows: int | None = None) -> Any:
-            frame = maker()
-            if rows and len(frame) > int(rows):
-                frame = frame.head(int(rows))
-            return frame
-
-        return build
-
-    def scenario(name: str) -> Callable[..., Any]:
-        def build(rows: int | None = None) -> Any:
-            return make_scenario(name, n_rows=int(rows) if rows else None)
-
-        return build
-
-    makers: dict[str, Callable[..., Any]] = {
-        "hpi": wrap(make_hpi),
-        "covid": wrap(make_covid_stringency),
-        "communities": wrap(make_communities),
-        "airbnb": airbnb,
-    }
-    # The load-harness scenario matrix rides along as synthetic-<name>
-    # datasets (optional ``rows`` sets the frame size).
-    for name in SCENARIOS:
-        makers[f"synthetic-{name}"] = scenario(name)
-    return makers
-
+__all__ = [
+    "LocalBackend",
+    "ServiceServer",
+    "ShardBackend",
+    "main",
+    "make_server",
+]
 
 _SESSION_PATH = re.compile(r"^/sessions/([0-9a-zA-Z_-]+)(/[a-z_]+)?$")
 
-
-class _ApiError(Exception):
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
+# The HTTP layer's client-error type is the transport-neutral one the
+# shard vocabulary defines, so worker-side errors cross the pipe and land
+# in the same except-arm as locally raised ones.
+_ApiError = RequestError
 
 
 def authenticated(handler: Callable[..., Any]) -> Callable[..., Any]:
@@ -150,8 +135,99 @@ def public(handler: Callable[..., Any]) -> Callable[..., Any]:
     return handler
 
 
+class LocalBackend:
+    """Single-process backend: every route hits one SessionManager."""
+
+    def __init__(self, manager: SessionManager) -> None:
+        self.manager = manager
+
+    def healthz(self) -> dict[str, Any]:
+        return healthz_payload(self.manager)
+
+    def list_sessions(self) -> dict[str, Any]:
+        return {"sessions": self.manager.ids()}
+
+    def create(self, body: dict[str, Any]) -> dict[str, Any]:
+        # Admission before any work: a rejected create must not even
+        # build the frame, let alone register a session.
+        self.manager.engine.admit()
+        return create_session_from_body(self.manager, body).info()
+
+    def info(self, session_id: str) -> dict[str, Any]:
+        return self.manager.get(session_id).info()
+
+    def close(self, session_id: str) -> dict[str, Any]:
+        if not self.manager.close(session_id):
+            raise _ApiError(404, f"no such session: {session_id!r}")
+        return {"closed": session_id}
+
+    def set_intent(self, session_id: str, intent: Any) -> dict[str, Any]:
+        session = self.manager.get(session_id)
+        self.manager.engine.admit()
+        session.set_intent(intent)
+        return session.info()
+
+    def mutate(self, session_id: str, body: dict[str, Any]) -> dict[str, Any]:
+        session = self.manager.get(session_id)
+        self.manager.engine.admit()
+        apply_mutate_body(session, body)
+        return session.info()
+
+    def recommendations(
+        self, session_id: str, action: str | None
+    ) -> dict[str, Any]:
+        session = self.manager.get(session_id)
+        try:
+            return session.recommendations(action=action)
+        except KeyError:
+            raise _ApiError(404, f"no such action: {action!r}") from None
+
+    def shutdown(self) -> None:
+        self.manager.shutdown()
+
+
+class ShardBackend:
+    """Multi-process backend: routes each request to the owning worker.
+
+    Thin by design — the supervisor does the routing, the workers do the
+    work, and recommendation payloads pass through as pre-serialized
+    JSON strings so this process never parses them.
+    """
+
+    def __init__(self, supervisor: "Supervisor") -> None:
+        self.supervisor = supervisor
+        self.manager = None  # no in-process sessions in shard mode
+
+    def healthz(self) -> dict[str, Any]:
+        return self.supervisor.healthz()
+
+    def list_sessions(self) -> dict[str, Any]:
+        return {"sessions": self.supervisor.session_ids()}
+
+    def create(self, body: dict[str, Any]) -> dict[str, Any]:
+        return self.supervisor.create_session(body)
+
+    def info(self, session_id: str) -> dict[str, Any]:
+        return self.supervisor.info(session_id)
+
+    def close(self, session_id: str) -> dict[str, Any]:
+        return self.supervisor.close_session(session_id)
+
+    def set_intent(self, session_id: str, intent: Any) -> dict[str, Any]:
+        return self.supervisor.set_intent(session_id, intent)
+
+    def mutate(self, session_id: str, body: dict[str, Any]) -> dict[str, Any]:
+        return self.supervisor.mutate(session_id, body)
+
+    def recommendations(self, session_id: str, action: str | None) -> str:
+        return self.supervisor.recommendations(session_id, action)
+
+    def shutdown(self) -> None:
+        self.supervisor.stop()
+
+
 class _Handler(BaseHTTPRequestHandler):
-    """Routes one request onto the server's SessionManager."""
+    """Routes one request onto the server's backend."""
 
     server: "ServiceServer"
     protocol_version = "HTTP/1.1"
@@ -166,7 +242,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _send(
         self,
         status: int,
-        body: dict[str, Any],
+        body: "dict[str, Any] | str",
         headers: dict[str, str] | None = None,
     ) -> None:
         # Keep-alive discipline: any declared request body must be fully
@@ -174,7 +250,12 @@ class _Handler(BaseHTTPRequestHandler):
         # the connection's next request line (error paths can respond
         # before the route ever called _body()).
         self._read_body_bytes()
-        data = json.dumps(body).encode("utf-8")
+        # A str body is already-serialized JSON (shard mode forwards the
+        # worker's bytes untouched — the router never parses payloads).
+        if isinstance(body, str):
+            data = body.encode("utf-8")
+        else:
+            data = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
@@ -231,6 +312,15 @@ class _Handler(BaseHTTPRequestHandler):
                 {"error": str(exc), "retry_after_s": exc.retry_after_s},
                 headers={"Retry-After": str(exc.retry_after_s)},
             )
+        except WorkerUnreachable as exc:
+            # Shard mode: the owning worker is dead or timed out.  The
+            # supervisor restarts crashed workers (warm, from snapshots),
+            # so tell the client to retry shortly rather than erroring.
+            self._send(
+                503,
+                {"error": str(exc), "retry_after_s": 1},
+                headers={"Retry-After": "1"},
+            )
         except KeyError as exc:
             self._send(404, {"error": str(exc.args[0]) if exc.args else "not found"})
         except (LuxError, ValueError) as exc:
@@ -278,92 +368,41 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     @public
     def _healthz(self) -> tuple[int, dict[str, Any]]:
-        manager = self.server.manager
-        return 200, {
-            "status": "ok",
-            "pool": pool.stats(),
-            "computation_cache": computation_cache.stats(),
-            **manager.stats(),
-        }
+        return 200, self.server.backend.healthz()
 
     @authenticated
     def _list_sessions(self) -> tuple[int, dict[str, Any]]:
-        return 200, {"sessions": self.server.manager.ids()}
+        return 200, self.server.backend.list_sessions()
 
     @authenticated
     def _create_session(self) -> tuple[int, dict[str, Any]]:
-        # Admission before any work: a rejected create must not even
-        # build the frame, let alone register a session.
-        self.server.manager.engine.admit()
-        body = self._body()
-        dataset = body.get("dataset")
-        csv_text = body.get("csv")
-        if bool(dataset) == bool(csv_text):
-            raise _ApiError(
-                400, "provide exactly one of 'dataset' or 'csv'"
-            )
-        if dataset:
-            makers = _datasets()
-            if dataset not in makers:
-                raise _ApiError(
-                    404,
-                    f"unknown dataset {dataset!r}; "
-                    f"available: {sorted(makers)}",
-                )
-            frame = makers[dataset](body.get("rows"))
-        else:
-            from ..core.frame import LuxDataFrame
-
-            frame = read_csv_string(str(csv_text), frame_cls=LuxDataFrame)
-        session = self.server.manager.create(
-            frame,
-            overrides=body.get("config"),
-            intent=body.get("intent"),
-        )
-        return 201, session.info()
+        return 201, self.server.backend.create(self._body())
 
     @authenticated
     def _session_info(self, session_id: str) -> tuple[int, dict[str, Any]]:
-        return 200, self.server.manager.get(session_id).info()
+        return 200, self.server.backend.info(session_id)
 
     @authenticated
     def _close_session(self, session_id: str) -> tuple[int, dict[str, Any]]:
-        if not self.server.manager.close(session_id):
-            raise _ApiError(404, f"no such session: {session_id!r}")
-        return 200, {"closed": session_id}
+        return 200, self.server.backend.close(session_id)
 
     @authenticated
     def _set_intent(self, session_id: str) -> tuple[int, dict[str, Any]]:
-        session = self.server.manager.get(session_id)
-        self.server.manager.engine.admit()
-        session.set_intent(self._body().get("intent"))
-        return 200, session.info()
+        return 200, self.server.backend.set_intent(
+            session_id, self._body().get("intent")
+        )
 
     @authenticated
     def _mutate(self, session_id: str) -> tuple[int, dict[str, Any]]:
-        session = self.server.manager.get(session_id)
-        self.server.manager.engine.admit()
-        body = self._body()
-        column = body.get("column")
-        if not isinstance(column, str) or not column:
-            raise _ApiError(400, "provide 'column' (string) to mutate")
-        values = body.get("values")
-        if values is not None and not isinstance(values, list):
-            raise _ApiError(400, "'values' must be a JSON array")
-        session.mutate(column, values)
-        return 200, session.info()
+        return 200, self.server.backend.mutate(session_id, self._body())
 
     @authenticated
     def _recommendations(
         self, session_id: str, params: dict[str, str]
-    ) -> tuple[int, dict[str, Any]]:
-        session = self.server.manager.get(session_id)
-        action = params.get("action")
-        try:
-            response = session.recommendations(action=action)
-        except KeyError:
-            raise _ApiError(404, f"no such action: {action!r}") from None
-        return 200, response
+    ) -> tuple[int, "dict[str, Any] | str"]:
+        return 200, self.server.backend.recommendations(
+            session_id, params.get("action")
+        )
 
 
 def _parse_query(query: str) -> dict[str, str]:
@@ -371,20 +410,29 @@ def _parse_query(query: str) -> dict[str, str]:
 
 
 class ServiceServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer bound to one SessionManager."""
+    """ThreadingHTTPServer bound to one backend (local or sharded)."""
 
     daemon_threads = True
 
     def __init__(
         self,
-        manager: SessionManager,
+        manager: SessionManager | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
         auth_token: str | None = None,
+        supervisor: "Supervisor | None" = None,
     ) -> None:
         super().__init__((host, port), _Handler)
-        self.manager = manager
+        if supervisor is not None:
+            self.backend: "LocalBackend | ShardBackend" = ShardBackend(
+                supervisor
+            )
+        else:
+            self.backend = LocalBackend(manager or SessionManager())
+        # Back-compat attribute: tests and benches reach the in-process
+        # manager through the server.  None when running sharded.
+        self.manager = self.backend.manager
         self.verbose = verbose
         # Resolved once at construction: handler threads are spawned by the
         # server, so a thread-local config overlay on the caller would never
@@ -421,11 +469,14 @@ def make_server(
     port: int = 0,
     verbose: bool = False,
     auth_token: str | None = None,
+    supervisor: "Supervisor | None" = None,
 ) -> ServiceServer:
-    """Build a server (port 0 picks an ephemeral port; see ``.address``)."""
-    return ServiceServer(
-        manager or SessionManager(), host, port, verbose, auth_token
-    )
+    """Build a server (port 0 picks an ephemeral port; see ``.address``).
+
+    Pass ``supervisor`` to serve a sharded multi-process tier; otherwise
+    the server wraps an in-process ``manager`` (created when omitted).
+    """
+    return ServiceServer(manager, host, port, verbose, auth_token, supervisor)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -443,20 +494,48 @@ def main(argv: list[str] | None = None) -> int:
         help="Bearer token required on every route except /healthz "
         "(default: config.service_auth_token; empty disables auth)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="Number of worker processes (default: config.service_shards; "
+        "0 serves single-process)",
+    )
+    parser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="Session snapshot directory for warm restarts "
+        "(default: config.service_snapshot_dir; empty disables)",
+    )
     args = parser.parse_args(argv)
+    shards = args.shards if args.shards is not None else int(config.service_shards)
+    supervisor = None
+    if shards > 0:
+        from .supervisor import Supervisor
+
+        supervisor = Supervisor(
+            n_workers=shards, snapshot_dir=args.snapshot_dir
+        )
+    elif args.snapshot_dir:
+        # Single-process with persistence: route the knob through config
+        # so the default SessionManager below picks it up.  Base mutation
+        # is deliberate — this CLI owns the process and its threads.
+        config.service_snapshot_dir = args.snapshot_dir  # check: ignore[config-mutation]
     server = make_server(
         host=args.host,
         port=args.port,
         verbose=args.verbose,
         auth_token=args.auth_token,
+        supervisor=supervisor,
     )
-    print(f"serving on {server.address} (Ctrl-C to stop)")
+    mode = f"{shards} shard workers" if supervisor else "single-process"
+    print(f"serving on {server.address} ({mode}; Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.manager.shutdown()
+        server.backend.shutdown()
         server.server_close()
     return 0
 

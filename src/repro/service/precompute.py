@@ -103,6 +103,7 @@ from .session import serialize_recommendations
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.actions.base import Action
+    from .persist import SnapshotStore
     from .session import Session
     from .store import ResultStore
 
@@ -191,9 +192,16 @@ class PrecomputeEngine:
     """Schedules and runs background recommendation passes per session."""
 
     def __init__(
-        self, store: "ResultStore", debounce_s: float | None = None
+        self,
+        store: "ResultStore",
+        debounce_s: float | None = None,
+        snapshots: "SnapshotStore | None" = None,
     ) -> None:
         self.store = store
+        #: When set, every published pass persists the session (rate-
+        #: limited by ``config.service_snapshot_interval_s``) so a
+        #: restarted worker recovers warm state.
+        self._snapshots = snapshots
         self._debounce_override = debounce_s
         #: Reentrant: ``schedule`` decides admission and submits under one
         #: acquisition (no check-then-act window), which nests into
@@ -561,6 +569,11 @@ class PrecomputeEngine:
                 return "stale"
             self._publish(session, version, plan, recs, payloads, prev_recs,
                           prev_recs_version)
+            if self._snapshots is not None:
+                # Still under session.lock (reentrant), so the snapshot
+                # captures exactly the state this pass published; save()
+                # handles the interval rate limit and contains failures.
+                self._snapshots.save(session)
             self._record_pass_duration(time.perf_counter() - started)
             self._bump("completed")
             return "completed"

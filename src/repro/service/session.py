@@ -20,18 +20,23 @@ store, precompute engine) and is what the HTTP API holds.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 import uuid
+import warnings
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
 from ..core.config import config, thread_overlay
+from ..core.errors import LuxWarning
 from ..core.frame import LuxDataFrame
 from ..dataframe import DataFrame
 from ..vis.vegalite import spec_payload
 from .store import MANIFEST
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .persist import SnapshotStore
     from .precompute import PrecomputeEngine
     from .store import ResultStore
 
@@ -80,6 +85,9 @@ class Session:
         #: two passes never interleave writes to the frame's memoized
         #: metadata/recommendation state.
         self.lock = threading.RLock()
+        #: Lazily-rehydrated snapshot results: ``(path, version)`` set by
+        #: a snapshot restore, consumed by the first read.
+        self._pending_results: "tuple[Any, tuple[int, int]] | None" = None  # guarded-by: lock
 
     # ------------------------------------------------------------------
     @property
@@ -161,6 +169,7 @@ class Session:
         exists for this frame); ``compute=False`` returns None on a store
         miss (the probe the benchmarks and tests use).
         """
+        self._hydrate_results()
         version = self.version
         if action is not None:
             # A completed pass knows its action set: reject unknown names
@@ -189,6 +198,34 @@ class Session:
                 raise KeyError(f"no such action: {action!r}")
             payloads = {action: payloads[action]}
         return self._respond(self.version, payloads, origin="foreground")
+
+    def _hydrate_results(self) -> None:
+        """Load snapshotted pass results into the store, exactly once.
+
+        A restored session carries ``(results_path, version)``; the first
+        read at that version re-inserts the saved records (original
+        origins and ``computed_at``) so warm recovery serves store hits,
+        not foreground passes.  A session that mutated before its first
+        read skips rehydration — the saved pass no longer matches the
+        current version and a fresh pass is already scheduled.
+        """
+        with self.lock:
+            marker = self._pending_results
+            if marker is None:
+                return
+            self._pending_results = None
+            path, version = marker
+            if self.store is None or self.version != version:
+                return
+            try:
+                saved = json.loads(Path(path).read_text("utf-8"))
+                self.store.restore_pass(
+                    self.id, version, saved["records"], saved.get("manifest")
+                )
+            except Exception as exc:
+                warnings.warn(
+                    f"result rehydration failed for {self.id}: {exc}", LuxWarning
+                )
 
     def _read_store(
         self, version: tuple[int, int], action: str | None
@@ -281,13 +318,20 @@ class SessionManager:
         self,
         store: "ResultStore | None" = None,
         engine: "PrecomputeEngine | None" = None,
+        snapshots: "SnapshotStore | None" = None,
     ) -> None:
+        from .persist import SnapshotStore
         from .precompute import PrecomputeEngine
         from .store import ResultStore
 
         self.store = store if store is not None else ResultStore()
+        if snapshots is None and config.service_snapshot_dir:
+            snapshots = SnapshotStore(config.service_snapshot_dir)
+        self.snapshots = snapshots
         self.engine = (
-            engine if engine is not None else PrecomputeEngine(self.store)
+            engine
+            if engine is not None
+            else PrecomputeEngine(self.store, snapshots=self.snapshots)
         )
         self._sessions: dict[str, Session] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
@@ -328,6 +372,44 @@ class SessionManager:
             self.engine.schedule(session, immediate=True)
         return session
 
+    def restore_sessions(
+        self, shard: int | None = None, n_shards: int | None = None
+    ) -> list[str]:
+        """Adopt every snapshotted session (optionally one shard's slice).
+
+        The restored frame arrives at its saved version with its saved
+        intent/history; the stored pass rehydrates lazily on first read.
+        No pass is scheduled here — the state on disk *is* the last
+        completed pass, so scheduling one would only burn a cold pass per
+        restored session at startup.  Sessions already live (or belonging
+        to another shard) are skipped.
+        """
+        if self.snapshots is None:
+            return []
+        from .shard import shard_for
+
+        restored: list[str] = []
+        for session_id in self.snapshots.ids():
+            if (
+                shard is not None
+                and n_shards
+                and shard_for(session_id, n_shards) != shard
+            ):
+                continue
+            with self._lock:
+                if session_id in self._sessions:
+                    continue
+            session = self.snapshots.restore_session(session_id, store=self.store)
+            if session is None:
+                continue
+            with self._lock:
+                if session_id in self._sessions:  # pragma: no cover - race
+                    continue
+                self._sessions[session_id] = session
+            self.engine.watch(session)
+            restored.append(session_id)
+        return restored
+
     def get(self, session_id: str) -> Session:
         with self._lock:
             session = self._sessions.get(session_id)
@@ -335,13 +417,18 @@ class SessionManager:
             raise KeyError(f"no such session: {session_id!r}")
         return session
 
-    def close(self, session_id: str) -> bool:
+    def close(self, session_id: str, drop_snapshot: bool = True) -> bool:
         with self._lock:
             session = self._sessions.pop(session_id, None)
         if session is None:
             return False
         self.engine.unwatch(session)
         self.store.drop_session(session_id)
+        if drop_snapshot and self.snapshots is not None:
+            # An explicitly closed session is gone for good; only a
+            # shutdown flush keeps snapshots (drop_snapshot=False) so the
+            # next process can recover them.
+            self.snapshots.drop(session_id)
         return True
 
     def ids(self) -> list[str]:
@@ -353,14 +440,27 @@ class SessionManager:
             return list(self._sessions.values())
 
     def shutdown(self) -> None:
-        """Close every session and stop the engine's timers."""
-        for session_id in self.ids():
-            self.close(session_id)
+        """Flush snapshots, close every session, stop the engine's timers.
+
+        The flush is forced (rate limit bypassed) and captures the
+        *current* frame state — possibly newer than the last published
+        pass, in which case the snapshot is frame-only at that version
+        and the restored session's first read runs one foreground pass.
+        Snapshots are kept (``drop_snapshot=False``): surviving a
+        shutdown is their entire point.
+        """
+        for session in self.sessions():
+            if self.snapshots is not None:
+                self.snapshots.save(session, force=True)
+            self.close(session.id, drop_snapshot=False)
         self.engine.close()
 
     def stats(self) -> dict[str, Any]:
-        return {
+        out = {
             "sessions": len(self.ids()),
             "store": self.store.stats(),
             "precompute": self.engine.stats(),
         }
+        if self.snapshots is not None:
+            out["snapshots"] = self.snapshots.stats()
+        return out

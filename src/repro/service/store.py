@@ -189,6 +189,50 @@ class ResultStore:
                 while self._nbytes > budget and len(self._entries) > 1:
                     self._evict_lru()
 
+    def restore_pass(
+        self,
+        session_id: str,
+        version: tuple,
+        records: Mapping[str, Mapping[str, Any]],
+        manifest: "Sequence[str] | None" = None,
+    ) -> bool:
+        """Rehydrate a snapshotted pass, preserving each record's provenance.
+
+        The service's persistence layer saves the store's own records
+        (payload + origin + ``computed_at``) next to the frame snapshot;
+        on the first read after a restart this re-inserts them verbatim —
+        origins stay ``precompute``/``carried``/``mixed``, ``computed_at``
+        stays the original pass time (so ``freshness.age_s`` reports the
+        true staleness across the restart, not zero).  Returns True when
+        the manifest landed, i.e. the pass is servable whole.
+        """
+        for action, record in records.items():
+            nbytes = record.get("nbytes")
+            if nbytes is None:
+                self.put(
+                    session_id,
+                    version,
+                    action,
+                    record["payload"],
+                    origin=record.get("origin", "precompute"),
+                    computed_at=record.get("computed_at"),
+                )
+            else:
+                # The snapshot recorded the exact accounting size at the
+                # original insertion — reuse it instead of re-serializing
+                # every payload on the (latency-critical) warm path.
+                entry = _Entry(
+                    record["payload"],
+                    record.get("origin", "precompute"),
+                    int(nbytes),
+                    computed_at=record.get("computed_at"),
+                )
+                self._insert(self._key(session_id, version, action), entry)
+        names = list(manifest) if manifest is not None else list(records)
+        self.put_pass(session_id, version, {}, manifest=names)
+        with self._lock:
+            return self._key(session_id, version, MANIFEST) in self._entries
+
     def carry(
         self,
         session_id: str,
@@ -238,10 +282,14 @@ class ResultStore:
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+            # nbytes rides along so snapshots can persist each record's
+            # exact accounting size; restore_pass then re-inserts without
+            # re-serializing the payload just to measure it.
             return {
                 "payload": entry.payload,
                 "origin": entry.origin,
                 "computed_at": entry.computed_at,
+                "nbytes": entry.nbytes,
             }
 
     def get_pass(
