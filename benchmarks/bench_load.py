@@ -63,7 +63,9 @@ reference byte-for-byte.
 from __future__ import annotations
 
 import argparse
+import bisect
 import contextlib
+import itertools
 import json
 import os
 import platform
@@ -80,9 +82,11 @@ sys.path.insert(0, str(Path(__file__).parent))
 from bench_shared_scan import load_baseline  # noqa: E402
 
 from repro import config, config_overlay  # noqa: E402
+from repro.core import telemetry  # noqa: E402
 from repro.core.executor.cache import computation_cache  # noqa: E402
 from repro.data.synthetic import SCENARIOS, make_scenario  # noqa: E402
 from repro.service import ResultStore, SessionManager, make_server  # noqa: E402
+from repro.service import metrics as service_metrics  # noqa: E402
 from repro.service.session import Session  # noqa: E402
 
 #: Latency trajectory gate: aggregate read p95 may grow at most this much
@@ -164,6 +168,84 @@ def jain(counts: list[int]) -> float:
         return 0.0
     total = sum(counts)
     return (total * total) / (len(counts) * sum(c * c for c in counts))
+
+
+def latency_histogram(latencies: list[float]) -> dict:
+    """Client-side read latencies in the server's exact bucket layout.
+
+    Same fixed power-of-two edges as every process's
+    ``lux_http_request_seconds`` histogram, so per-bucket counts compare
+    directly against the server's exposition at the end of the run.
+    """
+    bounds = telemetry.bucket_bounds(int(config.telemetry_histogram_buckets))
+    counts = [0] * (len(bounds) + 1)
+    for value in latencies:
+        counts[bisect.bisect_left(bounds, value)] += 1
+    return {"bounds": bounds, "counts": counts}
+
+
+def scrape_metrics(base: str) -> str:
+    """Raw Prometheus exposition from the server's ``/metrics``."""
+    with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
+        return response.read().decode("utf-8")
+
+
+def cross_check_metrics(text: str, client_hist: dict) -> list[str]:
+    """Server's recommendation-route histogram must dominate the client's.
+
+    Two invariants tie the two views of the same requests together:
+
+    - identical bucket bounds (both sides derive them from
+      ``config.telemetry_histogram_buckets``), and
+    - per-bound cumulative counts on the server **>= ** the client's:
+      handler time is a lower bound on client RTT (so each read lands in
+      the same-or-lower bucket server-side), and the server additionally
+      counts reads the saturation/eviction sections issued.
+
+    Violations mean the exposition pipeline is lying — a hard failure.
+    """
+    failures: list[str] = []
+    try:
+        samples = service_metrics.parse_exposition(text)
+    except ValueError as exc:
+        return [f"/metrics scrape unparseable: {exc}"]
+    if not samples:
+        return ["/metrics scrape contained no samples"]
+    server_by_bound: dict[float, float] = {}
+    server_inf = None
+    for name, labels, value in samples:
+        if (
+            name == "lux_http_request_seconds_bucket"
+            and labels.get("route") == "recommendations"
+        ):
+            if labels.get("le") == "+Inf":
+                server_inf = value
+            else:
+                server_by_bound[float(labels["le"])] = value
+    if server_inf is None:
+        return [
+            "no lux_http_request_seconds_bucket samples for "
+            "route=recommendations in the scrape"
+        ]
+    bounds = client_hist["bounds"]
+    if sorted(server_by_bound) != [float(b) for b in bounds]:
+        return [
+            f"server histogram has {len(server_by_bound)} finite buckets, "
+            f"client has {len(bounds)} — bucket layouts diverged"
+        ]
+    client_cumulative = list(itertools.accumulate(client_hist["counts"]))
+    for i, bound in enumerate(bounds):
+        if server_by_bound[float(bound)] < client_cumulative[i]:
+            failures.append(
+                f"server cumulative count {server_by_bound[float(bound)]:.0f} "
+                f"below client's {client_cumulative[i]} at le={bound}"
+            )
+    if server_inf < client_cumulative[-1]:
+        failures.append(
+            f"server total {server_inf:.0f} below client total "
+            f"{client_cumulative[-1]}"
+        )
+    return failures
 
 
 # ----------------------------------------------------------------------
@@ -341,6 +423,7 @@ def run_scenario(
             "p95": round(percentile(latencies, 0.95) * 1e3, 3),
             "p99": round(percentile(latencies, 0.99) * 1e3, 3),
         },
+        "latency_histogram": latency_histogram(latencies),
         "reads_per_s": round(ops["reads"] / duration_s, 1),
         "fairness_jain": round(jain(read_counts), 3),
         "reads_per_session": read_counts,
@@ -915,6 +998,7 @@ def hard_failures(report: dict) -> list[str]:
     errors = sum(s["error_count"] for s in report["scenarios"].values())
     if errors:
         failures.append(f"{errors} transport/HTTP errors in mixed workload")
+    failures.extend(report.get("metrics_check", {}).get("failures", []))
     return failures
 
 
@@ -956,6 +1040,9 @@ def main(argv: list[str] | None = None) -> int:
                         "the sharded multi-process tier with a mid-run "
                         "worker kill/restart (hard gates, no baseline)")
     parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="also write the end-of-run /metrics scrape "
+                        "(Prometheus text) to this path")
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     parser.add_argument("--update-baseline", action="store_true")
     args = parser.parse_args(argv)
@@ -1024,6 +1111,26 @@ def main(argv: list[str] | None = None) -> int:
               f"bytes_peak={eviction['bytes_peak']} "
               f"reads_ok={eviction['reads_ok']}")
 
+        # End-of-run exposition cross-check: the client-observed read
+        # histogram (all scenarios pooled) must be dominated bucket-wise
+        # by the server's own lux_http_request_seconds for the same route.
+        empty = latency_histogram([])
+        pooled = {
+            "bounds": empty["bounds"],
+            "counts": [
+                sum(s["latency_histogram"]["counts"][i]
+                    for s in scenarios.values())
+                for i in range(len(empty["counts"]))
+            ],
+        }
+        exposition = scrape_metrics(base)
+        if args.metrics_out is not None:
+            args.metrics_out.write_text(exposition, encoding="utf-8")
+            print(f"  wrote {args.metrics_out}")
+        metrics_failures = cross_check_metrics(exposition, pooled)
+        print(f"  metrics     scrape={len(exposition)}B "
+              f"cross_check={'ok' if not metrics_failures else 'FAILED'}")
+
         # Aggregate latency takes the worst scenario per percentile — a
         # conservative "no scenario may regress" stance that stays
         # meaningful when the matrix mixes fast and slow frame shapes.
@@ -1060,6 +1167,11 @@ def main(argv: list[str] | None = None) -> int:
             "aggregate": aggregate,
             "saturation": saturation,
             "eviction": eviction,
+            "metrics_check": {
+                "scrape_bytes": len(exposition),
+                "client_reads": pooled["counts"],
+                "failures": metrics_failures,
+            },
         }
         args.out.write_text(json.dumps(report, indent=2) + "\n",
                             encoding="utf-8")

@@ -50,5 +50,13 @@ python benchmarks/bench_incremental.py --quick --out BENCH_incremental.json
 echo "== load benchmark gate =="
 # End-to-end over real HTTP: scenario matrix latency/fairness trajectory,
 # plus hard correctness gates (saturation -> 429 + Retry-After -> drain ->
-# bit-identical results; store eviction under pressure).
-python benchmarks/bench_load.py --quick --out BENCH_load.json
+# bit-identical results; store eviction under pressure).  The run also
+# scrapes the server's /metrics at the end and cross-checks it against
+# the client-observed latency histogram (same fixed buckets).
+python benchmarks/bench_load.py --quick --out BENCH_load.json \
+  --metrics-out METRICS_snapshot.txt
+
+echo "== metrics snapshot gate =="
+# The scraped exposition must be non-empty and parseable; a broken
+# /metrics pipeline fails CI even if every latency gate passed.
+python -m repro.service.metrics METRICS_snapshot.txt

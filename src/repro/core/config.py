@@ -192,6 +192,26 @@ class Config:
     #: a dead worker.
     service_rpc_timeout_s: float = 30.0
 
+    # ------------------------------------------------------------------
+    # Telemetry knobs (repro.core.telemetry)
+    # ------------------------------------------------------------------
+    #: Fraction of traces whose spans are recorded (decided once per
+    #: trace from a deterministic hash of the trace id, so every process
+    #: in a sharded tier samples the same traces).  Metrics are always
+    #: recorded; this gates only span capture.
+    telemetry_sample_rate: float = 1.0
+
+    #: Capacity of the per-process span ring buffer (most recent spans
+    #: win).  Applied when the ring is first created in a process or
+    #: after ``telemetry.reset()``.
+    telemetry_span_buffer: int = 512
+
+    #: Number of finite latency-histogram buckets.  Bounds are powers of
+    #: two starting at 0.5 ms, derived only from this knob, so every
+    #: worker uses identical edges and cross-process merge is exact
+    #: bucket-wise addition.
+    telemetry_histogram_buckets: int = 20
+
     def __getattribute__(self, name: str) -> Any:
         # Thread-local overlays shadow instance attributes.  The guard
         # order keeps the common case (no overlay anywhere) at one

@@ -55,10 +55,12 @@ this and degrade to inline execution instead.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable
 
+from . import telemetry
 from .config import config, current_overlay, thread_overlay
 
 __all__ = ["submit", "worker_count", "in_worker", "shutdown", "stats"]
@@ -187,21 +189,38 @@ def submit(
     if background is None:
         background = bool(getattr(_CONTEXT, "background", False))
     overlay = current_overlay()
+    # Trace context crosses the thread hand-off alongside the config
+    # overlay, so spans opened inside pool work stitch to the submitter's
+    # trace (a foreground read's pass shares the HTTP request's trace id).
+    trace_ctx = telemetry.current_trace()
+    band_label = "background" if background else "interactive"
+    enqueued = time.perf_counter()
     outer: "Future[Any]" = Future()
 
     def run() -> None:
         if not outer.set_running_or_notify_cancel():
             return
+        started = time.perf_counter()
+        telemetry.histogram(
+            "lux_pool_queue_wait_seconds",
+            "pool queue wait (push to start) by band and tag",
+            ("band", "tag"),
+        ).observe(started - enqueued, (band_label, tag or "untagged"))
         prev_tag = getattr(_CONTEXT, "tag", "")
         prev_bg = getattr(_CONTEXT, "background", False)
         _CONTEXT.tag, _CONTEXT.background = tag, background
         try:
-            with thread_overlay(overlay):
+            with thread_overlay(overlay), telemetry.trace_context(trace_ctx):
                 outer.set_result(fn())
         except BaseException as exc:
             outer.set_exception(exc)
         finally:
             _CONTEXT.tag, _CONTEXT.background = prev_tag, prev_bg
+            telemetry.histogram(
+                "lux_pool_run_seconds",
+                "pool item run time by band and tag",
+                ("band", "tag"),
+            ).observe(time.perf_counter() - started, (band_label, tag or "untagged"))
 
     with _LOCK:
         _QUEUE.push(BACKGROUND if background else INTERACTIVE, tag, run)

@@ -18,6 +18,8 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any
 
+from . import telemetry
+
 __all__ = ["UsageLog", "disable", "enable", "get_log", "record"]
 
 
@@ -44,6 +46,15 @@ class UsageLog:
     def record(self, kind: str, **detail: Any) -> None:
         if not self.enabled:
             return
+        # Route through the structured logger so usage events land in the
+        # same correlated JSON stream as service logs; the emitted record
+        # carries trace/span ids when recording happened inside a span,
+        # and we fold the trace id back into the stored event so JSONL
+        # exports can be joined against traces offline.
+        record = telemetry.get_logger("usage").info(kind, **detail)
+        trace_id = record.get("trace_id")
+        if trace_id:
+            detail = dict(detail, trace_id=trace_id)
         event = UsageEvent(kind=kind, timestamp=time.time(), detail=detail)
         with self._lock:
             self._events.append(event)

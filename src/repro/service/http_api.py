@@ -79,12 +79,15 @@ import hmac
 import json
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any, Callable
 from urllib.parse import parse_qsl
 
+from ..core import telemetry
 from ..core.config import config
 from ..core.errors import LuxError
+from . import metrics as service_metrics
 from .precompute import QueueSaturated
 from .session import SessionManager
 from .shard import (
@@ -135,14 +138,49 @@ def public(handler: Callable[..., Any]) -> Callable[..., Any]:
     return handler
 
 
+def measured(route: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Route decorator naming the request metric's route label.
+
+    Every handler ``_resolve`` can return must carry this — an explicit
+    per-route decision ``tools/check`` (rule ``telemetry-hygiene``)
+    enforces, mirroring ``route-auth``.  The decorator only records the
+    label; the count/latency/status observation happens centrally in
+    ``_route`` once the final status is known, so error statuses (401,
+    404, 429, 503...) are attributed to the route that produced them.
+    Keep it outermost (above the auth decorator) so even rejected
+    requests carry their route label.
+    """
+
+    def wrap(handler: Callable[..., Any]) -> Callable[..., Any]:
+        @functools.wraps(handler)
+        def labelled(self: "_Handler", *args: Any) -> Any:
+            self._route_name = route
+            return handler(self, *args)
+
+        return labelled
+
+    return wrap
+
+
 class LocalBackend:
     """Single-process backend: every route hits one SessionManager."""
 
     def __init__(self, manager: SessionManager) -> None:
         self.manager = manager
+        service_metrics.register_service_gauges(manager)
 
     def healthz(self) -> dict[str, Any]:
         return healthz_payload(self.manager)
+
+    def metrics_text(self) -> str:
+        return service_metrics.render_prometheus(service_metrics.collect_process())
+
+    def trace(self, session_id: str, limit: int = 100) -> dict[str, Any]:
+        self.manager.get(session_id)  # KeyError -> 404
+        return {
+            "session": session_id,
+            "spans": telemetry.spans(session_id=session_id, limit=limit),
+        }
 
     def list_sessions(self) -> dict[str, Any]:
         return {"sessions": self.manager.ids()}
@@ -201,6 +239,12 @@ class ShardBackend:
     def healthz(self) -> dict[str, Any]:
         return self.supervisor.healthz()
 
+    def metrics_text(self) -> str:
+        return service_metrics.render_prometheus(self.supervisor.metrics())
+
+    def trace(self, session_id: str, limit: int = 100) -> dict[str, Any]:
+        return self.supervisor.trace(session_id, limit)
+
     def list_sessions(self) -> dict[str, Any]:
         return {"sessions": self.supervisor.session_ids()}
 
@@ -251,15 +295,23 @@ class _Handler(BaseHTTPRequestHandler):
         # before the route ever called _body()).
         self._read_body_bytes()
         # A str body is already-serialized JSON (shard mode forwards the
-        # worker's bytes untouched — the router never parses payloads).
+        # worker's bytes untouched — the router never parses payloads),
+        # unless a handler overrides Content-Type (the /metrics
+        # exposition is plain text).
         if isinstance(body, str):
             data = body.encode("utf-8")
         else:
             data = json.dumps(body).encode("utf-8")
+        self._status_sent = status
+        extra = dict(headers or {})
+        content_type = extra.pop("Content-Type", "application/json")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
+        request_id = getattr(self, "_request_id", "")
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
         self.send_header("Content-Length", str(len(data)))
-        for name, value in (headers or {}).items():
+        for name, value in extra.items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
@@ -296,43 +348,64 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route(self, method: str) -> None:
         # One handler instance serves every request on a keep-alive
-        # connection; the body cache is strictly per-request state.
+        # connection; the body cache (and the per-request telemetry
+        # state) is strictly per-request.
         self._body_cache = None
-        try:
-            handler, args = self._resolve(method)
-            self._send(*handler(*args))
-        except _ApiError as exc:
-            self._send(exc.status, {"error": str(exc)})
-        except QueueSaturated as exc:
-            # Backpressure: the precompute backlog is at its bound, so the
-            # write was refused before any state changed.  Degrade
-            # gracefully — tell the client when to come back.
-            self._send(
-                429,
-                {"error": str(exc), "retry_after_s": exc.retry_after_s},
-                headers={"Retry-After": str(exc.retry_after_s)},
-            )
-        except WorkerUnreachable as exc:
-            # Shard mode: the owning worker is dead or timed out.  The
-            # supervisor restarts crashed workers (warm, from snapshots),
-            # so tell the client to retry shortly rather than erroring.
-            self._send(
-                503,
-                {"error": str(exc), "retry_after_s": 1},
-                headers={"Retry-After": "1"},
-            )
-        except KeyError as exc:
-            self._send(404, {"error": str(exc.args[0]) if exc.args else "not found"})
-        except (LuxError, ValueError) as exc:
-            self._send(400, {"error": str(exc)})
-        except Exception as exc:  # never let a bug kill the connection
-            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+        self._route_name = "unrouted"
+        self._status_sent = 0
+        started = time.perf_counter()
+        with telemetry.span(
+            "http.request", method=method, path=self.path
+        ) as root:
+            # The trace id doubles as the request id (X-Request-Id
+            # response header), correlating client logs with spans.
+            self._request_id = root.trace_id
+            try:
+                handler, args = self._resolve(method)
+                if args and isinstance(args[0], str):
+                    root.attrs["session"] = args[0]
+                self._send(*handler(*args))
+            except _ApiError as exc:
+                self._send(exc.status, {"error": str(exc)})
+            except QueueSaturated as exc:
+                # Backpressure: the precompute backlog is at its bound, so the
+                # write was refused before any state changed.  Degrade
+                # gracefully — tell the client when to come back.
+                self._send(
+                    429,
+                    {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                    headers={"Retry-After": str(exc.retry_after_s)},
+                )
+            except WorkerUnreachable as exc:
+                # Shard mode: the owning worker is dead or timed out.  The
+                # supervisor restarts crashed workers (warm, from snapshots),
+                # so tell the client to retry shortly rather than erroring.
+                self._send(
+                    503,
+                    {"error": str(exc), "retry_after_s": 1},
+                    headers={"Retry-After": "1"},
+                )
+            except KeyError as exc:
+                self._send(404, {"error": str(exc.args[0]) if exc.args else "not found"})
+            except (LuxError, ValueError) as exc:
+                self._send(400, {"error": str(exc)})
+            except Exception as exc:  # never let a bug kill the connection
+                self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+            root.attrs["route"] = self._route_name
+            root.attrs["status"] = self._status_sent
+        # Central per-route observation: runs after the except-ladder so
+        # error statuses land in the same labelled series as successes.
+        service_metrics.observe_request(
+            self._route_name, method, self._status_sent, time.perf_counter() - started
+        )
 
     def _resolve(self, method: str) -> tuple[Callable[..., Any], tuple]:
         path, _, query = self.path.partition("?")
         params = _parse_query(query)
         if path == "/healthz" and method == "GET":
             return self._healthz, ()
+        if path == "/metrics" and method == "GET":
+            return self._metrics, ()
         if path == "/sessions":
             if method == "GET":
                 return self._list_sessions, ()
@@ -352,6 +425,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._mutate, (session_id,)
             elif sub == "/recommendations" and method == "GET":
                 return self._recommendations, (session_id, params)
+            elif sub == "/trace" and method == "GET":
+                return self._session_trace, (session_id, params)
         raise _ApiError(404, f"no route for {method} {path}")
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -366,36 +441,55 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
+    @measured("healthz")
     @public
     def _healthz(self) -> tuple[int, dict[str, Any]]:
         return 200, self.server.backend.healthz()
 
+    @measured("metrics")
+    @public
+    def _metrics(self) -> tuple[int, str, dict[str, str]]:
+        # Public like /healthz: the exposition carries no session data
+        # and scrapers rarely support per-target auth headers cleanly.
+        return (
+            200,
+            self.server.backend.metrics_text(),
+            {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+        )
+
+    @measured("sessions_list")
     @authenticated
     def _list_sessions(self) -> tuple[int, dict[str, Any]]:
         return 200, self.server.backend.list_sessions()
 
+    @measured("sessions_create")
     @authenticated
     def _create_session(self) -> tuple[int, dict[str, Any]]:
         return 201, self.server.backend.create(self._body())
 
+    @measured("session_info")
     @authenticated
     def _session_info(self, session_id: str) -> tuple[int, dict[str, Any]]:
         return 200, self.server.backend.info(session_id)
 
+    @measured("session_close")
     @authenticated
     def _close_session(self, session_id: str) -> tuple[int, dict[str, Any]]:
         return 200, self.server.backend.close(session_id)
 
+    @measured("intent")
     @authenticated
     def _set_intent(self, session_id: str) -> tuple[int, dict[str, Any]]:
         return 200, self.server.backend.set_intent(
             session_id, self._body().get("intent")
         )
 
+    @measured("mutate")
     @authenticated
     def _mutate(self, session_id: str) -> tuple[int, dict[str, Any]]:
         return 200, self.server.backend.mutate(session_id, self._body())
 
+    @measured("recommendations")
     @authenticated
     def _recommendations(
         self, session_id: str, params: dict[str, str]
@@ -403,6 +497,14 @@ class _Handler(BaseHTTPRequestHandler):
         return 200, self.server.backend.recommendations(
             session_id, params.get("action")
         )
+
+    @measured("trace")
+    @authenticated
+    def _session_trace(
+        self, session_id: str, params: dict[str, str]
+    ) -> tuple[int, dict[str, Any]]:
+        limit = int(params.get("limit", "100"))
+        return 200, self.server.backend.trace(session_id, limit)
 
 
 def _parse_query(query: str) -> dict[str, str]:

@@ -87,7 +87,7 @@ import warnings
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any
 
-from ..core import pool
+from ..core import pool, telemetry
 from ..core.actions.base import Footprint
 from ..core.actions.registry import default_registry
 from ..core.config import config
@@ -108,6 +108,15 @@ if TYPE_CHECKING:  # pragma: no cover
     from .store import ResultStore
 
 __all__ = ["PrecomputeEngine", "QueueSaturated"]
+
+
+def _observe_phase(phase: str, seconds: float) -> None:
+    """Record one pass-phase duration into the shared phase histogram."""
+    telemetry.histogram(
+        "lux_precompute_phase_seconds",
+        "precompute pass phase breakdown (debounce_wait/metadata/actions/publish)",
+        ("phase",),
+    ).observe(seconds, (phase,))
 
 
 class QueueSaturated(LuxError):
@@ -216,6 +225,9 @@ class PrecomputeEngine:
         self._deferred: "OrderedDict[str, Session]" = OrderedDict()  # guarded-by: _lock
         #: EWMA of completed pass wall-clock, feeding Retry-After.
         self._avg_pass_s: float | None = None  # guarded-by: _lock
+        #: When each session's debounce first armed, for the
+        #: debounce-wait phase histogram (arm -> submit).
+        self._debounce_armed: dict[str, float] = {}  # guarded-by: _lock
         self._counters = {  # guarded-by: _lock
             "scheduled": 0,
             "completed": 0,
@@ -277,6 +289,7 @@ class PrecomputeEngine:
             inflight = self._inflight.pop(session.id, None)
             self._states.pop(session.id, None)
             self._deferred.pop(session.id, None)
+            self._debounce_armed.pop(session.id, None)
         if unsubscribe is not None:
             unsubscribe()
         if timer is not None:
@@ -433,6 +446,7 @@ class PrecomputeEngine:
                 timer = threading.Timer(delay, self._submit, args=(session,))
                 timer.daemon = True
                 self._timers[session.id] = timer
+                self._debounce_armed.setdefault(session.id, time.perf_counter())
                 timer.start()
         if pending is not None:
             pending.cancel()
@@ -443,6 +457,9 @@ class PrecomputeEngine:
 
     def _submit_locked(self, session: "Session") -> None:  # requires-lock: _lock
         self._timers.pop(session.id, None)
+        armed = self._debounce_armed.pop(session.id, None)
+        if armed is not None:
+            _observe_phase("debounce_wait", time.perf_counter() - armed)
         version = session.version
         inflight = self._inflight.get(session.id)
         if inflight is not None and not inflight.future.done():
@@ -531,6 +548,24 @@ class PrecomputeEngine:
         self, session: "Session", version: tuple, cancel: threading.Event
     ) -> str:
         """One (possibly partial) recommendation pass at ``version``."""
+        started = time.perf_counter()
+        with telemetry.span("precompute.pass", session=session.id) as pass_span:
+            result = self._run_pass_inner(session, version, cancel, pass_span)
+            pass_span.attrs["result"] = result
+        if result == "completed":
+            telemetry.histogram(
+                "lux_precompute_pass_seconds",
+                "completed precompute pass wall-clock",
+            ).observe(time.perf_counter() - started)
+        return result
+
+    def _run_pass_inner(
+        self,
+        session: "Session",
+        version: tuple,
+        cancel: threading.Event,
+        pass_span: telemetry.Span,
+    ) -> str:
         if cancel.is_set() or session.version != version:
             self._bump("stale")
             return "stale"
@@ -544,20 +579,29 @@ class PrecomputeEngine:
             prev_recs_version = frame._recs_version
             try:
                 with session.overlay():
+                    phase_t0 = time.perf_counter()
                     metadata = frame.metadata
+                    _observe_phase("metadata", time.perf_counter() - phase_t0)
                     applicable = default_registry.applicable(frame)
                     plan = self._plan(
                         session, version, frame, metadata, applicable
                     )
+                    pass_span.attrs["rerun"] = len(plan.affected)
+                    pass_span.attrs["carried"] = len(plan.carried)
+                    phase_t0 = time.perf_counter()
                     recs = run_actions(
                         plan.affected, frame, metadata, cancel=cancel
                     )
                     payloads = serialize_recommendations(recs)
+                    _observe_phase("actions", time.perf_counter() - phase_t0)
             except PassCancelled:
                 self._bump("cancelled")
                 return "cancelled"
             except Exception as exc:
                 self._bump("failed")
+                telemetry.get_logger("precompute").warning(
+                    "pass_failed", session=session.id, error=str(exc)
+                )
                 warnings.warn(f"precompute pass failed: {exc}", LuxWarning)
                 return "failed"
             if cancel.is_set() or session.version != version:
@@ -567,6 +611,7 @@ class PrecomputeEngine:
                 # exists (the mutation's own trigger scheduled a redo).
                 self._bump("stale")
                 return "stale"
+            phase_t0 = time.perf_counter()
             self._publish(session, version, plan, recs, payloads, prev_recs,
                           prev_recs_version)
             if self._snapshots is not None:
@@ -574,6 +619,7 @@ class PrecomputeEngine:
                 # captures exactly the state this pass published; save()
                 # handles the interval rate limit and contains failures.
                 self._snapshots.save(session)
+            _observe_phase("publish", time.perf_counter() - phase_t0)
             self._record_pass_duration(time.perf_counter() - started)
             self._bump("completed")
             return "completed"
@@ -719,6 +765,7 @@ class PrecomputeEngine:
             self._inflight.clear()
             self._states.clear()
             self._deferred.clear()
+            self._debounce_armed.clear()
         for unsubscribe in unsubs:
             unsubscribe()
         for timer in timers:

@@ -28,6 +28,7 @@ import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
+from ..core import telemetry
 from ..core.config import config, thread_overlay
 from ..core.errors import LuxWarning
 from ..core.frame import LuxDataFrame
@@ -169,6 +170,15 @@ class Session:
         exists for this frame); ``compute=False`` returns None on a store
         miss (the probe the benchmarks and tests use).
         """
+        with telemetry.span("session.read", session=self.id) as read_span:
+            response = self._recommendations_inner(action, compute)
+            if response is not None:
+                read_span.attrs["origin"] = response["freshness"]["origin"]
+            return response
+
+    def _recommendations_inner(
+        self, action: str | None, compute: bool
+    ) -> dict[str, Any] | None:
         self._hydrate_results()
         version = self.version
         if action is not None:
@@ -223,6 +233,9 @@ class Session:
                     self.id, version, saved["records"], saved.get("manifest")
                 )
             except Exception as exc:
+                telemetry.get_logger("session").warning(
+                    "rehydration_failed", session=self.id, error=str(exc)
+                )
                 warnings.warn(
                     f"result rehydration failed for {self.id}: {exc}", LuxWarning
                 )
@@ -277,7 +290,9 @@ class Session:
     # ------------------------------------------------------------------
     def _compute_foreground(self, version: tuple[int, int]) -> None:
         """Synchronous pass under the session overlay; back-fills the store."""
-        with self.lock, self.overlay():
+        with telemetry.span(
+            "session.foreground_pass", session=self.id
+        ), self.lock, self.overlay():
             # The property path memoizes on the frame and carries the
             # repr's failproofing (a broken action yields an empty tab).
             self.frame.recommendations

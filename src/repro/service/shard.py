@@ -47,14 +47,16 @@ import json
 import os
 import signal
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Callable, NoReturn
 
-from ..core import pool
+from ..core import pool, telemetry
 from ..core.config import config
 from ..core.errors import LuxError
 from ..core.executor.cache import computation_cache
 from ..dataframe.io import read_csv_string
+from . import metrics as service_metrics
 from .precompute import QueueSaturated
 from .session import Session, SessionManager
 
@@ -200,6 +202,9 @@ def healthz_payload(manager: SessionManager) -> dict[str, Any]:
         "pid": os.getpid(),
         "pool": pool.stats(),
         "computation_cache": computation_cache.stats(),
+        # Per-route / per-pass latency summaries from the live histograms
+        # (this process only; the supervisor adds its own router-side view).
+        "telemetry": service_metrics.summaries(),
         **manager.stats(),
     }
 
@@ -279,6 +284,8 @@ class ShardService:
             "recommendations": self._recommendations,
             "healthz": self._healthz,
             "wait_idle": self._wait_idle,
+            "metrics": self._metrics,
+            "trace": self._trace,
             "shutdown": self._shutdown,
         }
 
@@ -293,10 +300,35 @@ class ShardService:
                     "message": f"unknown RPC method {method!r}",
                 },
             }
-        try:
-            return {"ok": True, "result": handler(request.get("params") or {})}
-        except Exception as exc:
-            return {"ok": False, "error": encode_error(exc)}
+        params = request.get("params") or {}
+        # Adopt the caller's trace context (propagated inside the request
+        # frame) so worker-side spans stitch to the supervisor's request.
+        trace_ctx = request.get("trace")
+        if not isinstance(trace_ctx, dict):
+            trace_ctx = None
+        started = time.perf_counter()
+        with telemetry.trace_context(trace_ctx):
+            with telemetry.span(
+                "rpc.handle", method=str(method), shard=self.shard_index
+            ) as rpc_span:
+                session_id = params.get("session")
+                if session_id:
+                    rpc_span.attrs["session"] = str(session_id)
+                try:
+                    response = {"ok": True, "result": handler(params)}
+                except Exception as exc:
+                    response = {"ok": False, "error": encode_error(exc)}
+                trace_id = rpc_span.trace_id
+        telemetry.histogram(
+            "lux_rpc_handle_seconds",
+            "worker-side RPC handling latency by method",
+            ("method",),
+        ).observe(time.perf_counter() - started, (str(method),))
+        if trace_ctx is not None and trace_ctx.get("id"):
+            # Echo the trace id in the response envelope; the frame codec
+            # preserves envelope keys on both the embedded and raw paths.
+            response["trace"] = trace_id
+        return response
 
     # -- methods -------------------------------------------------------
     def _session(self, params: dict[str, Any]) -> Session:
@@ -357,6 +389,23 @@ class ShardService:
     def _wait_idle(self, params: dict[str, Any]) -> dict[str, Any]:
         timeout = float(params.get("timeout", 30.0))
         return {"idle": self.manager.engine.wait_idle(timeout)}
+
+    def _metrics(self, _params: dict[str, Any]) -> dict[str, Any]:
+        """This worker's full registry snapshot (merged by the supervisor)."""
+        return {"snapshot": service_metrics.collect_process(), "shard": self.shard_index}
+
+    def _trace(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Recent spans for one session (or the whole ring) on this worker."""
+        session_id = params.get("session")
+        if session_id:
+            self.manager.get(str(session_id))  # KeyError -> not_found
+        limit = int(params.get("limit", 100))
+        return {
+            "spans": telemetry.spans(
+                session_id=str(session_id) if session_id else None, limit=limit
+            ),
+            "shard": self.shard_index,
+        }
 
     def _shutdown(self, _params: dict[str, Any]) -> dict[str, Any]:
         # The actual manager shutdown happens in serve_connection after
@@ -485,6 +534,7 @@ def worker_main(
 
         snapshots = SnapshotStore(snapshot_dir)
     manager = SessionManager(snapshots=snapshots)
+    service_metrics.register_service_gauges(manager)
     if snapshots is not None:
         manager.restore_sessions(shard=shard_index, n_shards=n_shards)
     service = ShardService(manager, shard_index=shard_index, n_shards=n_shards)

@@ -39,10 +39,13 @@ import json
 import multiprocessing
 import os
 import threading
+import time
 import uuid
 from typing import Any
 
+from ..core import telemetry
 from ..core.config import config
+from . import metrics as service_metrics
 from .shard import (
     WorkerUnreachable,
     decode_frame,
@@ -100,37 +103,71 @@ class WorkerHandle:
         if timeout is None:
             timeout = float(config.service_rpc_timeout_s)
         waiter = _Waiter()
-        with self._lock:
-            if self._dead:
-                raise WorkerUnreachable(f"shard {self.shard} worker is down")
-            self._next_id += 1
-            request_id = self._next_id
-            self._pending[request_id] = waiter
-            frame = json.dumps(
-                {"id": request_id, "method": method, "params": params or {}},
-                separators=(",", ":"),
-            ).encode("utf-8")
-            try:
-                # Under the same lock as the id allocation: pipe frames
-                # from concurrent handler threads must not interleave.
-                self.conn.send_bytes(frame)
-            except (OSError, ValueError):
-                self._pending.pop(request_id, None)
-                self._dead = True
-                raise WorkerUnreachable(
-                    f"shard {self.shard} worker pipe is closed"
-                ) from None
-        if not waiter.event.wait(timeout):
+        started = time.perf_counter()
+        with telemetry.span(
+            "rpc.request", method=method, shard=self.shard
+        ) as rpc_span:
+            if params and params.get("session"):
+                rpc_span.attrs["session"] = str(params["session"])
+            request: dict[str, Any] = {
+                "id": 0,
+                "method": method,
+                "params": params or {},
+                # Propagated inside the frame so worker-side spans stitch
+                # to this request's trace.
+                "trace": {
+                    "id": rpc_span.trace_id,
+                    "span": rpc_span.span_id,
+                    "sampled": rpc_span.sampled,
+                },
+            }
             with self._lock:
-                self._pending.pop(request_id, None)
-            raise WorkerUnreachable(
-                f"shard {self.shard} did not answer {method!r} "
-                f"within {timeout:.1f}s"
-            )
-        response = waiter.response or {}
-        if response.get("ok"):
-            return response.get("result")
-        raise_error(response.get("error") or {})
+                if self._dead:
+                    raise WorkerUnreachable(f"shard {self.shard} worker is down")
+                self._next_id += 1
+                request_id = self._next_id
+                request["id"] = request_id
+                self._pending[request_id] = waiter
+                frame = json.dumps(request, separators=(",", ":")).encode("utf-8")
+                try:
+                    # Under the same lock as the id allocation: pipe frames
+                    # from concurrent handler threads must not interleave.
+                    self.conn.send_bytes(frame)
+                except (OSError, ValueError):
+                    self._pending.pop(request_id, None)
+                    self._dead = True
+                    raise WorkerUnreachable(
+                        f"shard {self.shard} worker pipe is closed"
+                    ) from None
+            try:
+                answered = waiter.event.wait(timeout)
+            finally:
+                telemetry.histogram(
+                    "lux_rpc_client_seconds",
+                    "supervisor-side RPC round trip by method and shard",
+                    ("method", "shard"),
+                ).observe(time.perf_counter() - started, (method, self.shard))
+            if not answered:
+                with self._lock:
+                    self._pending.pop(request_id, None)
+                telemetry.counter(
+                    "lux_rpc_errors_total",
+                    "RPCs that failed or timed out, by shard",
+                    ("shard",),
+                ).inc(labels=(self.shard,))
+                raise WorkerUnreachable(
+                    f"shard {self.shard} did not answer {method!r} "
+                    f"within {timeout:.1f}s"
+                )
+            response = waiter.response or {}
+            if response.get("ok"):
+                return response.get("result")
+            telemetry.counter(
+                "lux_rpc_errors_total",
+                "RPCs that failed or timed out, by shard",
+                ("shard",),
+            ).inc(labels=(self.shard,))
+            raise_error(response.get("error") or {})
 
     def _read_loop(self) -> None:
         while True:
@@ -361,7 +398,53 @@ class Supervisor:
             "precompute": {"backlog_depth": backlog},
             "store": {"bytes": store_bytes},
             "workers": workers,
+            # Router-side latency view only (per-worker breakdowns live in
+            # each worker stanza's own "telemetry" key).
+            "telemetry": service_metrics.summaries(),
         }
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict[str, Any]:
+        """Merged metrics snapshot: every worker plus the supervisor.
+
+        Mirrors :meth:`healthz`'s probe discipline — a bounded per-worker
+        timeout, dead shards reported (``lux_worker_up`` 0) instead of
+        failing the scrape.  The merge is exact bucket-wise addition
+        because all processes share histogram bounds (same base config).
+        """
+        cap = min(2.0, float(config.service_rpc_timeout_s))
+        snapshots: list[dict[str, Any]] = [service_metrics.collect_process()]
+        up: dict[tuple[str, ...], float] = {}
+        for handle in self._handles():
+            try:
+                result = handle.request("metrics", timeout=cap)
+            except (WorkerUnreachable, RuntimeError):
+                up[(str(handle.shard),)] = 0.0
+                continue
+            up[(str(handle.shard),)] = 1.0
+            snapshots.append(result.get("snapshot") or {})
+        merged = service_metrics.merge_snapshots(snapshots)
+        merged["lux_worker_up"] = service_metrics.static_gauge(
+            ("shard",), up, help="worker liveness as seen by the supervisor"
+        )
+        return merged
+
+    def trace(self, session_id: str, limit: int = 100) -> dict[str, Any]:
+        """Recent spans for one session: owning worker + router-side spans.
+
+        The worker validates the session exists (404 otherwise); the
+        supervisor contributes its own HTTP/RPC spans tagged with the
+        session id, sorted into one timeline with the worker's.
+        """
+        result = self._worker_for(session_id).request(
+            "trace", {"session": session_id, "limit": limit}
+        )
+        spans = list(result.get("spans") or [])
+        spans.extend(telemetry.spans(session_id=session_id, limit=limit))
+        spans.sort(key=lambda s: s.get("start", 0.0))
+        if limit >= 0:
+            spans = spans[-limit:]
+        return {"session": session_id, "spans": spans}
 
     # ------------------------------------------------------------------
     # Lifecycle / fault injection

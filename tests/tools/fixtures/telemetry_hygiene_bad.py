@@ -1,0 +1,38 @@
+"""Fixture: blocking span exit, rich gauge lambda, unmeasured route."""
+
+import threading
+
+_LOCK = threading.Lock()
+_STATS = {}
+
+
+class Span:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        with _LOCK:  # BAD: lock acquisition on the span hot path
+            _STATS["spans"] = _STATS.get("spans", 0) + 1
+        print("span closed")  # BAD: blocking I/O in __exit__
+
+
+def register(registry, store):
+    registry.set_function(
+        lambda: sum(v for v in store.stats().values())  # BAD: .stats() call
+    )
+
+
+class Handler:
+    def _resolve(self, method):
+        if method == "GET":
+            return self._status, ()
+        return self._mutate, ()
+
+    @measured("status")  # noqa: F821 - name-based fixture
+    @public  # noqa: F821 - name-based fixture
+    def _status(self):
+        return 200, {}
+
+    @authenticated  # noqa: F821 - name-based fixture
+    def _mutate(self):  # BAD: routed but not @measured — invisible route
+        return 200, {}

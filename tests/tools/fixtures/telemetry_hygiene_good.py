@@ -1,0 +1,42 @@
+"""Fixture: lock-free span exit, pure gauge lambda, measured routes."""
+
+_RING = []
+
+
+class Span:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        # A bare list/deque append is GIL-atomic: no lock, no I/O.
+        _RING.append({"name": "x"})
+
+
+def _slot_total(store):
+    # Named reader: non-trivial bodies are allowed here, not in lambdas.
+    def read():
+        return float(sum(v for v in store.stats().values()))
+
+    return read
+
+
+def register(registry, store):
+    registry.set_function(lambda: len(_RING))
+    registry.set_function(_slot_total(store))
+
+
+class Handler:
+    def _resolve(self, method):
+        if method == "GET":
+            return self._status, ()
+        return self._mutate, ()
+
+    @measured("status")  # noqa: F821 - name-based fixture
+    @public  # noqa: F821 - name-based fixture
+    def _status(self):
+        return 200, {}
+
+    @measured("mutate")  # noqa: F821 - name-based fixture
+    @authenticated  # noqa: F821 - name-based fixture
+    def _mutate(self):
+        return 200, {}

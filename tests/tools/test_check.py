@@ -34,6 +34,7 @@ RULE_FIXTURES = {
     "sql-hygiene": "sql_hygiene",
     "unstable-key": "unstable_key",
     "route-auth": "route_auth",
+    "telemetry-hygiene": "telemetry_hygiene",
 }
 
 

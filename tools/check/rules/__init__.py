@@ -6,6 +6,7 @@ from .guarded_by import GuardedByRule, ResultUnderLockRule
 from .mutation_delta import MutationDeltaRule
 from .route_auth import RouteAuthRule
 from .sql_hygiene import SqlHygieneRule
+from .telemetry_hygiene import TelemetryHygieneRule
 from .unstable_key import UnstableKeyRule
 
 ALL_RULES = [
@@ -17,6 +18,7 @@ ALL_RULES = [
     SqlHygieneRule(),
     UnstableKeyRule(),
     RouteAuthRule(),
+    TelemetryHygieneRule(),
 ]
 
 __all__ = ["ALL_RULES"]

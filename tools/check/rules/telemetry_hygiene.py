@@ -1,0 +1,192 @@
+"""Telemetry hot-path hygiene.
+
+Observability code runs on every request and inside lock-sensitive
+teardown paths, so it must never itself block:
+
+- A span class's ``__exit__`` runs on the hot path of every traced
+  operation, sometimes while the caller still holds locks.  It must not
+  acquire locks (``with``-statements, ``.acquire()``) or perform I/O
+  (``open``/``print``/``.write``/``.flush``/``.send``/``.sendall``/
+  ``.recv``) — a GIL-atomic ring append is the budget.
+- Gauge callbacks registered via ``.set_function(...)`` are invoked
+  during every scrape while the registry lock is held.  A lambda passed
+  there must stay a pure read: no ``with`` blocks, and only allowlisted
+  bare builtins called (``len``, ``int``, ...).  Anything richer (slot
+  iteration, dict lookups with defaults) belongs in a named reader
+  function where the non-trivial body is visible in review.
+- Any class with a ``_resolve`` routing table (the HTTP handler shape
+  ``route-auth`` already polices) must also record a request metric on
+  every route: each handler ``_resolve`` returns needs the ``@measured``
+  decorator, or the route silently vanishes from ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Project, SourceModule, Violation, expr_key
+
+#: Bare builtins a gauge lambda may call; everything else must move to a
+#: named reader ``def`` where reviewers see the body.
+ALLOWED_LAMBDA_CALLS = {
+    "len",
+    "int",
+    "float",
+    "sum",
+    "min",
+    "max",
+    "bool",
+    "abs",
+    "getattr",
+}
+
+#: Attribute calls that block (I/O or locking) — forbidden in __exit__.
+BLOCKING_ATTR_CALLS = {
+    "acquire",
+    "write",
+    "flush",
+    "send",
+    "sendall",
+    "recv",
+    "stats",
+}
+
+#: Bare-name calls that block — forbidden in __exit__.
+BLOCKING_NAME_CALLS = {"open", "print"}
+
+
+class TelemetryHygieneRule:
+    id = "telemetry-hygiene"
+    summary = (
+        "span __exit__ and gauge callbacks must be non-blocking; every "
+        "_resolve() route handler must be @measured"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Violation]:
+        out: list[Violation] = []
+        for classdef in module.class_defs():
+            if classdef.name == "Span" or classdef.name.endswith("Span"):
+                out.extend(self._check_span_exit(module, classdef))
+            out.extend(self._check_measured(module, classdef))
+        out.extend(self._check_gauge_lambdas(module))
+        return out
+
+    # ------------------------------------------------------------------
+    def _check_span_exit(
+        self, module: SourceModule, classdef: ast.ClassDef
+    ) -> Iterable[Violation]:
+        for stmt in classdef.body:
+            if (
+                not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                or stmt.name != "__exit__"
+            ):
+                continue
+            for node in ast.walk(stmt):
+                problem = None
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    problem = "acquires a lock (with-statement)"
+                elif isinstance(node, ast.Call):
+                    if (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr in BLOCKING_ATTR_CALLS
+                    ):
+                        problem = f"calls blocking '.{node.func.attr}()'"
+                    elif (
+                        isinstance(node.func, ast.Name)
+                        and node.func.id in BLOCKING_NAME_CALLS
+                    ):
+                        problem = f"calls blocking '{node.func.id}()'"
+                if problem:
+                    yield Violation(
+                        self.id,
+                        module.display,
+                        node.lineno,
+                        node.col_offset,
+                        f"'{classdef.name}.__exit__' {problem}; span exit "
+                        "runs on every traced hot path and may execute "
+                        "while callers hold locks",
+                    )
+
+    # ------------------------------------------------------------------
+    def _check_gauge_lambdas(
+        self, module: SourceModule
+    ) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "set_function"
+            ):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if not isinstance(arg, ast.Lambda):
+                    continue
+                for sub in ast.walk(arg.body):
+                    problem = None
+                    if isinstance(sub, (ast.With, ast.AsyncWith)):
+                        problem = "acquires a lock (with-statement)"
+                    elif isinstance(sub, ast.Call):
+                        if not (
+                            isinstance(sub.func, ast.Name)
+                            and sub.func.id in ALLOWED_LAMBDA_CALLS
+                        ):
+                            called = expr_key(sub.func) or "<expr>"
+                            problem = (
+                                f"calls '{called}()' (only "
+                                f"{sorted(ALLOWED_LAMBDA_CALLS)} allowed)"
+                            )
+                    if problem:
+                        yield Violation(
+                            self.id,
+                            module.display,
+                            sub.lineno,
+                            sub.col_offset,
+                            f"gauge callback lambda {problem}; scrape-time "
+                            "callbacks run under the registry lock — move "
+                            "non-trivial reads to a named reader function",
+                        )
+
+    # ------------------------------------------------------------------
+    def _check_measured(
+        self, module: SourceModule, classdef: ast.ClassDef
+    ) -> Iterable[Violation]:
+        methods = {
+            stmt.name: stmt
+            for stmt in classdef.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        resolve = methods.get("_resolve")
+        if resolve is None:
+            return
+        referenced: set[str] = set()
+        for node in ast.walk(resolve):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "self"
+                    ):
+                        referenced.add(sub.attr)
+        for name in sorted(referenced):
+            handler = methods.get(name)
+            if handler is None:
+                continue
+            decorators = {
+                (expr_key(d) or "").rsplit(".", 1)[-1]
+                for d in handler.decorator_list
+            }
+            if "measured" in decorators:
+                continue
+            yield Violation(
+                self.id,
+                module.display,
+                handler.lineno,
+                handler.col_offset,
+                f"route handler '{classdef.name}.{name}' is returned by "
+                "_resolve() but carries no @measured decorator — the "
+                "route would be invisible in /metrics",
+            )
