@@ -1,6 +1,6 @@
 """Recommendation actions (Table 1) and the action registry."""
 
-from .base import Action
+from .base import Action, CandidateFootprint, Footprint
 from .correlation import CorrelationAction
 from .current import CurrentVisAction
 from .enhance import EnhanceAction
@@ -25,7 +25,9 @@ from .univariate import (
 __all__ = [
     "Action",
     "ActionRegistry",
+    "CandidateFootprint",
     "CorrelationAction",
+    "Footprint",
     "CurrentVisAction",
     "CustomAction",
     "DistributionAction",

@@ -12,17 +12,50 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ...vis.spec import candidate_key
 from ..compiler import CompiledVis, compile_intent
 from ..clause import WILDCARD, Clause
 from ..config import config
 from ..metadata import Metadata
-from ..optimizer.sampling import rank_candidates
+from ..optimizer.sampling import CandidatePrior, rank_candidates
 from ..vislist import VisList
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..frame import LuxDataFrame
 
-__all__ = ["Action", "Footprint", "intent_columns"]
+__all__ = ["Action", "CandidateFootprint", "Footprint", "intent_columns"]
+
+
+class CandidateFootprint:
+    """The input set of one candidate vis within an action's search space.
+
+    ``vis_key`` is the stable identity from :func:`candidate_key`;
+    ``columns`` are the columns that executing and scoring this one
+    candidate reads (its axis fields plus its filter attributes);
+    ``intent`` marks candidates whose membership in the search space
+    depends on the frame's intent clauses.
+    """
+
+    __slots__ = ("vis_key", "columns", "intent")
+
+    def __init__(
+        self,
+        vis_key: str,
+        columns: "Iterable[str] | None",
+        intent: bool = False,
+    ) -> None:
+        self.vis_key = vis_key
+        self.columns: "frozenset[str] | None" = (
+            None if columns is None else frozenset(str(c) for c in columns)
+        )
+        self.intent = bool(intent)
+
+    def __repr__(self) -> str:
+        cols = "?" if self.columns is None else sorted(self.columns)
+        return (
+            f"<CandidateFootprint {self.vis_key} columns={cols} "
+            f"intent={self.intent}>"
+        )
 
 
 class Footprint:
@@ -34,20 +67,40 @@ class Footprint:
     for user UDF actions).  ``intent=True`` marks a dependence on the
     frame's intent clauses, so intent-only deltas rerun exactly the
     intent-reading actions.
+
+    ``candidates`` optionally refines the declaration to per-vis
+    granularity: a list of :class:`CandidateFootprint` entries, one per
+    candidate in the action's search space, letting the engine rerun only
+    the candidates a delta touches and carry the rest at vis granularity.
+    ``candidates=None`` (the default) means the action cannot scope reruns
+    below whole-action granularity.
     """
 
-    __slots__ = ("columns", "intent")
+    __slots__ = ("columns", "intent", "_candidates")
 
     def __init__(
-        self, columns: "Iterable[str] | None" = None, intent: bool = True
+        self,
+        columns: "Iterable[str] | None" = None,
+        intent: bool = True,
+        candidates: "Sequence[CandidateFootprint] | None" = None,
     ) -> None:
         self.columns: "frozenset[str] | None" = (
             None if columns is None else frozenset(str(c) for c in columns)
         )
         self.intent = bool(intent)
+        self._candidates = None if candidates is None else tuple(candidates)
+
+    def candidates(self) -> "tuple[CandidateFootprint, ...] | None":
+        """Per-vis ``(vis_key, columns, intent)`` entries, or None when the
+        action declares at whole-action granularity only."""
+        return self._candidates
 
     def union(self, other: "Footprint") -> "Footprint":
-        """The combined input set (used across two passes' declarations)."""
+        """The combined action-level input set (used across two passes'
+        declarations).  Candidate entries are *not* unioned here — the
+        engine merges them per ``vis_key`` (see ``PrecomputeEngine``),
+        since entry sets from different passes describe different search
+        spaces."""
         if self.columns is None or other.columns is None:
             columns = None
         else:
@@ -56,7 +109,8 @@ class Footprint:
 
     def __repr__(self) -> str:
         cols = "?" if self.columns is None else sorted(self.columns)
-        return f"<Footprint columns={cols} intent={self.intent}>"
+        n = "-" if self._candidates is None else len(self._candidates)
+        return f"<Footprint columns={cols} intent={self.intent} candidates={n}>"
 
 
 def intent_columns(ldf: "LuxDataFrame") -> "frozenset[str] | None":
@@ -108,8 +162,38 @@ class Action(ABC):
         column is carried forward instead of rerun.  The default is the
         conservative *unknown* footprint — always rerun — which is what
         user UDF actions get unless they override this.
+
+        Concrete actions attach :meth:`candidate_footprints` so the engine
+        can go one level finer and rerun individual candidates.
         """
         return Footprint(None, True)
+
+    def candidate_footprints(
+        self, ldf: "LuxDataFrame", metadata: Metadata, intent: bool = False
+    ) -> "list[CandidateFootprint] | None":
+        """Per-candidate entries built by enumerating the search space.
+
+        Enumeration + compilation is pure Python over metadata — no data
+        scans — so declaring at candidate granularity costs a fraction of
+        one candidate's execution.  Each entry's columns are the
+        candidate's true read set: its axis fields plus its filter
+        attributes.  Returns None (degrade to whole-action granularity)
+        when enumeration fails; duplicate keys are the engine's cue to
+        degrade as well (it checks).
+        """
+        try:
+            cands = self.candidates(ldf)
+        except Exception:
+            return None
+        entries: list[CandidateFootprint] = []
+        for cand in cands:
+            spec = cand.spec
+            columns = set(spec.fields())
+            columns.update(attr for attr, _, _ in spec.filters)
+            entries.append(
+                CandidateFootprint(candidate_key(spec), columns, intent)
+            )
+        return entries
 
     # ------------------------------------------------------------------
     def generate(self, ldf: "LuxDataFrame") -> VisList:
@@ -129,6 +213,57 @@ class Action(ABC):
             # Batch the display pass so the candidates share scans.
             executor.execute_many(pending, ldf)
         out = [Vis.from_compiled(c, source=ldf, process=False) for c in chosen]
+        return VisList(visualizations=out, source=ldf)
+
+    def generate_cached(
+        self,
+        ldf: "LuxDataFrame",
+        prior: "dict[str, CandidatePrior]",
+        records: "dict[str, dict] | None" = None,
+    ) -> VisList:
+        """:meth:`generate` with candidate-level carry.
+
+        ``prior`` maps ``candidate_key`` to :class:`CandidatePrior` state
+        for candidates the caller (the precompute engine) has proven
+        untouched by the mutation delta.  Those candidates reuse their
+        previous scores and, when displayed, their previous processed Vis;
+        everything else is recomputed.  The output is bit-identical to
+        :meth:`generate` — carried values are exactly what a cold pass
+        would recompute.  ``records`` collects per-candidate state for the
+        next pass's prior.
+        """
+        cands = self.candidates(ldf)
+        if not cands:
+            return VisList(visualizations=[], source=ldf)
+        if self.ranked:
+            return rank_candidates(
+                cands, ldf, k=config.top_k, prior=prior, records=records
+            )
+        from ..executor.base import get_executor
+        from ..vis import Vis
+
+        executor = get_executor()
+        chosen = cands[: config.top_k]
+        keys = [candidate_key(c.spec) for c in chosen]
+        carried: dict[int, "Vis"] = {}
+        pending = []
+        for key, cand in zip(keys, chosen):
+            p = prior.get(key)
+            vis = p.display_vis() if p is not None else None
+            if vis is not None:
+                carried[id(cand)] = vis  # check: ignore[unstable-key]
+            elif cand.spec.data is None:
+                pending.append(cand.spec)
+        if pending:
+            executor.execute_many(pending, ldf)
+        out = []
+        for key, cand in zip(keys, chosen):
+            vis = carried.get(id(cand))  # check: ignore[unstable-key]
+            if vis is None:
+                vis = Vis.from_compiled(cand, source=ldf, process=False)
+            out.append(vis)
+            if records is not None:
+                records[key] = {"approx": None, "score": None, "displayed": True}
         return VisList(visualizations=out, source=ldf)
 
     def estimated_cost(self, metadata: Metadata) -> float:

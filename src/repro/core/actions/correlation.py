@@ -49,4 +49,10 @@ class CorrelationAction(Action):
 
     def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
         # Pairs of quantitative attributes: intent never enters the space.
-        return Footprint(metadata.measures, intent=False)
+        # Candidate entries let a single-measure mutation re-score only
+        # the pairs touching that measure.
+        return Footprint(
+            metadata.measures,
+            intent=False,
+            candidates=self.candidate_footprints(ldf, metadata),
+        )

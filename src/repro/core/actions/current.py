@@ -34,4 +34,11 @@ class CurrentVisAction(Action):
 
     def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
         # Reads exactly the intent's columns (unknown under wildcards).
-        return Footprint(intent_columns(ldf), intent=True)
+        columns = intent_columns(ldf)
+        if columns is None:
+            return Footprint(None, intent=True, candidates=None)
+        return Footprint(
+            columns,
+            intent=True,
+            candidates=self.candidate_footprints(ldf, metadata, intent=True),
+        )

@@ -43,8 +43,14 @@ class EnhanceAction(Action):
 
     def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
         # Pairs the intent with every other attribute: any column change
-        # can surface in a candidate, so the footprint is the whole frame.
+        # can surface in a candidate, so the footprint is the whole frame —
+        # but per-candidate entries confine a single-column change to the
+        # candidates actually plotting it.
         intent = intent_columns(ldf)
         if intent is None:
-            return Footprint(None, intent=True)
-        return Footprint(set(metadata.attributes) | intent, intent=True)
+            return Footprint(None, intent=True, candidates=None)
+        return Footprint(
+            set(metadata.attributes) | intent,
+            intent=True,
+            candidates=self.candidate_footprints(ldf, metadata, intent=True),
+        )

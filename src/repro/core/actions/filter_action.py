@@ -73,9 +73,15 @@ class FilterAction(Action):
 
     def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
         # Candidate filters enumerate every categorical attribute's values;
-        # the charts themselves plot the intent's columns.
+        # the charts themselves plot the intent's columns.  Per-candidate
+        # entries name each clause's filter attribute, so a change to one
+        # categorical column reruns only the clauses filtering on it.
         intent = intent_columns(ldf)
         if intent is None:
-            return Footprint(None, intent=True)
+            return Footprint(None, intent=True, candidates=None)
         categorical = metadata.columns_of_type("nominal", "geographic")
-        return Footprint(set(categorical) | intent, intent=True)
+        return Footprint(
+            set(categorical) | intent,
+            intent=True,
+            candidates=self.candidate_footprints(ldf, metadata, intent=True),
+        )

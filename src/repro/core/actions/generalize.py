@@ -46,4 +46,11 @@ class GeneralizeAction(Action):
 
     def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
         # Drops clauses from the intent: only the intent's columns appear.
-        return Footprint(intent_columns(ldf), intent=True)
+        columns = intent_columns(ldf)
+        if columns is None:
+            return Footprint(None, intent=True, candidates=None)
+        return Footprint(
+            columns,
+            intent=True,
+            candidates=self.candidate_footprints(ldf, metadata, intent=True),
+        )

@@ -61,7 +61,11 @@ class PreAggregateAction(Action):
         columns = set(metadata.measures)
         if metadata.dimensions:
             columns.add(metadata.dimensions[0])
-        return Footprint(columns, intent=False)
+        return Footprint(
+            columns,
+            intent=False,
+            candidates=self.candidate_footprints(ldf, metadata),
+        )
 
 
 class PreFilterAction(Action):
@@ -107,5 +111,7 @@ class PreFilterAction(Action):
 
     def footprint(self, ldf: "LuxDataFrame", metadata: Metadata) -> Footprint:
         # Computed against the *parent* frame, whose mutations this
-        # frame's delta stream cannot see: stay conservative.
-        return Footprint(None, intent=False)
+        # frame's delta stream cannot see: stay conservative, at whole-
+        # action granularity (candidates=None — carrying individual vis
+        # against an unobserved parent would serve stale charts).
+        return Footprint(None, intent=False, candidates=None)

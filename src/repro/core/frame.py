@@ -21,6 +21,8 @@ import warnings
 import weakref
 from typing import Any
 
+import numpy as np
+
 from ..dataframe import DataFrame, Series
 from ..dataframe import observe
 from ..dataframe.io import read_csv as _read_csv
@@ -32,13 +34,33 @@ from .executor.cache import computation_cache
 from .history import History
 from . import usage_log
 from .intent import parse_intent
-from .metadata import Metadata, compute_metadata
+from .metadata import Metadata, compute_metadata, refresh_metadata
 from .optimizer.scheduler import RecommendationSet, run_actions
 from .validator import validate_intent
 from .vis import Vis
 from .vislist import VisList
 
 __all__ = ["LuxDataFrame", "LuxSeries", "read_csv"]
+
+
+def _selector_indices(rows: tuple) -> "np.ndarray | None":
+    """Parent row indices for a ``_wrap`` row selector; None if unusable.
+
+    Conversion is deferred to link time (the substrate passes the raw
+    selector) so derivations that never link pay nothing.
+    """
+    try:
+        tag = rows[0]
+        if tag == "mask":
+            return np.flatnonzero(np.asarray(rows[1], dtype=bool))
+        if tag == "take":
+            return np.asarray(rows[1], dtype=np.int64)
+        if tag == "slice":
+            sl, n = rows[1], rows[2]
+            return np.arange(*sl.indices(n), dtype=np.int64)
+    except Exception:
+        return None
+    return None
 
 
 class LuxSeries(Series):
@@ -102,6 +124,7 @@ class LuxDataFrame(DataFrame):
         "_data_version",
         "_intent_epoch",
         "_restored_type_overrides",
+        "_metadata_delta",
     }
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
@@ -133,9 +156,26 @@ class LuxDataFrame(DataFrame):
         #: restore: the restored frame has no metadata cache yet, so the
         #: first _compute_metadata seeds its overrides from here.
         object.__setattr__(self, "_restored_type_overrides", {})
+        #: Union of all data deltas since the last metadata computation.
+        #: ``None`` means no mutation is pending; ``_compute_metadata``
+        #: consumes it to rescan only the columns that actually changed.
+        object.__setattr__(self, "_metadata_delta", None)
 
-    def _init_derived(self, parent: DataFrame | None, op: str) -> None:
-        """Propagate Lux state from parent to derived frames (§6, history)."""
+    def _init_derived(
+        self,
+        parent: DataFrame | None,
+        op: str,
+        rows: tuple | None = None,
+    ) -> None:
+        """Propagate Lux state from parent to derived frames (§6, history).
+
+        When the derivation is a pure row subset (``rows`` carries the
+        selector), the child is linked to the parent in the computation
+        cache: its floats and filter masks derive from the parent's cached
+        vectors instead of rescanning the copied columns, and the link
+        *migrates* across column-scoped parent mutations (only the changed
+        columns stop deriving) rather than cold-starting the child.
+        """
         if not hasattr(self, "_history"):
             self._setup_lux_state()
         if isinstance(parent, LuxDataFrame):
@@ -143,6 +183,14 @@ class LuxDataFrame(DataFrame):
             self._history.extend_from(parent._history)
             self._intent_clauses = [c.copy() for c in parent._intent_clauses]
             self._parent_ref = weakref.ref(parent)
+            if (
+                rows is not None
+                and config.computation_cache
+                and config.derived_cache_links
+            ):
+                indices = _selector_indices(rows)
+                if indices is not None:
+                    computation_cache.link_derived(self, parent, indices)
         if op and op not in ("copy", "select_columns"):
             self._history.append(op)
 
@@ -174,6 +222,10 @@ class LuxDataFrame(DataFrame):
         self._recs_fresh = False
         self._sample_cache = None
         self._data_version += 1
+        pending = delta if delta is not None else observe.Delta.unknown()
+        if self._metadata_delta is not None:
+            pending = self._metadata_delta.union(pending)
+        self._metadata_delta = pending
         computation_cache.invalidate(self, delta)
         observe.emit(self, op, delta)
 
@@ -256,14 +308,37 @@ class LuxDataFrame(DataFrame):
         # mutation already expired (served as current by the next pass).
         # Freshness holds only if the version never moved while computing.
         start_version = self._data_version
-        if self._metadata_cache is not None:
+        # Snapshot-and-clear the accumulated delta: a mutation racing this
+        # computation re-accumulates into a fresh delta AND moves the
+        # version, so the freshness check below forces another pass that
+        # rescans whatever the race touched.
+        pending = self._metadata_delta
+        self._metadata_delta = None
+        previous = self._metadata_cache
+        if previous is not None:
             # Preserve explicit user data-type overrides across refreshes.
-            overrides = getattr(self._metadata_cache, "_overrides", {})
+            overrides = getattr(previous, "_overrides", {})
         else:
             # First computation after a snapshot restore: the overrides
             # live on the frame until a metadata cache exists to hold them.
             overrides = dict(getattr(self, "_restored_type_overrides", {}) or {})
-        meta = compute_metadata(self)
+        if (
+            previous is not None
+            and pending is not None
+            and pending.columns_changed is not None
+            and not pending.rows_changed
+            and not pending.schema_changed
+            and previous.n_rows == len(self)
+        ):
+            # Fine-grained path: the delta names exactly which columns
+            # changed with the row set and schema intact, so only those
+            # columns are rescanned; the rest keep their AttributeMeta and
+            # per-column version stamp.
+            meta = refresh_metadata(
+                self, previous, pending.columns_changed, start_version
+            )
+        else:
+            meta = compute_metadata(self, version=start_version)
         for name, data_type in overrides.items():
             if name in meta:
                 meta.override(name, data_type)

@@ -13,7 +13,7 @@ from typing import Any
 
 from ..dataframe import DataFrame
 
-__all__ = ["AttributeMeta", "Metadata", "compute_metadata"]
+__all__ = ["AttributeMeta", "Metadata", "compute_metadata", "refresh_metadata"]
 
 #: Column-name cues for geographic attributes.
 _GEO_NAMES = {
@@ -88,11 +88,26 @@ class AttributeMeta:
 
 
 class Metadata:
-    """Container mapping column name -> :class:`AttributeMeta`."""
+    """Container mapping column name -> :class:`AttributeMeta`.
 
-    def __init__(self, attributes: dict[str, AttributeMeta], n_rows: int) -> None:
+    ``column_versions`` maps each column to the frame ``_data_version`` its
+    :class:`AttributeMeta` was computed at.  Partial recomputes (a delta
+    naming the changed columns) re-stamp only those columns; untouched
+    columns keep their old stamp, making staleness observable per column
+    rather than per frame.
+    """
+
+    def __init__(
+        self,
+        attributes: dict[str, AttributeMeta],
+        n_rows: int,
+        column_versions: dict[str, int] | None = None,
+    ) -> None:
         self.attributes = attributes
         self.n_rows = n_rows
+        if column_versions is None:
+            column_versions = {name: 0 for name in attributes}
+        self.column_versions = column_versions
 
     def __getitem__(self, name: str) -> AttributeMeta:
         return self.attributes[name]
@@ -199,7 +214,36 @@ def compute_attribute_meta(frame: DataFrame, name: str) -> AttributeMeta:
     )
 
 
-def compute_metadata(frame: DataFrame) -> Metadata:
+def compute_metadata(frame: DataFrame, version: int = 0) -> Metadata:
     """Compute full metadata for a frame (the expensive, cacheable step)."""
     attributes = {name: compute_attribute_meta(frame, name) for name in frame.columns}
-    return Metadata(attributes, n_rows=len(frame))
+    versions = {name: version for name in attributes}
+    return Metadata(attributes, n_rows=len(frame), column_versions=versions)
+
+
+def refresh_metadata(
+    frame: DataFrame,
+    previous: Metadata,
+    columns: frozenset[str],
+    version: int,
+) -> Metadata:
+    """Recompute metadata for ``columns`` only, reusing ``previous`` for the
+    rest.
+
+    Callers must have established that the row set and schema are unchanged
+    (``len(frame)`` equals ``previous.n_rows`` and ``frame.columns`` equals
+    the previous attribute set) — only then is carrying an old
+    :class:`AttributeMeta` sound.  The rebuilt attribute dict preserves
+    ``frame.columns`` order so a partial refresh is indistinguishable from
+    a full one apart from the per-column version stamps.
+    """
+    attributes: dict[str, AttributeMeta] = {}
+    versions: dict[str, int] = {}
+    for name in frame.columns:
+        if name in columns or name not in previous.attributes:
+            attributes[name] = compute_attribute_meta(frame, name)
+            versions[name] = version
+        else:
+            attributes[name] = previous.attributes[name]
+            versions[name] = previous.column_versions.get(name, 0)
+    return Metadata(attributes, n_rows=len(frame), column_versions=versions)

@@ -13,6 +13,7 @@ from typing import Sequence
 import numpy as np
 
 from ...dataframe import DataFrame
+from ...vis.spec import candidate_key
 from ..compiler import CompiledVis
 from ..config import config
 from ..executor.base import get_executor
@@ -22,7 +23,44 @@ from ..vis import Vis
 from ..vislist import VisList
 from .cost_model import prune_is_beneficial
 
-__all__ = ["get_sample", "rank_candidates"]
+__all__ = ["CandidatePrior", "get_sample", "rank_candidates"]
+
+
+class CandidatePrior:
+    """Carried state for one candidate vis from the previous ranking pass.
+
+    ``approx`` is the pass-1 sample score, ``score`` the pass-2 exact
+    score, ``vis`` the displayed Vis (with processed data attached) when
+    the candidate made the previous top-k and its live object is still
+    available.  Any field may be None — a missing value simply means that
+    piece is recomputed, so a partial prior is always safe.
+
+    Bit-identity contract: callers may only supply priors for candidates
+    whose input columns are untouched since the prior pass, with the row
+    set intact.  The ranking sample's row indices are a pure function of
+    (row count, cap, seed), so an untouched candidate's sample score and
+    exact score are float-identical to what a cold pass would recompute —
+    carrying them changes nothing but the work performed.
+    """
+
+    __slots__ = ("approx", "score", "vis")
+
+    def __init__(
+        self,
+        approx: float | None = None,
+        score: float | None = None,
+        vis: "Vis | None" = None,
+    ) -> None:
+        self.approx = approx
+        self.score = score
+        self.vis = vis
+
+    def display_vis(self) -> "Vis | None":
+        """The carried Vis, only if it still holds processed data."""
+        vis = self.vis
+        if vis is not None and vis.spec is not None and vis.spec.data is not None:
+            return vis
+        return None
 
 
 def get_sample(frame: DataFrame) -> DataFrame:
@@ -92,34 +130,77 @@ def _prefetch_for_scoring(
 
 
 def _exact_scored(
-    candidates: Sequence[CompiledVis], frame: DataFrame
+    candidates: Sequence[CompiledVis],
+    frame: DataFrame,
+    prior_of=None,
+    exact_out: dict[int, float] | None = None,
 ) -> list[tuple[float, CompiledVis]]:
+    """Exact pass-2 scores, in candidate order.
+
+    ``prior_of`` (candidate -> CandidatePrior | None) supplies carried
+    exact scores; candidates without one are recomputed on the full frame,
+    exactly as a cold pass would.  ``exact_out`` collects the per-candidate
+    scores by ``id(cand)`` for record emission.
+    """
     executor = get_executor()
+    exact: dict[int, float] = {}
+    fresh: list[CompiledVis] = []
     for cand in candidates:
-        cand.spec.data = None
-    _prefetch_for_scoring(candidates, frame, executor)
-    scored = []
-    for cand in candidates:
-        score = score_vis(cand.spec, frame, executor)
-        scored.append((score, cand))
-    return scored
+        p = prior_of(cand) if prior_of is not None else None
+        if p is not None and p.score is not None:
+            exact[id(cand)] = p.score  # check: ignore[unstable-key]
+        else:
+            cand.spec.data = None
+            fresh.append(cand)
+    _prefetch_for_scoring(fresh, frame, executor)
+    for cand in fresh:
+        exact[id(cand)] = score_vis(cand.spec, frame, executor)  # check: ignore[unstable-key]
+    if exact_out is not None:
+        exact_out.update(exact)
+    return [(exact[id(cand)], cand) for cand in candidates]  # check: ignore[unstable-key]
 
 
 def rank_candidates(
     candidates: Sequence[CompiledVis],
     frame: DataFrame,
     k: int | None = None,
+    prior: "dict[str, CandidatePrior] | None" = None,
+    records: "dict[str, dict] | None" = None,
 ) -> VisList:
     """Rank candidates by interestingness and return the processed top-k.
 
     When ``config.early_pruning`` holds and the cost-model guard passes,
     scores are approximated on the sample first (pass 1) and only the
     survivors are recomputed exactly (pass 2).
+
+    ``prior`` maps ``candidate_key(spec)`` to carried state for candidates
+    the caller has proven untouched since the previous pass (see
+    ``CandidatePrior``); their scores — and, for the displayed top-k, their
+    processed Vis objects — are reused instead of recomputed.  Carried
+    values are merged with freshly computed ones in enumeration order, so
+    the two-pass algorithm (including stable-sort tie behavior) is
+    bit-identical to a cold run.  ``records``, when given, is filled with
+    one ``{"approx", "score", "displayed"}`` dict per candidate key so the
+    caller can seed the next pass's prior.
     """
     k = k if k is not None else config.top_k
     executor = get_executor()
     n = len(frame)
     sample = get_sample(frame)
+
+    keys: list[str] | None = None
+    if prior is not None or records is not None:
+        keys = [candidate_key(cand.spec) for cand in candidates]
+    prior_map = prior or {}
+    prior_by_id: dict[int, CandidatePrior] = {}
+    if keys is not None and prior_map:
+        for key, cand in zip(keys, candidates):
+            p = prior_map.get(key)
+            if p is not None:
+                prior_by_id[id(cand)] = p  # check: ignore[unstable-key]
+
+    def prior_of(cand: CompiledVis) -> CandidatePrior | None:
+        return prior_by_id.get(id(cand))  # check: ignore[unstable-key]
 
     use_prune = (
         config.early_pruning
@@ -127,30 +208,66 @@ def rank_candidates(
         and prune_is_beneficial(len(candidates), k, n, len(sample))
     )
 
+    approx_by_id: dict[int, float] = {}
+    exact_by_id: dict[int, float] = {}
     if use_prune:
         # Pass 1 (approximate, on the sample) is batched exactly like pass
         # 2: one execute_many shares each scan across the candidate set.
+        fresh: list[CompiledVis] = []
         for cand in candidates:
-            cand.spec.data = None
-        _prefetch_for_scoring(candidates, sample, executor)
-        approx: list[tuple[float, CompiledVis]] = []
-        for cand in candidates:
-            approx.append((score_vis(cand.spec, sample, executor), cand))
+            p = prior_of(cand)
+            if p is not None and p.approx is not None:
+                approx_by_id[id(cand)] = p.approx  # check: ignore[unstable-key]
+            else:
+                cand.spec.data = None
+                fresh.append(cand)
+        _prefetch_for_scoring(fresh, sample, executor)
+        for cand in fresh:
+            approx_by_id[id(cand)] = score_vis(cand.spec, sample, executor)  # check: ignore[unstable-key]
+        approx: list[tuple[float, CompiledVis]] = [
+            (approx_by_id[id(cand)], cand) for cand in candidates  # check: ignore[unstable-key]
+        ]
         approx.sort(key=lambda sc: -sc[0])
         survivors = [cand for _, cand in approx[:k]]
-        scored = _exact_scored(survivors, frame)
+        scored = _exact_scored(survivors, frame, prior_of, exact_by_id)
     else:
-        scored = _exact_scored(candidates, frame)
+        scored = _exact_scored(candidates, frame, prior_of, exact_by_id)
 
     scored.sort(key=lambda sc: -sc[0])
     top = scored[:k]
+    # Carried top-k candidates whose previous Vis still holds processed
+    # data are displayed as-is — the display data of an untouched vis over
+    # unchanged rows is exactly what re-execution would produce.
+    carried_vis: dict[int, Vis] = {}
+    for _, cand in top:
+        p = prior_of(cand)
+        vis = p.display_vis() if p is not None else None
+        if vis is not None:
+            carried_vis[id(cand)] = vis  # check: ignore[unstable-key]
     # Exact display data for everything shown (pass 2 guarantee), computed
     # as one shared-scan batch so the top-k repeat no filter/group-by work.
-    pending = [cand.spec for _, cand in top if cand.spec.data is None]
+    pending = [
+        cand.spec
+        for _, cand in top
+        if id(cand) not in carried_vis and cand.spec.data is None  # check: ignore[unstable-key]
+    ]
     if pending:
         executor.execute_many(pending, frame)
-    visualizations = [
-        Vis.from_compiled(cand, source=frame, score=score, process=False)
-        for score, cand in top
-    ]
+    visualizations: list[Vis] = []
+    for score, cand in top:
+        vis = carried_vis.get(id(cand))  # check: ignore[unstable-key]
+        if vis is not None:
+            vis.score = score
+        else:
+            vis = Vis.from_compiled(cand, source=frame, score=score, process=False)
+        visualizations.append(vis)
+
+    if records is not None and keys is not None:
+        displayed = {id(cand) for _, cand in top}  # check: ignore[unstable-key]
+        for key, cand in zip(keys, candidates):
+            records[key] = {
+                "approx": approx_by_id.get(id(cand)),  # check: ignore[unstable-key]
+                "score": exact_by_id.get(id(cand)),  # check: ignore[unstable-key]
+                "displayed": id(cand) in displayed,  # check: ignore[unstable-key]
+            }
     return VisList(visualizations=visualizations, source=frame)

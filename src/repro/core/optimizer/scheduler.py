@@ -137,6 +137,8 @@ def run_actions(
     ldf,
     metadata: Metadata,
     cancel: "threading.Event | None" = None,
+    priors: "dict[str, dict] | None" = None,
+    records: "dict[str, dict] | None" = None,
 ) -> RecommendationSet:
     """Execute actions in scheduled order, synchronously or streaming.
 
@@ -147,6 +149,14 @@ def run_actions(
     finishing a whole stale pass.  Streaming runs ignore it (their whole
     point is returning control immediately; staleness is handled by the
     version checks of whoever consumes the results).
+
+    ``priors`` maps action name to a ``vis_key -> CandidatePrior`` carry
+    map and ``records`` maps action name to an output dict of per-candidate
+    score records — actions present in either run through
+    :meth:`~repro.core.actions.base.Action.generate_cached` (bit-identical
+    to ``generate``); absent actions run plainly.  Each per-action record
+    dict is written by exactly one worker, so the streaming path needs no
+    extra locking.
     """
     ordered = schedule_actions(actions, metadata)
     result = RecommendationSet()
@@ -155,36 +165,57 @@ def run_actions(
         result._done.set()
         return result
 
+    def prior_of(action: "Action") -> "dict | None":
+        return priors.get(action.name) if priors is not None else None
+
+    def records_of(action: "Action") -> "dict | None":
+        return records.get(action.name) if records is not None else None
+
     if not config.streaming:
         for action in ordered:
             if cancel is not None and cancel.is_set():
                 raise PassCancelled(
                     f"recommendation pass cancelled before {action.name!r}"
                 )
-            result._put(action.name, _generate_safely(action, ldf))
+            result._put(
+                action.name,
+                _generate_safely(action, ldf, prior_of(action), records_of(action)),
+            )
         return result
 
     # Streaming: run the cheapest action inline so something is ready when
     # control returns, then stream the rest from a background pool.
     _LIVE.add(result)
     first, rest = ordered[0], ordered[1:]
-    result._put(first.name, _generate_safely(first, ldf))
+    result._put(first.name, _generate_safely(first, ldf, prior_of(first), records_of(first)))
     if not rest:
         return result
     for action in rest:
         pool.submit(
-            lambda a=action: result._put(a.name, _generate_safely(a, ldf))
+            lambda a=action: result._put(
+                a.name, _generate_safely(a, ldf, prior_of(a), records_of(a))
+            )
         )
     return result
 
 
-def _generate_safely(action: "Action", ldf) -> "VisList":
+def _generate_safely(
+    action: "Action",
+    ldf,
+    prior: "dict | None" = None,
+    records: "dict | None" = None,
+) -> "VisList":
     """Run one action, containing failures (§10.3 failproofing).
 
     A broken action (most often a user UDF) yields an empty tab plus a
-    warning instead of taking down the whole dashboard.
+    warning instead of taking down the whole dashboard.  On failure any
+    partially collected candidate records are discarded — they would
+    otherwise seed the next pass's prior with state from an action whose
+    published result is the empty tab.
     """
     try:
+        if prior is not None or records is not None:
+            return action.generate_cached(ldf, prior or {}, records)
         return action.generate(ldf)
     except Exception as exc:
         import warnings
@@ -192,6 +223,8 @@ def _generate_safely(action: "Action", ldf) -> "VisList":
         from ..errors import LuxWarning
         from ..vislist import VisList
 
+        if records is not None:
+            records.clear()
         warnings.warn(
             f"action {action.name!r} failed ({exc}); showing an empty tab.",
             LuxWarning,

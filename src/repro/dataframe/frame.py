@@ -141,16 +141,25 @@ class DataFrame:
         data: dict[str, Column],
         index: Index,
         op: str,
+        rows: tuple | None = None,
     ) -> "DataFrame":
-        """Construct a derived frame.  Subclasses propagate state here."""
+        """Construct a derived frame.  Subclasses propagate state here.
+
+        ``rows`` describes how the child's rows map onto the parent's when
+        the derivation is a pure row subset — a tagged selector
+        ``("mask", keep)`` / ``("take", indices)`` / ``("slice", sl, n)``
+        left raw so subclasses that don't consume it pay no conversion.
+        """
         out = type(self).__new__(type(self))
         object.__setattr__(out, "_data", data)
         object.__setattr__(out, "_column_order", list(data.keys()))
         object.__setattr__(out, "_index", index)
-        out._init_derived(parent=self, op=op)
+        out._init_derived(parent=self, op=op, rows=rows)
         return out
 
-    def _init_derived(self, parent: "DataFrame", op: str) -> None:
+    def _init_derived(
+        self, parent: "DataFrame", op: str, rows: tuple | None = None
+    ) -> None:
         """Hook for subclasses; base frames carry no extra state."""
 
     def _notify_mutation(self, op: str, delta: "observe.Delta | None" = None) -> None:
@@ -290,15 +299,22 @@ class DataFrame:
     # ------------------------------------------------------------------
     def _filter_rows(self, keep: np.ndarray) -> "DataFrame":
         data = {name: self._data[name].filter(keep) for name in self._column_order}
-        return self._wrap(data, self._index.filter(keep), op="filter")
+        return self._wrap(
+            data, self._index.filter(keep), op="filter", rows=("mask", keep)
+        )
 
     def _take_rows(self, indices: np.ndarray) -> "DataFrame":
         data = {name: self._data[name].take(indices) for name in self._column_order}
-        return self._wrap(data, self._index.take(indices), op="take")
+        return self._wrap(
+            data, self._index.take(indices), op="take", rows=("take", indices)
+        )
 
     def _slice_rows(self, sl: slice) -> "DataFrame":
+        n = len(self)
         data = {name: self._data[name].slice(sl) for name in self._column_order}
-        return self._wrap(data, self._index.slice(sl), op="slice")
+        return self._wrap(
+            data, self._index.slice(sl), op="slice", rows=("slice", sl, n)
+        )
 
     # ------------------------------------------------------------------
     # Convenience views

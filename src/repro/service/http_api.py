@@ -111,6 +111,41 @@ __all__ = [
 
 _SESSION_PATH = re.compile(r"^/sessions/([0-9a-zA-Z_-]+)(/[a-z_]+)?$")
 
+#: Versioned API prefix.  ``/v1/...`` is the canonical surface; the
+#: unprefixed paths below remain as deprecated aliases so existing
+#: clients keep working unchanged.
+V1_PREFIX = "/v1"
+
+#: Legacy (unprefixed) route template -> canonical ``/v1/`` successor.
+#: Requests matching a left-hand template still serve their historical
+#: response shape and additionally carry ``Deprecation: true`` plus a
+#: ``Link: <successor>; rel="successor-version"`` header.  The only
+#: *behavioral* difference between the surfaces is the recommendations
+#: response: ``/v1/`` serves the typed ``provenance`` envelope where the
+#: legacy route serves the frozen ``freshness`` dict.
+LEGACY_ALIASES = {
+    "/healthz": "/v1/healthz",
+    "/metrics": "/v1/metrics",
+    "/sessions": "/v1/sessions",
+    "/sessions/{id}": "/v1/sessions/{id}",
+    "/sessions/{id}/intent": "/v1/sessions/{id}/intent",
+    "/sessions/{id}/mutate": "/v1/sessions/{id}/mutate",
+    "/sessions/{id}/recommendations": "/v1/sessions/{id}/recommendations",
+    "/sessions/{id}/trace": "/v1/sessions/{id}/trace",
+}
+
+
+def _legacy_template(path: str) -> str | None:
+    """The alias-table template a concrete legacy path matches, if any."""
+    if path in LEGACY_ALIASES:
+        return path
+    match = _SESSION_PATH.match(path)
+    if match:
+        template = "/sessions/{id}" + (match.group(2) or "")
+        if template in LEGACY_ALIASES:
+            return template
+    return None
+
 # The HTTP layer's client-error type is the transport-neutral one the
 # shard vocabulary defines, so worker-side errors cross the pipe and land
 # in the same except-arm as locally raised ones.
@@ -212,11 +247,11 @@ class LocalBackend:
         return session.info()
 
     def recommendations(
-        self, session_id: str, action: str | None
+        self, session_id: str, action: str | None, v1: bool = False
     ) -> dict[str, Any]:
         session = self.manager.get(session_id)
         try:
-            return session.recommendations(action=action)
+            return session.recommendations(action=action, v1=v1)
         except KeyError:
             raise _ApiError(404, f"no such action: {action!r}") from None
 
@@ -263,8 +298,10 @@ class ShardBackend:
     def mutate(self, session_id: str, body: dict[str, Any]) -> dict[str, Any]:
         return self.supervisor.mutate(session_id, body)
 
-    def recommendations(self, session_id: str, action: str | None) -> str:
-        return self.supervisor.recommendations(session_id, action)
+    def recommendations(
+        self, session_id: str, action: str | None, v1: bool = False
+    ) -> str:
+        return self.supervisor.recommendations(session_id, action, v1=v1)
 
     def shutdown(self) -> None:
         self.supervisor.stop()
@@ -304,6 +341,12 @@ class _Handler(BaseHTTPRequestHandler):
             data = json.dumps(body).encode("utf-8")
         self._status_sent = status
         extra = dict(headers or {})
+        successor = getattr(self, "_deprecated_successor", None)
+        if successor is not None:
+            # RFC 8594-style deprecation advertisement on the legacy
+            # (unprefixed) alias surface, pointing at the /v1/ route.
+            extra.setdefault("Deprecation", "true")
+            extra.setdefault("Link", f'<{successor}>; rel="successor-version"')
         content_type = extra.pop("Content-Type", "application/json")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
@@ -353,6 +396,8 @@ class _Handler(BaseHTTPRequestHandler):
         self._body_cache = None
         self._route_name = "unrouted"
         self._status_sent = 0
+        self._v1 = False
+        self._deprecated_successor: str | None = None
         started = time.perf_counter()
         with telemetry.span(
             "http.request", method=method, path=self.path
@@ -402,6 +447,15 @@ class _Handler(BaseHTTPRequestHandler):
     def _resolve(self, method: str) -> tuple[Callable[..., Any], tuple]:
         path, _, query = self.path.partition("?")
         params = _parse_query(query)
+        if path.startswith(V1_PREFIX + "/"):
+            self._v1 = True
+            path = path[len(V1_PREFIX):]
+        else:
+            # Unprefixed surface: serve it if (and only if) the alias
+            # table lists it, and stamp the deprecation headers.
+            template = _legacy_template(path)
+            if template is not None:
+                self._deprecated_successor = LEGACY_ALIASES[template]
         if path == "/healthz" and method == "GET":
             return self._healthz, ()
         if path == "/metrics" and method == "GET":
@@ -495,7 +549,7 @@ class _Handler(BaseHTTPRequestHandler):
         self, session_id: str, params: dict[str, str]
     ) -> tuple[int, "dict[str, Any] | str"]:
         return 200, self.server.backend.recommendations(
-            session_id, params.get("action")
+            session_id, params.get("action"), v1=self._v1
         )
 
     @measured("trace")

@@ -33,12 +33,19 @@ still reruns it): actions whose inputs intersect the delta — or that
 depend on intent when intent changed — are **rerun**; everything else is
 **carried forward** from the previous stored pass via
 :meth:`~repro.service.store.ResultStore.carry` (provenance ``carried``,
-original ``computed_at``).  Steady-state background work is therefore
-proportional to what changed, not to the whole action set; a carried
-result is by construction bit-identical to what a cold pass would
-recompute, because its inputs did not change.  Row-set changes, unknown
-deltas, wildcard intents, and evicted previous entries all degrade to a
-full pass — never to a wrong one.
+original ``computed_at``).  Rerun actions whose footprint declares
+per-candidate entries are scoped one level finer: only the candidate vis
+whose declared read set the delta touches recompute; the rest carry
+their previous sample/exact scores (stored as per-candidate records
+under the store's reserved :func:`~repro.service.store.candidate_entry`
+namespace) and their previous displayed Vis, merged back in enumeration
+order so the two-pass ranking — including stable-sort ties — replays
+exactly.  Steady-state background work is therefore proportional to what
+changed, not to the whole action set; a carried result is by
+construction bit-identical to what a cold pass would recompute, because
+its inputs did not change.  Row-set changes, unknown deltas, wildcard
+intents, duplicate candidate identities, and evicted previous entries
+all degrade to coarser granularity — never to a wrong result.
 
 A completed pass lands in the :class:`~repro.service.store.ResultStore`
 keyed on the version it computed — *only* if that version is still
@@ -92,6 +99,7 @@ from ..core.actions.base import Footprint
 from ..core.actions.registry import default_registry
 from ..core.config import config
 from ..core.errors import LuxError, LuxWarning, PassCancelled
+from ..core.optimizer.sampling import CandidatePrior
 from ..core.optimizer.scheduler import (
     RecommendationSet,
     run_actions,
@@ -99,7 +107,9 @@ from ..core.optimizer.scheduler import (
 )
 from ..dataframe import observe
 from ..dataframe.observe import Delta
+from ..vis.spec import candidate_key
 from .session import serialize_recommendations
+from .store import candidate_entry
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.actions.base import Action
@@ -172,10 +182,40 @@ class _SessionState:
         self.delta_version: tuple | None = None
 
 
-class _Plan:
-    """One pass's partition: what to rerun, what to carry, in what order."""
+class _PartialPlan:
+    """Candidate-level carry plan for one rerun action.
 
-    __slots__ = ("prev_version", "ordered_names", "affected", "carried", "footprints")
+    ``prior`` maps unaffected candidates' ``vis_key`` to their carried
+    state (scores + displayed Vis); ``rerun`` counts the candidates
+    actually recomputed.  Fresh per-candidate records land in the owning
+    :class:`_Plan`'s ``records`` sink for the action.
+    """
+
+    __slots__ = ("prior", "rerun")
+
+    def __init__(self, prior: "dict[str, CandidatePrior]", rerun: int) -> None:
+        self.prior = prior
+        self.rerun = rerun
+
+
+class _Plan:
+    """One pass's partition: what to rerun, what to carry, in what order.
+
+    ``partial`` scopes some rerun actions down to candidate granularity
+    (action name -> :class:`_PartialPlan`); ``records`` holds one output
+    dict per executed action that declared candidate entries, collecting
+    the per-candidate score records the next pass's prior is built from.
+    """
+
+    __slots__ = (
+        "prev_version",
+        "ordered_names",
+        "affected",
+        "carried",
+        "footprints",
+        "partial",
+        "records",
+    )
 
     def __init__(
         self,
@@ -184,12 +224,16 @@ class _Plan:
         affected: "list[Action]",
         carried: list[str],
         footprints: dict[str, Footprint],
+        partial: "dict[str, _PartialPlan] | None" = None,
+        records: "dict[str, dict] | None" = None,
     ) -> None:
         self.prev_version = prev_version
         self.ordered_names = ordered_names
         self.affected = affected
         self.carried = carried
         self.footprints = footprints
+        self.partial = partial or {}
+        self.records = records or {}
 
 
 def _covers(version: tuple, other: tuple) -> bool:
@@ -237,6 +281,8 @@ class PrecomputeEngine:
             "incremental_passes": 0,
             "actions_rerun": 0,
             "actions_carried": 0,
+            "candidates_rerun": 0,
+            "candidates_carried": 0,
             "carry_misses": 0,
             "rejected": 0,
             "shed_stale": 0,
@@ -492,13 +538,19 @@ class PrecomputeEngine:
         frame: Any,
         metadata: Any,
         applicable: "list[Action]",
+        prev_recs: "RecommendationSet | None" = None,
+        prev_recs_version: "tuple | None" = None,
     ) -> _Plan:
         """Partition ``applicable`` into rerun vs carry-forward.
 
         The ordered name list mirrors exactly what a full pass would
         produce (``schedule_actions`` on current metadata), so the
         manifest — and therefore the response — of an incremental pass is
-        indistinguishable from a cold one.
+        indistinguishable from a cold one.  Rerun actions whose footprint
+        declares per-candidate entries are scoped further: only the
+        candidates the delta touches recompute, the rest carry their
+        previous scores (from the store's candidate records) and displayed
+        Vis (from the previous memoized set) — see :class:`_PartialPlan`.
         """
         ordered = schedule_actions(applicable, metadata)
         ordered_names = [a.name for a in ordered]
@@ -509,13 +561,32 @@ class PrecomputeEngine:
             except Exception:  # a broken declaration degrades to "rerun"
                 footprints[action.name] = Footprint(None, True)
 
+        def record_sinks(actions: "list[Action]") -> dict[str, dict]:
+            # One output dict per executed action that declared candidate
+            # entries — even full passes collect records, seeding the
+            # first partial pass after a mutation.
+            if not config.incremental_precompute:
+                return {}
+            return {
+                a.name: {}
+                for a in actions
+                if footprints[a.name].candidates() is not None
+            }
+
         with self._lock:
             state = self._states.get(session.id)
             prev_version = state.last_version if state is not None else None
             prev_footprints = dict(state.footprints) if state is not None else {}
             delta = state.delta if state is not None else None
 
-        full = _Plan(None, ordered_names, list(ordered), [], footprints)
+        full = _Plan(
+            None,
+            ordered_names,
+            list(ordered),
+            [],
+            footprints,
+            records=record_sinks(ordered),
+        )
         if not config.incremental_precompute or prev_version is None:
             return full
         if delta is None or delta.columns_changed is None or delta.rows_changed:
@@ -523,8 +594,30 @@ class PrecomputeEngine:
             # never guess), or a change column-level reasoning can't scope.
             return full
 
+        # Previous displayed Vis by (action, vis_key), for vis-granularity
+        # carry inside partially rerun actions.  Only trusted when the
+        # memoized set provably belongs to the previous stored pass under
+        # stock config — otherwise partial plans fall back to score-only
+        # carry (still correct, just re-executes display data).
+        prev_vis: "dict[str, dict[str, Any]]" = {}
+        if (
+            prev_recs is not None
+            and prev_recs_version == prev_version
+            and not session.overrides
+            and prev_recs._done.is_set()
+        ):
+            for name, vislist in prev_recs.items():
+                by_key: dict[str, Any] = {}
+                for vis in vislist:
+                    try:
+                        by_key[candidate_key(vis.spec)] = vis
+                    except Exception:
+                        continue
+                prev_vis[name] = by_key
+
         affected: "list[Action]" = []
         carried: list[str] = []
+        partial: "dict[str, _PartialPlan]" = {}
         for action in ordered:
             prev_fp = prev_footprints.get(action.name)
             if prev_fp is None:
@@ -537,9 +630,95 @@ class PrecomputeEngine:
                 affected.append(action)  # previous result already evicted
             else:
                 carried.append(action.name)
-        if not carried:
+                continue
+            pp = self._plan_candidates(
+                session.id,
+                prev_version,
+                action.name,
+                footprints[action.name],
+                prev_fp,
+                delta,
+                prev_vis.get(action.name, {}),
+            )
+            if pp is not None:
+                partial[action.name] = pp
+        if not carried and not partial:
             return full
-        return _Plan(prev_version, ordered_names, affected, carried, footprints)
+        return _Plan(
+            prev_version,
+            ordered_names,
+            affected,
+            carried,
+            footprints,
+            partial=partial,
+            records=record_sinks(affected),
+        )
+
+    def _plan_candidates(
+        self,
+        session_id: str,
+        prev_version: tuple,
+        name: str,
+        fp: Footprint,
+        prev_fp: Footprint,
+        delta: Delta,
+        prev_vis: "dict[str, Any]",
+    ) -> "_PartialPlan | None":
+        """Candidate-level partition for one rerun action, or None.
+
+        Degrades to whole-action granularity (None) when either pass's
+        footprint lacks candidate entries or an entry set contains
+        duplicate identities (two candidates hashing to one ``vis_key``
+        would make the carry ambiguous).  A candidate is carried only when
+        both its previous and current declared column sets miss the delta,
+        its intent flag is clear (or intent did not change), and at least
+        one piece of prior state — a score record or a displayed Vis — is
+        actually available to reuse.
+        """
+        entries = fp.candidates()
+        prev_entries = prev_fp.candidates()
+        if entries is None or prev_entries is None:
+            return None
+        keys = [e.vis_key for e in entries]
+        if len(set(keys)) != len(keys):
+            return None
+        prev_by_key: dict[str, Any] = {}
+        for e in prev_entries:
+            if e.vis_key in prev_by_key:
+                return None
+            prev_by_key[e.vis_key] = e
+        prior: "dict[str, CandidatePrior]" = {}
+        rerun = 0
+        for e in entries:
+            pe = prev_by_key.get(e.vis_key)
+            if pe is None:
+                rerun += 1  # new to the search space this pass
+                continue
+            if delta.intent_changed and (e.intent or pe.intent):
+                rerun += 1
+                continue
+            if e.columns is None or pe.columns is None:
+                rerun += 1  # unknown read set: never carry
+                continue
+            if delta.touches(e.columns | pe.columns):
+                rerun += 1
+                continue
+            approx = score = None
+            record = self.store.get(
+                session_id, prev_version, candidate_entry(name, e.vis_key)
+            )
+            if record is not None:
+                payload = record["payload"]
+                approx = payload.get("approx")
+                score = payload.get("score")
+            vis = prev_vis.get(e.vis_key)
+            if approx is None and score is None and vis is None:
+                rerun += 1  # nothing reusable: same cost as affected
+                continue
+            prior[e.vis_key] = CandidatePrior(approx=approx, score=score, vis=vis)
+        if not prior:
+            return None
+        return _PartialPlan(prior, rerun)
 
     # ------------------------------------------------------------------
     # The pass itself (runs on a pool worker, background band)
@@ -584,13 +763,28 @@ class PrecomputeEngine:
                     _observe_phase("metadata", time.perf_counter() - phase_t0)
                     applicable = default_registry.applicable(frame)
                     plan = self._plan(
-                        session, version, frame, metadata, applicable
+                        session,
+                        version,
+                        frame,
+                        metadata,
+                        applicable,
+                        prev_recs,
+                        prev_recs_version,
                     )
                     pass_span.attrs["rerun"] = len(plan.affected)
                     pass_span.attrs["carried"] = len(plan.carried)
+                    pass_span.attrs["partial"] = len(plan.partial)
                     phase_t0 = time.perf_counter()
                     recs = run_actions(
-                        plan.affected, frame, metadata, cancel=cancel
+                        plan.affected,
+                        frame,
+                        metadata,
+                        cancel=cancel,
+                        priors={
+                            n: pp.prior for n, pp in plan.partial.items()
+                        }
+                        or None,
+                        records=plan.records or None,
                     )
                     payloads = serialize_recommendations(recs)
                     _observe_phase("actions", time.perf_counter() - phase_t0)
@@ -651,20 +845,58 @@ class PrecomputeEngine:
                 # manifest), so reads fall back to a foreground pass.
                 carried_ok = False
                 self._bump("carry_misses")
+        # Partially rerun actions land as origin "mixed" with a per-vis
+        # provenance map ("carried" for candidates reused from the prior).
+        origins: dict[str, str] = {}
+        vis_origins: dict[str, dict[str, str]] = {}
+        for name, pp in plan.partial.items():
+            recmap = plan.records.get(name) or {}
+            shown = {
+                key: ("carried" if key in pp.prior else "precompute")
+                for key, rec in recmap.items()
+                if rec.get("displayed")
+            }
+            if "carried" in shown.values():
+                origins[name] = "mixed"
+                vis_origins[name] = shown
         self.store.put_pass(
             session.id,
             version,
             payloads,
             origin="precompute",
             manifest=plan.ordered_names,
+            origins=origins or None,
+            vis_origins=vis_origins or None,
         )
+        # Per-candidate score records: fresh ones for every executed
+        # action, carried ones for fully carried actions (best effort —
+        # these are advisory, so misses are not counted or retried).
+        for name, recmap in plan.records.items():
+            for key, rec in recmap.items():
+                self.store.put(
+                    session.id, version, candidate_entry(name, key), rec
+                )
+        if plan.prev_version is not None:
+            for name in plan.carried:
+                fp = plan.footprints.get(name)
+                entries = fp.candidates() if fp is not None else None
+                for e in entries or ():
+                    self.store.carry(
+                        session.id,
+                        plan.prev_version,
+                        version,
+                        candidate_entry(name, e.vis_key),
+                    )
         self._refresh_memoized(
             session, version, plan, recs, prev_recs, prev_recs_version
         )
         with self._lock:
             self._counters["actions_rerun"] += len(plan.affected)
             self._counters["actions_carried"] += len(plan.carried)
-            if plan.carried:
+            for pp in plan.partial.values():
+                self._counters["candidates_rerun"] += pp.rerun
+                self._counters["candidates_carried"] += len(pp.prior)
+            if plan.carried or plan.partial:
                 self._counters["incremental_passes"] += 1
             state = self._states.get(session.id)
             if state is not None and carried_ok:

@@ -34,6 +34,7 @@ from ..core.errors import LuxWarning
 from ..core.frame import LuxDataFrame
 from ..dataframe import DataFrame
 from ..vis.vegalite import spec_payload
+from .provenance import Provenance
 from .store import MANIFEST
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -157,7 +158,10 @@ class Session:
 
     # ------------------------------------------------------------------
     def recommendations(
-        self, action: str | None = None, compute: bool = True
+        self,
+        action: str | None = None,
+        compute: bool = True,
+        v1: bool = False,
     ) -> dict[str, Any] | None:
         """Recommendations at the frame's current version, store-first.
 
@@ -168,16 +172,19 @@ class Session:
         session's overlay and back-fills the store.  ``action`` narrows
         the response to one action (``KeyError`` when no such action
         exists for this frame); ``compute=False`` returns None on a store
-        miss (the probe the benchmarks and tests use).
+        miss (the probe the benchmarks and tests use).  ``v1`` selects the
+        typed ``provenance`` envelope instead of the legacy ``freshness``
+        dict — same payloads, richer (per-vis) provenance.
         """
         with telemetry.span("session.read", session=self.id) as read_span:
-            response = self._recommendations_inner(action, compute)
+            response = self._recommendations_inner(action, compute, v1)
             if response is not None:
-                read_span.attrs["origin"] = response["freshness"]["origin"]
+                envelope = response.get("provenance") or response["freshness"]
+                read_span.attrs["origin"] = envelope["origin"]
             return response
 
     def _recommendations_inner(
-        self, action: str | None, compute: bool
+        self, action: str | None, compute: bool, v1: bool = False
     ) -> dict[str, Any] | None:
         self._hydrate_results()
         version = self.version
@@ -191,13 +198,13 @@ class Session:
             )
             if manifest is not None and action not in manifest["payload"]:
                 raise KeyError(f"no such action: {action!r}")
-        stored = self._read_store(version, action)
+        stored = self._read_store(version, action, v1)
         if stored is not None:
             return stored
         if not compute:
             return None
         self._compute_foreground(version)
-        stored = self._read_store(self.version, action)
+        stored = self._read_store(self.version, action, v1)
         if stored is not None:
             return stored
         # Store rejected the payload (budget) or the frame mutated while
@@ -207,7 +214,7 @@ class Session:
             if action not in payloads:
                 raise KeyError(f"no such action: {action!r}")
             payloads = {action: payloads[action]}
-        return self._respond(self.version, payloads, origin="foreground")
+        return self._respond(self.version, payloads, origin="foreground", v1=v1)
 
     def _hydrate_results(self) -> None:
         """Load snapshotted pass results into the store, exactly once.
@@ -241,7 +248,7 @@ class Session:
                 )
 
     def _read_store(
-        self, version: tuple[int, int], action: str | None
+        self, version: tuple[int, int], action: str | None, v1: bool = False
     ) -> dict[str, Any] | None:
         if self.store is None:
             return None
@@ -262,8 +269,19 @@ class Session:
         origin = distinct.pop() if len(distinct) == 1 else "mixed"
         payloads = {name: r["payload"] for name, r in records.items()}
         oldest = min(r["computed_at"] for r in records.values())
+        vis_origins = {
+            name: r["vis_origins"]
+            for name, r in records.items()
+            if r.get("vis_origins")
+        }
         return self._respond(
-            version, payloads, origin=origin, computed_at=oldest, origins=origins
+            version,
+            payloads,
+            origin=origin,
+            computed_at=oldest,
+            origins=origins,
+            vis_origins=vis_origins or None,
+            v1=v1,
         )
 
     def _respond(
@@ -273,19 +291,30 @@ class Session:
         origin: str,
         computed_at: float | None = None,
         origins: dict[str, str] | None = None,
+        vis_origins: "dict[str, dict[str, str]] | None" = None,
+        v1: bool = False,
     ) -> dict[str, Any]:
-        return {
+        # One typed envelope feeds both wire shapes: the legacy surface
+        # renders it as the historical "freshness" dict, /v1/ serializes
+        # the full per-action / per-vis structure.
+        provenance = Provenance.build(
+            version,
+            payloads,
+            origin,
+            computed_at=computed_at,
+            origins=origins,
+            vis_origins=vis_origins,
+        )
+        response = {
             "session": self.id,
             "data_version": list(version),
             "actions": payloads,
-            "freshness": {
-                "origin": origin,
-                "age_s": round(time.time() - (computed_at or time.time()), 3),
-                "actions": origins
-                if origins is not None
-                else {name: origin for name in payloads},
-            },
         }
+        if v1:
+            response["provenance"] = provenance.to_payload()
+        else:
+            response["freshness"] = provenance.legacy_freshness()
+        return response
 
     # ------------------------------------------------------------------
     def _compute_foreground(self, version: tuple[int, int]) -> None:

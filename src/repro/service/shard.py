@@ -376,7 +376,9 @@ class ShardService:
         session = self._session(params)
         action = params.get("action")
         try:
-            response = session.recommendations(action=action)
+            response = session.recommendations(
+                action=action, v1=bool(params.get("v1"))
+            )
         except KeyError:
             raise RequestError(404, f"no such action: {action!r}") from None
         # Pre-serialized passthrough: the supervisor forwards these bytes

@@ -34,7 +34,12 @@ and ``foreground``: :meth:`ResultStore.carry` re-publishes an action's
 still-valid payload from the previous version under the new one with
 ``origin == "carried"`` and the original ``computed_at``, so the engine's
 partial passes produce complete, manifest-backed versions without
-recomputing unaffected actions.
+recomputing unaffected actions.  Candidate-level reruns go one step
+finer: a partially recomputed action lands with ``origin == "mixed"``
+plus a per-vis ``vis_origins`` map, and each executed action's
+per-candidate score records are stored under the reserved
+:func:`candidate_entry` namespace — advisory entries that no manifest
+lists and whose eviction never invalidates a pass.
 """
 
 from __future__ import annotations
@@ -47,14 +52,32 @@ from typing import Any, Mapping, Sequence
 
 from ..core.config import config
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "candidate_entry"]
 
 #: Reserved pseudo-action naming the per-(session, version) manifest.
 MANIFEST = "_manifest"
 
+#: Reserved prefix for per-candidate record entries (see
+#: :func:`candidate_entry`).  The separator byte cannot appear in an
+#: action name, so the namespace can never collide with a real action.
+CANDIDATE_PREFIX = "_cand\x1f"
+
+
+def candidate_entry(action: str, vis_key: str) -> str:
+    """The reserved entry name for one candidate's score record.
+
+    The incremental engine stores one tiny ``{"approx", "score",
+    "displayed"}`` record per candidate vis of each executed action, so
+    the next partial pass can carry unaffected candidates' scores at vis
+    granularity.  These entries are advisory: they are never listed in a
+    pass manifest, and evicting one never invalidates the pass it belongs
+    to (a missing record just means that candidate is recomputed).
+    """
+    return f"{CANDIDATE_PREFIX}{action}\x1f{vis_key}"
+
 
 class _Entry:
-    __slots__ = ("payload", "origin", "computed_at", "nbytes")
+    __slots__ = ("payload", "origin", "computed_at", "nbytes", "vis_origins")
 
     def __init__(
         self,
@@ -62,11 +85,16 @@ class _Entry:
         origin: str,
         nbytes: int,
         computed_at: float | None = None,
+        vis_origins: "dict[str, str] | None" = None,
     ) -> None:
         self.payload = payload
         self.origin = origin
         self.computed_at = time.time() if computed_at is None else computed_at
         self.nbytes = nbytes
+        #: Per-vis provenance for mixed-origin entries (candidate-level
+        #: partial reruns): ``vis_key -> origin``.  None means every vis
+        #: shares the entry's ``origin``.
+        self.vis_origins = vis_origins
 
 
 class ResultStore:
@@ -102,10 +130,13 @@ class ResultStore:
         payload: Any,
         origin: str = "precompute",
         computed_at: float | None = None,
+        vis_origins: "dict[str, str] | None" = None,
     ) -> bool:
         """Insert one action's payload; False when it alone busts the budget."""
         nbytes = len(json.dumps(payload, separators=(",", ":")))
-        entry = _Entry(payload, origin, nbytes, computed_at=computed_at)
+        entry = _Entry(
+            payload, origin, nbytes, computed_at=computed_at, vis_origins=vis_origins
+        )
         return self._insert(self._key(session_id, version, action), entry)
 
     def _insert(self, key: tuple, entry: _Entry) -> bool:
@@ -133,12 +164,15 @@ class ResultStore:
         under byte pressure) left a dangling manifest row: a pass that can
         never be served whole again, whose manifest sat in the LRU
         consuming bytes and answering action-existence probes for payloads
-        that no longer exist.  The caller holds ``self._lock``.
+        that no longer exist.  Candidate record entries are exempt in both
+        directions: evicting one leaves the pass servable whole (records
+        are advisory), and no manifest ever lists them.  The caller holds
+        ``self._lock``.
         """
         key, evicted = self._entries.popitem(last=False)
         self._nbytes -= evicted.nbytes
         self._evictions += 1
-        if key[2] != MANIFEST:
+        if key[2] != MANIFEST and not key[2].startswith(CANDIDATE_PREFIX):
             manifest = self._entries.pop((key[0], key[1], MANIFEST), None)
             if manifest is not None:
                 self._nbytes -= manifest.nbytes
@@ -150,22 +184,35 @@ class ResultStore:
         payloads: Mapping[str, Any],
         origin: str = "precompute",
         manifest: "Sequence[str] | None" = None,
+        origins: "Mapping[str, str] | None" = None,
+        vis_origins: "Mapping[str, dict[str, str]] | None" = None,
     ) -> None:
         """Store a whole pass: one entry per action plus the manifest.
 
         ``manifest`` overrides the listed action names — the incremental
         engine passes the *full* ordered action set when some entries were
         carried forward (already present at this version) rather than
-        inserted here.  The manifest is only written if every listed
-        action's entry is still resident: byte pressure during insertion
-        may already have evicted early members, and a manifest naming
-        missing entries would be dangling on arrival.  The residency
-        check and the manifest insert happen under one lock acquisition —
-        a concurrent writer evicting a member between the two would
-        otherwise re-create exactly the dangling row this guards against.
+        inserted here.  ``origins`` overrides ``origin`` per action and
+        ``vis_origins`` attaches per-vis provenance — both used by
+        candidate-level partial passes, whose rerun actions land with
+        ``origin == "mixed"`` plus a ``vis_key -> origin`` map.  The
+        manifest is only written if every listed action's entry is still
+        resident: byte pressure during insertion may already have evicted
+        early members, and a manifest naming missing entries would be
+        dangling on arrival.  The residency check and the manifest insert
+        happen under one lock acquisition — a concurrent writer evicting a
+        member between the two would otherwise re-create exactly the
+        dangling row this guards against.
         """
         for action, payload in payloads.items():
-            self.put(session_id, version, action, payload, origin=origin)
+            self.put(
+                session_id,
+                version,
+                action,
+                payload,
+                origin=origins.get(action, origin) if origins else origin,
+                vis_origins=vis_origins.get(action) if vis_origins else None,
+            )
         names = list(manifest) if manifest is not None else list(payloads.keys())
         nbytes = len(json.dumps(names, separators=(",", ":")))
         budget = self.budget_bytes()
@@ -216,6 +263,7 @@ class ResultStore:
                     record["payload"],
                     origin=record.get("origin", "precompute"),
                     computed_at=record.get("computed_at"),
+                    vis_origins=record.get("vis_origins"),
                 )
             else:
                 # The snapshot recorded the exact accounting size at the
@@ -226,6 +274,7 @@ class ResultStore:
                     record.get("origin", "precompute"),
                     int(nbytes),
                     computed_at=record.get("computed_at"),
+                    vis_origins=record.get("vis_origins"),
                 )
                 self._insert(self._key(session_id, version, action), entry)
         names = list(manifest) if manifest is not None else list(records)
@@ -248,7 +297,10 @@ class ResultStore:
         forward under the new ``(session, data_version, intent_epoch)``
         key with provenance ``carried`` and its original ``computed_at``.
         Returns False when the source entry is gone (evicted) — the caller
-        must rerun the action instead.
+        must rerun the action instead.  A carried entry is uniform by
+        definition, so any per-vis origin map collapses to None; carrying
+        a candidate record entry does not count toward the ``carried``
+        stat (records are advisory bookkeeping, not served payloads).
         """
         with self._lock:
             entry = self._entries.get(self._key(session_id, old_version, action))
@@ -261,7 +313,7 @@ class ResultStore:
                 entry.payload, "carried", entry.nbytes, computed_at=entry.computed_at
             )
         ok = self._insert(self._key(session_id, new_version, action), copied)
-        if ok:
+        if ok and not action.startswith(CANDIDATE_PREFIX):
             with self._lock:
                 self._carried += 1
         return ok
@@ -285,12 +337,15 @@ class ResultStore:
             # nbytes rides along so snapshots can persist each record's
             # exact accounting size; restore_pass then re-inserts without
             # re-serializing the payload just to measure it.
-            return {
+            record = {
                 "payload": entry.payload,
                 "origin": entry.origin,
                 "computed_at": entry.computed_at,
                 "nbytes": entry.nbytes,
             }
+            if entry.vis_origins is not None:
+                record["vis_origins"] = dict(entry.vis_origins)
+            return record
 
     def get_pass(
         self, session_id: str, version: tuple

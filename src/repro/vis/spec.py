@@ -8,12 +8,13 @@ mirroring the paper's swappable-renderer design (Fig. 8).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Sequence
 
 from .encoding import Encoding
 from .marks import MARKS
 
-__all__ = ["VisSpec", "filter_signature"]
+__all__ = ["VisSpec", "candidate_key", "filter_signature"]
 
 
 def filter_signature(filters: Any) -> tuple:
@@ -24,6 +25,18 @@ def filter_signature(filters: Any) -> tuple:
     drift apart.
     """
     return tuple(sorted((a, op, repr(v)) for a, op, v in filters))
+
+
+def candidate_key(spec: "VisSpec") -> str:
+    """Stable per-vis identity string derived from :meth:`VisSpec.signature`.
+
+    The key is deterministic across processes (pure function of mark,
+    encodings, and filter signature — no ids, no hashes of live objects),
+    so candidate-level footprints, store entries, and provenance maps can
+    all refer to the same vis by the same short token.
+    """
+    raw = repr(spec.signature()).encode("utf-8")
+    return hashlib.blake2b(raw, digest_size=8).hexdigest()
 
 
 class VisSpec:

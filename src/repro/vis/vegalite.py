@@ -91,9 +91,16 @@ def spec_payload(spec: VisSpec, score: float | None = None) -> dict[str, Any]:
     Everything the API needs to render and rank: the vega-lite spec (data
     inline), the interestingness score, and enough summary fields (mark,
     title, fields, filters) for clients that only list recommendations
-    without rendering them.  Guaranteed ``json.dumps``-able.
+    without rendering them.  ``key`` is the stable candidate identity
+    (:func:`~repro.vis.spec.candidate_key`) that per-vis provenance maps
+    are keyed on; it is a pure function of the spec's signature, so the
+    foreground and background paths emit identical keys.  Guaranteed
+    ``json.dumps``-able.
     """
+    from .spec import candidate_key
+
     return {
+        "key": candidate_key(spec),
         "title": spec.title,
         "mark": spec.mark,
         "fields": spec.fields(),

@@ -1,0 +1,149 @@
+"""Per-column metadata versioning and derived-frame cache links.
+
+The frame-level halves of the incremental floor work: a column-scoped
+mutation rescans only the named columns (everything else keeps its
+``AttributeMeta`` object *and* its per-column version stamp), intent
+changes never touch metadata at all, and a row-subset child keeps
+deriving untouched columns from its parent's cache slot across the
+parent's column-scoped mutations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LuxDataFrame, config
+from repro.core.executor.cache import computation_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    computation_cache.clear()
+    yield
+    computation_cache.clear()
+
+
+def make_frame(n: int = 300, seed: int = 7) -> LuxDataFrame:
+    rng = np.random.default_rng(seed)
+    return LuxDataFrame(
+        {
+            "q0": np.round(rng.normal(0, 1, n), 6),
+            "q1": np.round(rng.lognormal(1, 0.4, n), 6),
+            "d0": rng.choice(["a", "b", "c"], n).tolist(),
+        }
+    )
+
+
+class TestPerColumnVersions:
+    def test_cold_compute_stamps_every_column_with_frame_version(self):
+        frame = make_frame()
+        meta = frame.metadata
+        assert meta.column_versions == {"q0": 0, "q1": 0, "d0": 0}
+
+    def test_single_column_mutation_advances_only_that_version(self):
+        frame = make_frame()
+        before = frame.metadata
+        untouched = {n: before.attributes[n] for n in ("q1", "d0")}
+
+        frame["q0"] = [-v for v in frame["q0"].to_list()]
+        after = frame.metadata
+
+        assert after.column_versions["q0"] == frame._data_version == 1
+        assert after.column_versions["q1"] == 0
+        assert after.column_versions["d0"] == 0
+        # Untouched columns keep the SAME AttributeMeta objects — proof
+        # they were carried, not recomputed to equal values.
+        for name, attr in untouched.items():
+            assert after.attributes[name] is attr
+        # The rescanned column reflects the new data.
+        assert after["q0"].min == pytest.approx(-before["q0"].max)
+        assert after["q0"].max == pytest.approx(-before["q0"].min)
+
+    def test_unread_mutations_accumulate_into_one_delta(self):
+        frame = make_frame()
+        before = frame.metadata
+        d0_attr = before.attributes["d0"]
+
+        # Two mutations land before anyone reads metadata: the pending
+        # delta must be their union, so the eventual refresh rescans both
+        # mutated columns and still carries the third.
+        frame["q0"] = [v + 1.0 for v in frame["q0"].to_list()]
+        frame["q1"] = [v + 1.0 for v in frame["q1"].to_list()]
+        after = frame.metadata
+
+        assert after.column_versions["q0"] == frame._data_version == 2
+        assert after.column_versions["q1"] == 2
+        assert after.column_versions["d0"] == 0
+        assert after.attributes["d0"] is d0_attr
+
+    def test_intent_change_leaves_metadata_untouched(self):
+        frame = make_frame()
+        meta = frame.metadata
+        versions = dict(meta.column_versions)
+
+        frame.intent = ["q0"]
+
+        # Intent bumps the recommendation epoch only: same metadata cache
+        # object, same stamps, no pending delta, data version unmoved.
+        assert frame._metadata_cache is meta
+        assert frame._metadata_fresh
+        assert frame._metadata_delta is None
+        assert meta.column_versions == versions
+        assert frame._data_version == 0 and frame._intent_epoch == 1
+
+    def test_schema_change_rescans_everything(self):
+        frame = make_frame()
+        frame.metadata
+        frame["d1"] = (["u", "v"] * 150)[: len(frame)]
+        after = frame.metadata
+        assert set(after.column_versions) == {"q0", "q1", "d0", "d1"}
+        assert all(v == 1 for v in after.column_versions.values())
+
+
+class TestDerivedLinkMigration:
+    def test_filtered_child_derives_from_parent_slot(self):
+        parent = make_frame()
+        mask = np.asarray(parent["q0"].to_list()) > 0
+        child = parent[mask]
+
+        view = computation_cache._parent_view(child, ("q0",))
+        assert view is not None
+        linked_parent, indices = view
+        assert linked_parent is parent
+        np.testing.assert_array_equal(indices, np.flatnonzero(mask))
+        # Derived floats are bit-identical to a direct scan of the child.
+        derived = computation_cache.to_float(child, "q1")
+        np.testing.assert_array_equal(derived, child.column("q1").to_float())
+
+    def test_link_migrates_across_parent_column_mutation(self):
+        parent = make_frame()
+        child = parent[np.asarray(parent["q0"].to_list()) > 0]
+        assert computation_cache._parent_view(child, ("q1",)) is not None
+
+        parent["q0"] = [-v for v in parent["q0"].to_list()]
+
+        # The link survives the parent's version bump: untouched columns
+        # keep deriving, the mutated column is refused (the child's copy
+        # predates the mutation).
+        assert computation_cache._parent_view(child, ("q1",)) is not None
+        assert computation_cache._parent_view(child, ("d0",)) is not None
+        assert computation_cache._parent_view(child, ("q0",)) is None
+        derived = computation_cache.to_float(child, "q1")
+        np.testing.assert_array_equal(derived, child.column("q1").to_float())
+
+    def test_child_mutation_severs_the_link(self):
+        parent = make_frame()
+        child = parent[np.asarray(parent["q0"].to_list()) > 0]
+        child["q1"] = [0.0] * len(child)
+        # The child diverged from parent.iloc[indices] entirely.
+        assert computation_cache._parent_view(child, ("d0",)) is None
+
+    def test_knob_disables_linking(self):
+        config.derived_cache_links = False
+        parent = make_frame()
+        child = parent[np.asarray(parent["q0"].to_list()) > 0]
+        assert computation_cache._parent_view(child, ("q0",)) is None
+        # Unlinked children still compute correctly, just cold.
+        out = computation_cache.to_float(child, "q0")
+        np.testing.assert_array_equal(out, child.column("q0").to_float())

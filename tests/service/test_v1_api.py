@@ -1,0 +1,259 @@
+"""The ``/v1/`` API surface and the typed provenance envelope.
+
+Two contracts are pinned here:
+
+* **Golden wire shapes.**  The v1 ``provenance`` payload and the legacy
+  ``freshness`` dict are both rendered from one :class:`Provenance`
+  object; these tests freeze both shapes so neither can drift without a
+  deliberate edit.  The v1 shape must also be identical whether the
+  response is produced in-process or crosses the shard RPC (the
+  ``payload_json`` passthrough).
+
+* **Deprecation policy.**  Unprefixed routes keep working byte-for-byte
+  but advertise their ``/v1/`` successor via ``Deprecation`` and
+  ``Link`` headers (RFC 8594 style); ``/v1/`` routes carry neither.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import config
+from repro.core.config import config_overlay
+from repro.service import make_server
+from repro.service.provenance import ActionProvenance, Provenance
+from repro.service.shard import ShardService
+from repro.service.session import SessionManager
+
+CSV = "a,b,c\n" + "\n".join(f"{i % 7},{i * 1.5},g{i % 3}" for i in range(300))
+
+
+# ----------------------------------------------------------------------
+# Envelope unit tests (no server)
+# ----------------------------------------------------------------------
+class TestProvenanceEnvelope:
+    def test_v1_payload_golden_shape(self):
+        """The exact /v1/ wire shape.  Do not loosen: clients parse this."""
+        prov = Provenance.build(
+            version=(3, 2),
+            payloads={"Correlation": {}, "Distribution": {}},
+            origin="precompute",
+            computed_at=1700000000.25,
+            origins={"Distribution": "mixed"},
+            vis_origins={"Distribution": {"abc123": "carried"}},
+        )
+        assert prov.to_payload() == {
+            "origin": "precompute",
+            "computed_at": 1700000000.25,
+            "data_version": 3,
+            "intent_epoch": 2,
+            "actions": {
+                "Correlation": {"origin": "precompute", "vis": None},
+                "Distribution": {
+                    "origin": "mixed",
+                    "vis": {"abc123": "carried"},
+                },
+            },
+        }
+
+    def test_legacy_freshness_golden_shape(self):
+        """The historical dict: origin / age_s / flat per-action origins.
+
+        Per-vis detail must NOT leak into the legacy shape — old clients
+        (and the load harness's identity gates) compare these bytes.
+        """
+        prov = Provenance(
+            origin="foreground",
+            computed_at=None,
+            data_version=1,
+            intent_epoch=0,
+            actions={"Enhance": ActionProvenance("foreground", {"k": "carried"})},
+        )
+        legacy = prov.legacy_freshness()
+        assert set(legacy) == {"origin", "age_s", "actions"}
+        assert legacy["origin"] == "foreground"
+        assert legacy["actions"] == {"Enhance": "foreground"}
+        assert isinstance(legacy["age_s"], float)
+
+    def test_round_trips_through_json(self):
+        prov = Provenance.build(
+            (0, 0), {"A": {}}, "precompute", computed_at=5.0
+        )
+        assert json.loads(json.dumps(prov.to_payload())) == prov.to_payload()
+
+
+# ----------------------------------------------------------------------
+# HTTP surface (real threaded server — slow, skipped by the smoke job)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def server():
+    config.precompute_debounce_s = 0.0
+    srv = make_server().serve_background()
+    yield srv
+    srv.manager.shutdown()
+    srv.stop()
+
+
+def call(server, method: str, path: str, body=None):
+    """Like the smoke suite's helper, but also returns response headers."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        server.address + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read()), dict(
+                response.headers
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+@pytest.mark.slow
+class TestV1Surface:
+    def test_v1_routes_mirror_legacy_lifecycle(self, server):
+        status, health, _ = call(server, "GET", "/v1/healthz")
+        assert status == 200 and health["status"] == "ok"
+
+        status, info, _ = call(
+            server, "POST", "/v1/sessions", {"csv": CSV, "config": {"top_k": 3}}
+        )
+        assert status == 201
+        sid = info["session"]
+        assert server.manager.engine.wait_idle(30)
+
+        status, listing, _ = call(server, "GET", "/v1/sessions")
+        assert status == 200 and sid in listing["sessions"]
+
+        status, recs, _ = call(
+            server, "GET", f"/v1/sessions/{sid}/recommendations"
+        )
+        assert status == 200 and recs["actions"]
+
+        status, closed, _ = call(server, "DELETE", f"/v1/sessions/{sid}")
+        assert status == 200 and closed["closed"] == sid
+
+    def test_v1_serves_provenance_legacy_serves_freshness(self, server):
+        status, info, _ = call(server, "POST", "/sessions", {"csv": CSV})
+        assert status == 201
+        sid = info["session"]
+        assert server.manager.engine.wait_idle(30)
+
+        _, legacy, _ = call(server, "GET", f"/sessions/{sid}/recommendations")
+        assert "freshness" in legacy and "provenance" not in legacy
+        assert set(legacy["freshness"]) == {"origin", "age_s", "actions"}
+
+        _, v1, _ = call(server, "GET", f"/v1/sessions/{sid}/recommendations")
+        assert "provenance" in v1 and "freshness" not in v1
+        prov = v1["provenance"]
+        assert set(prov) == {
+            "origin", "computed_at", "data_version", "intent_epoch", "actions"
+        }
+        assert prov["origin"] == "precompute"
+        assert prov["data_version"] == 0 and prov["intent_epoch"] == 0
+        for entry in prov["actions"].values():
+            assert set(entry) == {"origin", "vis"}
+        # Identical per-action origins on both surfaces; per-vis keys (when
+        # present) must match the displayed specs' echoed candidate keys.
+        assert legacy["freshness"]["actions"] == {
+            name: entry["origin"] for name, entry in prov["actions"].items()
+        }
+        for name, entry in prov["actions"].items():
+            if entry["vis"] is not None:
+                spec_keys = {s["key"] for s in v1["actions"][name]["specs"]}
+                assert set(entry["vis"]) <= spec_keys
+        # Non-freshness content is byte-identical across the two surfaces.
+        strip = lambda r: {
+            k: v for k, v in r.items() if k not in ("freshness", "provenance")
+        }
+        assert json.dumps(strip(legacy), sort_keys=True) == json.dumps(
+            strip(v1), sort_keys=True
+        )
+
+    def test_legacy_routes_emit_deprecation_headers(self, server):
+        status, _, headers = call(server, "GET", "/healthz")
+        assert status == 200
+        assert headers.get("Deprecation") == "true"
+        assert headers.get("Link") == '</v1/healthz>; rel="successor-version"'
+
+        status, info, headers = call(server, "POST", "/sessions", {"csv": CSV})
+        assert status == 201 and headers.get("Deprecation") == "true"
+        sid = info["session"]
+
+        _, _, headers = call(server, "GET", f"/sessions/{sid}/recommendations")
+        assert headers.get("Deprecation") == "true"
+        assert (
+            headers.get("Link")
+            == '</v1/sessions/{id}/recommendations>; rel="successor-version"'
+        )
+
+    def test_v1_routes_carry_no_deprecation_headers(self, server):
+        status, _, headers = call(server, "GET", "/v1/healthz")
+        assert status == 200
+        assert "Deprecation" not in headers and "Link" not in headers
+
+        status, info, headers = call(
+            server, "POST", "/v1/sessions", {"csv": CSV}
+        )
+        assert status == 201 and "Deprecation" not in headers
+        _, _, headers = call(
+            server, "GET", f"/v1/sessions/{info['session']}/recommendations"
+        )
+        assert "Deprecation" not in headers
+
+    def test_unknown_v1_route_is_404(self, server):
+        status, err, _ = call(server, "GET", "/v1/nope")
+        assert status == 404 and "error" in err
+
+
+# ----------------------------------------------------------------------
+# Shard RPC passthrough
+# ----------------------------------------------------------------------
+def test_v1_flag_crosses_shard_rpc():
+    """The worker serializes the envelope; the supervisor never re-parses.
+
+    Same dispatcher, with and without the flag: the v1 response must
+    carry the typed ``provenance`` object and the legacy response the
+    ``freshness`` dict — i.e. the wire shape is decided worker-side and
+    survives the ``payload_json`` passthrough unchanged.
+    """
+    with config_overlay(precompute_debounce_s=0.0):
+        manager = SessionManager()
+        try:
+            service = ShardService(manager, shard_index=0, n_shards=1)
+            created = service.handle(
+                {
+                    "method": "create",
+                    "params": {"dataset": "synthetic-wide", "rows": 100},
+                }
+            )
+            sid = created["result"]["session"]
+            manager.engine.wait_idle(30)
+
+            legacy = service.handle(
+                {"method": "recommendations", "params": {"session": sid}}
+            )
+            payload = json.loads(legacy["result"]["payload_json"])
+            assert "freshness" in payload and "provenance" not in payload
+
+            v1 = service.handle(
+                {
+                    "method": "recommendations",
+                    "params": {"session": sid, "v1": True},
+                }
+            )
+            payload = json.loads(v1["result"]["payload_json"])
+            assert "provenance" in payload and "freshness" not in payload
+            assert set(payload["provenance"]) == {
+                "origin", "computed_at", "data_version", "intent_epoch",
+                "actions",
+            }
+        finally:
+            manager.shutdown()

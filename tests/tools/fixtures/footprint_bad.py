@@ -11,3 +11,15 @@ class MysteryAction(Action):  # noqa: F821 - name-based fixture
         # BAD: the incremental engine cannot tell which columns this
         # reads, and nothing says so explicitly.
         return []
+
+
+class HalfDeclaredAction(Action):  # noqa: F821 - name-based fixture
+    name = "HalfDeclared"
+
+    def footprint(self, ldf, metadata):
+        # BAD: no candidates= keyword — silently pins the action to
+        # whole-action granularity instead of deciding it explicitly.
+        return Footprint(metadata.measures, intent=False)  # noqa: F821
+
+    def generate(self, ldf):
+        return []

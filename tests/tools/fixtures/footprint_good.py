@@ -30,3 +30,29 @@ class AbstractishAction(Action):  # noqa: F821 - name-based fixture
 class DerivedAction(ScopedAction):
     # Inherits ScopedAction.footprint — no marker needed.
     name = "Derived"
+
+
+class CandidateScopedAction(Action):  # noqa: F821 - name-based fixture
+    name = "CandidateScoped"
+
+    def footprint(self, ldf, metadata):
+        return Footprint(  # noqa: F821
+            metadata.measures,
+            intent=False,
+            candidates=self.candidate_footprints(ldf, metadata),
+        )
+
+    def generate(self, ldf):
+        return []
+
+
+class WholeActionAction(Action):  # noqa: F821 - name-based fixture
+    name = "WholeAction"
+
+    def footprint(self, ldf, metadata):
+        # Overrides generate(): partial reruns cannot be stitched, so the
+        # explicit candidates=None decision is the correct declaration.
+        return Footprint(None, intent=False, candidates=None)  # noqa: F821
+
+    def generate(self, ldf):
+        return []

@@ -8,6 +8,15 @@ silently inheriting it makes the incremental precompute engine rerun the
 action on every mutation, and that cost must be a visible, reviewed
 decision, not an accident of omission.
 
+A defined ``footprint()`` must additionally decide *candidate*
+granularity: every ``Footprint(...)`` it constructs must pass the
+``candidates=`` keyword — a list of entries for candidate-level reruns,
+or an explicit ``candidates=None`` meaning the whole action reruns as a
+unit (required for actions that override ``generate()``, whose partial
+reruns the engine cannot stitch).  Omitting the keyword silently pins the
+action to whole-action granularity, re-imposing the incremental floor the
+candidate API exists to remove — same policy, one level finer.
+
 Classes with their own abstract methods are treated as bases and skipped.
 """
 
@@ -31,10 +40,35 @@ def _is_abstract(classdef: ast.ClassDef) -> bool:
     return False
 
 
+def _footprint_method(classdef: ast.ClassDef) -> "ast.FunctionDef | None":
+    for stmt in classdef.body:
+        if (
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == "footprint"
+        ):
+            return stmt
+    return None
+
+
+def _undecided_footprint_calls(method: ast.AST) -> "list[ast.Call]":
+    """``Footprint(...)`` constructions missing the ``candidates=`` keyword."""
+    out: list[ast.Call] = []
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        key = expr_key(node.func)
+        if key is None or key.rsplit(".", 1)[-1] != "Footprint":
+            continue
+        if not any(kw.arg == "candidates" for kw in node.keywords):
+            out.append(node)
+    return out
+
+
 class FootprintRule:
     id = "footprint"
     summary = (
-        "concrete Action subclasses must define footprint() or set "
+        "concrete Action subclasses must define footprint() (deciding "
+        "candidate granularity via candidates=) or set "
         "footprint_unknown = True"
     )
 
@@ -48,9 +82,30 @@ class FootprintRule:
                 continue
             if _is_abstract(classdef):
                 continue
+            unknown = project.inherits_member(
+                name, "footprint_unknown", stop="Action"
+            )
             if project.inherits_member(name, "footprint", stop="Action"):
+                # Defined footprints must decide candidate granularity in
+                # every Footprint they construct (checked on the defining
+                # class so inheritors are covered transitively).
+                method = _footprint_method(classdef)
+                if method is not None and not unknown:
+                    for call in _undecided_footprint_calls(method):
+                        out.append(
+                            Violation(
+                                self.id,
+                                module.display,
+                                call.lineno,
+                                call.col_offset,
+                                f"action '{name}' builds a Footprint without "
+                                "the candidates= keyword; pass per-candidate "
+                                "entries (or an explicit candidates=None for "
+                                "whole-action granularity)",
+                            )
+                        )
                 continue
-            if project.inherits_member(name, "footprint_unknown", stop="Action"):
+            if unknown:
                 continue
             out.append(
                 Violation(
